@@ -1,0 +1,110 @@
+//! Ablations of the design choices DESIGN.md calls out: each knob is
+//! toggled in isolation and its simulated-performance effect printed, then
+//! the toggled configuration is benchmarked.
+//!
+//! * private-array expansion layout (row vs column) — EP;
+//! * data-region residency vs naive per-region transfers — JACOBI;
+//! * two-level tree reduction vs atomic serialization — KMEANS;
+//! * shared-memory tiling on/off — JACOBI (manual);
+//! * thread-block size (occupancy) — EP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::ir::kernel::ReduceStrategy;
+use acceval::models::{DataPolicy, ModelKind, TuningPoint};
+use acceval::sim::MachineConfig;
+use acceval::{compile_port, run_baseline, run_gpu_program};
+
+fn secs(name: &str, kind: ModelKind, f: impl Fn(&mut acceval::CompiledProgram)) -> f64 {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named(name).unwrap();
+    let ds = b.dataset(Scale::Test);
+    let port = b.port(kind);
+    let mut compiled = compile_port(&port, kind, &ds, None);
+    f(&mut compiled);
+    run_gpu_program(&compiled, &ds, &cfg).secs
+}
+
+fn secs_tuned_at(name: &str, kind: ModelKind, t: TuningPoint, scale: Scale) -> f64 {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named(name).unwrap();
+    let ds = b.dataset(scale);
+    let oracle = run_baseline(b.as_ref(), &ds, &cfg);
+    let r = acceval::run_model(b.as_ref(), kind, &ds, &cfg, &oracle, Some(&t));
+    assert!(r.valid.is_ok(), "{name}: {:?}", r.valid);
+    r.secs
+}
+
+fn secs_tuned(name: &str, kind: ModelKind, t: TuningPoint) -> f64 {
+    secs_tuned_at(name, kind, t, Scale::Test)
+}
+
+fn bench(c: &mut Criterion) {
+    // ---- printed ablation report ----------------------------------------
+    println!("\nABLATIONS (test scale)");
+
+    let row = secs_tuned("EP", ModelKind::PgiAccelerator, TuningPoint::default());
+    let col = secs_tuned(
+        "EP",
+        ModelKind::PgiAccelerator,
+        TuningPoint { transpose_expansion: true, ..Default::default() },
+    );
+    println!("  EP expansion layout: row-wise {:.3}ms vs column-wise {:.3}ms ({:.2}x)", row * 1e3, col * 1e3, row / col);
+
+    let scoped = secs("JACOBI", ModelKind::PgiAccelerator, |_| {});
+    let naive = secs("JACOBI", ModelKind::PgiAccelerator, |c| c.policy = DataPolicy::PerRegion);
+    println!("  JACOBI transfers: data-region {:.3}ms vs naive per-region {:.3}ms ({:.2}x)", scoped * 1e3, naive * 1e3, naive / scoped);
+
+    let tree = secs("KMEANS", ModelKind::OpenMpc, |_| {});
+    let atomic = secs("KMEANS", ModelKind::OpenMpc, |c| {
+        for ks in c.kernels.values_mut() {
+            for k in ks {
+                if !k.reductions.is_empty() {
+                    k.reduce_strategy = ReduceStrategy::AtomicSerial;
+                }
+            }
+        }
+    });
+    println!("  KMEANS reduction: two-level tree {:.3}ms vs atomic serialization {:.3}ms ({:.2}x)", tree * 1e3, atomic * 1e3, atomic / tree);
+
+    // tiling needs a bandwidth-bound kernel to matter: paper-scale grid
+    let tiled = secs_tuned_at("JACOBI", ModelKind::ManualCuda, TuningPoint::default(), Scale::Paper);
+    let untiled = secs_tuned_at(
+        "JACOBI",
+        ModelKind::ManualCuda,
+        TuningPoint { tiling: false, ..Default::default() },
+        Scale::Paper,
+    );
+    println!("  JACOBI shared tiling: on {:.3}ms vs off {:.3}ms ({:.2}x)", tiled * 1e3, untiled * 1e3, untiled / tiled);
+
+    for bs in [64u32, 128, 256, 512] {
+        let t = secs_tuned("EP", ModelKind::OpenMpc, TuningPoint { block_x: bs, ..Default::default() });
+        println!("  EP occupancy: block {bs:>3} -> {:.3}ms", t * 1e3);
+    }
+
+    // ---- criterion timings of the toggled configurations ----------------
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    g.bench_function("ep_rowwise", |b| {
+        b.iter(|| black_box(secs_tuned("EP", ModelKind::PgiAccelerator, TuningPoint::default())))
+    });
+    g.bench_function("ep_columnwise", |b| {
+        b.iter(|| {
+            black_box(secs_tuned(
+                "EP",
+                ModelKind::PgiAccelerator,
+                TuningPoint { transpose_expansion: true, ..Default::default() },
+            ))
+        })
+    });
+    g.bench_function("jacobi_naive_transfers", |b| {
+        b.iter(|| black_box(secs("JACOBI", ModelKind::PgiAccelerator, |c| c.policy = DataPolicy::PerRegion)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates Figure 1 (speedup of every benchmark under every model) at
+//! the fast test scale, and benchmarks the end-to-end simulation of each
+//! (benchmark x model) pair.
+//!
+//! The paper-scale figure (with the tuning-variation band) is produced by
+//! `cargo run -p acceval-examples --release --bin report -- figure1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use acceval::benchmarks::{all_benchmarks, Scale};
+use acceval::figures::figure1;
+use acceval::models::ModelKind;
+use acceval::report::render_figure1;
+use acceval::sim::MachineConfig;
+use acceval::{compile_port, run_baseline, run_gpu_program};
+
+fn bench(c: &mut Criterion) {
+    let cfg = MachineConfig::keeneland_node();
+
+    // Regenerate the figure once (test scale, no tuning band) so every
+    // `cargo bench` run reproduces the artifact.
+    let fig = figure1(&cfg, Scale::Test, false);
+    println!("\n{}", render_figure1(&fig));
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    for bench in all_benchmarks() {
+        let name = bench.spec().name;
+        let ds = bench.dataset(Scale::Test);
+        g.bench_with_input(BenchmarkId::new("cpu_baseline", name), &ds, |b, ds| {
+            b.iter(|| black_box(run_baseline(bench.as_ref(), ds, &cfg).secs))
+        });
+        for kind in [ModelKind::OpenMpc, ModelKind::ManualCuda] {
+            let port = bench.port(kind);
+            let compiled = compile_port(&port, kind, &ds, None);
+            g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), name), &ds, |b, ds| {
+                b.iter(|| black_box(run_gpu_program(&compiled, ds, &cfg).secs))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

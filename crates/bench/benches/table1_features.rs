@@ -1,0 +1,51 @@
+//! Regenerates Table I (the feature matrix) and benchmarks the qualitative
+//! analysis machinery (feature rows + abstraction scoring + region feature
+//! extraction across the whole suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acceval::benchmarks::all_benchmarks;
+use acceval::ir::analysis::region_features;
+use acceval::models::{model, ModelKind};
+use acceval::tables::{render_table1, table1};
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the artifact once, visibly.
+    println!("\n{}", render_table1());
+
+    c.bench_function("table1/feature_matrix", |b| {
+        b.iter(|| {
+            let t = table1();
+            black_box(t.len())
+        })
+    });
+
+    c.bench_function("table1/abstraction_scores", |b| {
+        b.iter(|| {
+            let mut s = 0.0;
+            for k in ModelKind::table1_models() {
+                s += model(k).features().abstraction_score();
+            }
+            black_box(s)
+        })
+    });
+
+    // The structural analysis behind every accepts() decision.
+    let suite: Vec<_> = all_benchmarks().iter().map(|b| b.original()).collect();
+    c.bench_function("table1/region_features_suite", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for p in &suite {
+                for r in p.regions() {
+                    let f = region_features(p, r);
+                    n += f.worksharing_loops;
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Table II (program coverage + code-size increase) and
+//! benchmarks the coverage/codesize computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use acceval::codesize::codesize_table;
+use acceval::coverage::coverage_table;
+use acceval::report::render_table2;
+
+fn bench(c: &mut Criterion) {
+    let cov = coverage_table();
+    let size = codesize_table();
+    println!("\n{}", render_table2(&cov, &size));
+
+    c.bench_function("table2/coverage_all_models", |b| {
+        b.iter(|| {
+            let rows = coverage_table();
+            black_box(rows.iter().map(|r| r.translated).sum::<u32>())
+        })
+    });
+
+    c.bench_function("table2/codesize_all_models", |b| {
+        b.iter(|| {
+            let rows = codesize_table();
+            black_box(rows.iter().map(|r| r.average_percent).sum::<f64>())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared helpers for the Criterion benches. See `benches/`.
+pub use acceval;

@@ -1,0 +1,249 @@
+//! BFS — level-synchronous breadth-first search (Rodinia).
+//!
+//! Paper narrative (§V-B): a simple algorithm whose irregular, subscript-
+//! array accesses defeat coalescing; *none* of the tested models (nor the
+//! straightforward manual CUDA code) achieves reasonable performance —
+//! every frontier level costs a kernel launch plus a stop-flag readback
+//! over PCIe, and the frontier work is tiny and scattered. (The Luo/Wong/Hwu
+//! GPU algorithm that beats the CPU is not expressible in directive models.)
+//!
+//! Two parallel regions (expand + update), both irregular.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::types::{ReduceOp, Value};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange};
+
+use crate::data::{i32_buffer, Graph};
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+fn build() -> Program {
+    let mut pb = ProgramBuilder::new("bfs");
+    let n = pb.iscalar("n");
+    let nedge = pb.iscalar("nedge");
+    let tid = pb.iscalar("tid");
+    let e = pb.iscalar("e");
+    let nb = pb.iscalar("nb");
+    let stop = pb.iscalar("stop");
+    let off = pb.iarray("off", vec![v(n) + 1i64]);
+    let edge = pb.iarray("edge", vec![v(nedge)]);
+    let mask = pb.iarray("mask", vec![v(n)]);
+    let updating = pb.iarray("updating", vec![v(n)]);
+    let visited = pb.iarray("visited", vec![v(n)]);
+    let cost = pb.iarray("cost", vec![v(n)]);
+
+    pb.main(vec![
+        assign(stop, 1i64),
+        wloop(
+            v(stop).ne_(0i64),
+            vec![
+                parallel(
+                    "bfs.expand",
+                    vec![pfor(
+                        tid,
+                        0i64,
+                        v(n),
+                        vec![iff(
+                            ld(mask, vec![v(tid)]).eq_(1i64),
+                            vec![
+                                store(mask, vec![v(tid)], 0i64),
+                                sfor(
+                                    e,
+                                    ld(off, vec![v(tid)]),
+                                    ld(off, vec![v(tid) + 1i64]),
+                                    vec![
+                                        assign(nb, ld(edge, vec![v(e)])),
+                                        iff(
+                                            ld(visited, vec![v(nb)]).eq_(0i64),
+                                            vec![
+                                                store(cost, vec![v(nb)], ld(cost, vec![v(tid)]) + 1i64),
+                                                store(updating, vec![v(nb)], 1i64),
+                                            ],
+                                        ),
+                                    ],
+                                ),
+                            ],
+                        )],
+                    )],
+                ),
+                assign(stop, 0i64),
+                parallel(
+                    "bfs.update",
+                    vec![pfor_with(
+                        tid,
+                        0i64,
+                        v(n),
+                        vec![
+                            assign(stop, v(stop).max(ld(updating, vec![v(tid)]))),
+                            iff(
+                                ld(updating, vec![v(tid)]).eq_(1i64),
+                                vec![
+                                    store(visited, vec![v(tid)], 1i64),
+                                    store(mask, vec![v(tid)], 1i64),
+                                    store(updating, vec![v(tid)], 0i64),
+                                ],
+                            ),
+                        ],
+                        acceval_ir::stmt::ParInfo {
+                            reductions: vec![red(ReduceOp::Max, stop)],
+                            ..Default::default()
+                        },
+                    )],
+                ),
+            ],
+        ),
+    ]);
+    pb.outputs(vec![cost]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let copyin = ["off", "edge"].iter().map(|s| prog.array_named(s)).collect();
+    let copy = ["mask", "updating", "visited", "cost"].iter().map(|s| prog.array_named(s)).collect();
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(DataClauses { copyin, copyout: vec![], copy, create: vec![] }, body)];
+    prog.finalize();
+    prog
+}
+
+/// The BFS benchmark.
+pub struct Bfs;
+
+impl Benchmark for Bfs {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "BFS",
+            suite: Suite::Rodinia,
+            domain: "Graph traversal (irregular)",
+            base_loc: 190,
+            tolerance: 1e-12,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build()
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (n, deg) = match scale {
+            Scale::Test => (4096usize, 4usize),
+            Scale::Paper => (32768, 5),
+        };
+        let g = Graph::random(n, deg, 0xBF5);
+        let p = self.original();
+        let mut mask = vec![0i64; n];
+        let mut visited = vec![0i64; n];
+        mask[0] = 1;
+        visited[0] = 1;
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nedge"), Value::I(g.edge.len() as i64)),
+            ],
+            arrays: vec![
+                (p.array_named("off"), i32_buffer(g.off.clone())),
+                (p.array_named("edge"), i32_buffer(g.edge.clone())),
+                (p.array_named("mask"), i32_buffer(mask)),
+                (p.array_named("visited"), i32_buffer(visited)),
+            ],
+            label: format!("{n} nodes, {} edges", g.edge.len()),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                program: build(),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 10, "OpenMPC tuning directives")],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build()),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(
+                    ChangeKind::Directive,
+                    36,
+                    "acc regions + data region + update directives for the flag",
+                )],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build()),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 32, "kernels + reduction(max) + data clauses")],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build()),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 14, "outline expand/update codelets"),
+                    PortChange::new(ChangeKind::Directive, 24, "group + per-codelet transfer rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 4, "mappable tags (rejected: irregular)"),
+                    PortChange::new(ChangeKind::DummyAffine, 16, "dummy affine summaries of the frontier loops"),
+                ],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => Port {
+                // The straightforward CUDA port — same structure.
+                program: build(),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA (classic port)")],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::run_cpu;
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn two_irregular_regions() {
+        let p = Bfs.original();
+        assert_eq!(p.region_count, 2);
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            assert!(m.accepts(&f).is_err(), "{} should not be mappable", r.label);
+        }
+    }
+
+    #[test]
+    fn levels_match_reference_bfs() {
+        let n = 1024;
+        let g = Graph::random(n, 4, 0xBF5);
+        let p = Bfs.original();
+        let mut mask = vec![0i64; n];
+        let mut visited = vec![0i64; n];
+        mask[0] = 1;
+        visited[0] = 1;
+        let ds = DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nedge"), Value::I(g.edge.len() as i64)),
+            ],
+            arrays: vec![
+                (p.array_named("off"), i32_buffer(g.off.clone())),
+                (p.array_named("edge"), i32_buffer(g.edge.clone())),
+                (p.array_named("mask"), i32_buffer(mask)),
+                (p.array_named("visited"), i32_buffer(visited)),
+            ],
+            label: "t".into(),
+        };
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let want = g.bfs_levels();
+        let got = &r.data.bufs[p.array_named("cost").0 as usize];
+        for i in 0..n {
+            assert_eq!(got.get_i(i), want[i], "node {i}");
+        }
+    }
+}

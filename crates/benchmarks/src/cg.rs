@@ -1,0 +1,429 @@
+//! CG — NAS Conjugate Gradient (sparse symmetric solver).
+//!
+//! Paper narrative (§V-A): CG's parallel loops span several procedures,
+//! producing complex CPU<->GPU communication patterns. OpenMPC optimizes the
+//! transfers automatically through interprocedural data-flow analysis (with
+//! procedure cloning); every other model demands extensive manual data
+//! clauses *and* manual inlining so data regions lexically contain the
+//! compute regions. OpenMPC additionally applies *loop collapsing* to the
+//! irregular SpMV, fixing uncoalesced indirect accesses; the PGI compiler
+//! instead leans on shared/texture memory.
+//!
+//! Sixteen parallel regions (the most of any benchmark): eleven inside
+//! `conj_grad`, five in `main`. The eight pure vector regions are affine
+//! (R-Stream-mappable); dot products and norms carry reduction recurrences,
+//! and the SpMV regions are irregular.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{fc, ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::transform::inline_all;
+use acceval_ir::types::{ReduceOp, Value};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::{f64_buffer, i32_buffer, Csr};
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Row-parallel SpMV, regions across procedures (the OpenMP original).
+    Original,
+    /// OpenMPC: loop-collapsed two-phase SpMV (automatic).
+    Collapsed,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("cg");
+    let n = pb.iscalar("n");
+    let nnz = pb.iscalar("nnz");
+    let outer = pb.iscalar("outer");
+    let cgits = pb.iscalar("cgits");
+    let it = pb.iscalar("it");
+    let cgit = pb.iscalar("cgit");
+    let row = pb.iscalar("row");
+    let k = pb.iscalar("k");
+    let i = pb.iscalar("i");
+    let s = pb.fscalar("s");
+    let rho = pb.fscalar("rho");
+    let rho_old = pb.fscalar("rho_old");
+    let alpha = pb.fscalar("alpha");
+    let beta = pb.fscalar("beta");
+    let dd = pb.fscalar("d");
+    let norm1 = pb.fscalar("norm1");
+    let norm2 = pb.fscalar("norm2");
+    let tnorm = pb.fscalar("tnorm");
+    let rnorm = pb.fscalar("rnorm");
+    let ptr = pb.iarray("ptr", vec![v(n) + 1i64]);
+    let col = pb.iarray("col", vec![v(nnz)]);
+    let val = pb.farray("val", vec![v(nnz)]);
+    let x = pb.farray("x", vec![v(n)]);
+    let z = pb.farray("z", vec![v(n)]);
+    let p = pb.farray("p", vec![v(n)]);
+    let q = pb.farray("q", vec![v(n)]);
+    let r = pb.farray("r", vec![v(n)]);
+    let tmp = pb.farray("tmp", vec![v(nnz)]);
+
+    // SpMV of `src` into `dst`.
+    let spmv = |label: &str, src, dst| -> acceval_ir::stmt::Stmt {
+        match variant {
+            Variant::Original => parallel(
+                label,
+                vec![pfor(
+                    row,
+                    0i64,
+                    v(n),
+                    vec![
+                        assign(s, 0.0),
+                        sfor(
+                            k,
+                            ld(ptr, vec![v(row)]),
+                            ld(ptr, vec![v(row) + 1i64]),
+                            vec![assign(s, v(s) + ld(val, vec![v(k)]) * ld(src, vec![ld(col, vec![v(k)])]))],
+                        ),
+                        store(dst, vec![v(row)], v(s)),
+                    ],
+                )],
+            ),
+            Variant::Collapsed => parallel(
+                label,
+                vec![
+                    pfor(
+                        k,
+                        0i64,
+                        v(nnz),
+                        vec![store(tmp, vec![v(k)], ld(val, vec![v(k)]) * ld(src, vec![ld(col, vec![v(k)])]))],
+                    ),
+                    pfor(
+                        row,
+                        0i64,
+                        v(n),
+                        vec![
+                            assign(s, 0.0),
+                            sfor(
+                                k,
+                                ld(ptr, vec![v(row)]),
+                                ld(ptr, vec![v(row) + 1i64]),
+                                vec![assign(s, v(s) + ld(tmp, vec![v(k)]))],
+                            ),
+                            store(dst, vec![v(row)], v(s)),
+                        ],
+                    ),
+                ],
+            ),
+        }
+    };
+
+    // dot-product region with a declared reduction clause
+    let dot = |label: &str, a, b, target| {
+        parallel(
+            label,
+            vec![pfor_with(
+                i,
+                0i64,
+                v(n),
+                vec![assign(target, v(target) + ld(a, vec![v(i)]) * ld(b, vec![v(i)]))],
+                acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, target)], ..Default::default() },
+            )],
+        )
+    };
+
+    // conj_grad as a separate procedure (regions span procedures).
+    let mut cg_body = vec![
+        parallel("cg.q_init", vec![pfor(i, 0i64, v(n), vec![store(q, vec![v(i)], 0.0)])]),
+        parallel("cg.z_init", vec![pfor(i, 0i64, v(n), vec![store(z, vec![v(i)], 0.0)])]),
+        parallel(
+            "cg.rp_init",
+            vec![pfor(
+                i,
+                0i64,
+                v(n),
+                vec![store(r, vec![v(i)], ld(x, vec![v(i)])), store(p, vec![v(i)], ld(x, vec![v(i)]))],
+            )],
+        ),
+        assign(rho, 0.0),
+        dot("cg.rho0", r, r, rho),
+    ];
+    cg_body.push(sfor(cgit, 0i64, v(cgits), {
+        let mut iter = vec![spmv("cg.spmv", p, q)];
+        iter.push(assign(dd, 0.0));
+        iter.push(dot("cg.dot_pq", p, q, dd));
+        iter.push(assign(alpha, v(rho) / v(dd)));
+        iter.push(parallel(
+            "cg.axpy_zr",
+            vec![pfor(
+                i,
+                0i64,
+                v(n),
+                vec![
+                    store(z, vec![v(i)], ld(z, vec![v(i)]) + v(alpha) * ld(p, vec![v(i)])),
+                    store(r, vec![v(i)], ld(r, vec![v(i)]) - v(alpha) * ld(q, vec![v(i)])),
+                ],
+            )],
+        ));
+        iter.push(assign(rho_old, v(rho)));
+        iter.push(assign(rho, 0.0));
+        iter.push(dot("cg.rho", r, r, rho));
+        iter.push(assign(beta, v(rho) / v(rho_old)));
+        iter.push(parallel(
+            "cg.p_update",
+            vec![pfor(
+                i,
+                0i64,
+                v(n),
+                vec![store(p, vec![v(i)], ld(r, vec![v(i)]) + v(beta) * ld(p, vec![v(i)]))],
+            )],
+        ));
+        iter
+    }));
+    cg_body.push(spmv("cg.resid_spmv", z, r));
+    cg_body.push(assign(rnorm, 0.0));
+    cg_body.push(parallel(
+        "cg.resid_norm",
+        vec![pfor_with(
+            i,
+            0i64,
+            v(n),
+            vec![assign(
+                rnorm,
+                v(rnorm) + (ld(x, vec![v(i)]) - ld(r, vec![v(i)])) * (ld(x, vec![v(i)]) - ld(r, vec![v(i)])),
+            )],
+            acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, rnorm)], ..Default::default() },
+        )],
+    ));
+    let conj_grad = pb.func("conj_grad", vec![], vec![], cg_body);
+
+    pb.main(vec![
+        parallel("cg.x_init", vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], 1.0)])]),
+        parallel(
+            "cg.vec_init",
+            vec![pfor(
+                i,
+                0i64,
+                v(n),
+                vec![
+                    store(z, vec![v(i)], 0.0),
+                    store(p, vec![v(i)], 0.0),
+                    store(q, vec![v(i)], 0.0),
+                    store(r, vec![v(i)], 0.0),
+                ],
+            )],
+        ),
+        sfor(
+            it,
+            0i64,
+            v(outer),
+            vec![
+                call(conj_grad, vec![], vec![]),
+                assign(norm1, 0.0),
+                dot("cg.norm_xz", x, z, norm1),
+                assign(norm2, 0.0),
+                dot("cg.norm_zz", z, z, norm2),
+                assign(tnorm, fc(1.0) / v(norm2).sqrt()),
+                parallel(
+                    "cg.x_norm",
+                    vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], v(tnorm) * ld(z, vec![v(i)]))])],
+                ),
+            ],
+        ),
+    ]);
+    pb.outputs(vec![x]);
+    pb.output_scalars(vec![rnorm, norm1]);
+    pb.build()
+}
+
+/// Inline and wrap everything in one big data region (what the manual
+/// PGI/OpenACC/HMPP data-clause work achieves).
+fn inlined_with_data_region(prog: Program) -> Program {
+    let mut flat = inline_all(&prog);
+    let copyin = ["ptr", "col", "val"].iter().map(|s| flat.array_named(s)).collect();
+    let copy = vec![flat.array_named("x")];
+    let create = ["z", "p", "q", "r", "tmp"].iter().map(|s| flat.array_named(s)).collect();
+    let body = std::mem::take(&mut flat.main);
+    flat.main = vec![data_region(DataClauses { copyin, copyout: vec![], copy, create }, body)];
+    flat.finalize();
+    flat
+}
+
+/// The CG benchmark.
+pub struct Cg;
+
+impl Benchmark for Cg {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "CG",
+            suite: Suite::Nas,
+            domain: "Sparse iterative solver (irregular)",
+            base_loc: 1150,
+            tolerance: 1e-6,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (n, per_row, cgits, outer) = match scale {
+            Scale::Test => (1536usize, 8usize, 5i64, 1i64),
+            Scale::Paper => (8192, 12, 12, 2),
+        };
+        let m = Csr::random(n, per_row, 0xC6);
+        let p = self.original();
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nnz"), Value::I(m.nnz() as i64)),
+                (p.scalar_named("cgits"), Value::I(cgits)),
+                (p.scalar_named("outer"), Value::I(outer)),
+            ],
+            arrays: vec![
+                (p.array_named("ptr"), i32_buffer(m.ptr.clone())),
+                (p.array_named("col"), i32_buffer(m.col.clone())),
+                (p.array_named("val"), f64_buffer(m.val.clone())),
+            ],
+            label: format!("n={n}, nnz={}, {outer}x{cgits} iterations", m.nnz()),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // Interprocedural transfer optimization + procedure cloning
+                // are automatic; so is loop collapsing. The runtime walks the
+                // inlined program (the effect cloning achieves).
+                program: inline_all(&build(Variant::Collapsed)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 28, "OpenMPC tuning + data directives")],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: inlined_with_data_region(build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Inline, 80, "manually inline conj_grad so the data region is lexical"),
+                    PortChange::new(ChangeKind::Directive, 120, "16 acc regions + extensive data clauses"),
+                ],
+            },
+            ModelKind::OpenAcc => Port {
+                program: inlined_with_data_region(build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Inline, 60, "partial manual inlining (present clauses help)"),
+                    PortChange::new(ChangeKind::Directive, 128, "kernels/loop/reduction + data + present clauses"),
+                ],
+            },
+            ModelKind::Hmpp => Port {
+                program: inlined_with_data_region(build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 90, "outline 16 regions into codelets"),
+                    PortChange::new(
+                        ChangeKind::Directive,
+                        140,
+                        "codelet group + mirror + per-codelet advancedload/delegatedstore rules",
+                    ),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: inline_all(&build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 10, "mappable tags"),
+                    PortChange::new(ChangeKind::Outline, 40, "outline irregular spmv for masking"),
+                    PortChange::new(ChangeKind::DummyAffine, 82, "dummy affine summaries for spmv/dots + machine model"),
+                ],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                let prog = inline_all(&build(Variant::Original));
+                let pvec = prog.array_named("p");
+                let zvec = prog.array_named("z");
+                let mut hints = HintMap::new();
+                hints.insert(
+                    "cg.spmv".into(),
+                    RegionHints {
+                        block: Some((128, 1)),
+                        placements: vec![(pvec, acceval_ir::MemSpace::Texture)],
+                        ..Default::default()
+                    },
+                );
+                hints.insert(
+                    "cg.resid_spmv".into(),
+                    RegionHints {
+                        block: Some((128, 1)),
+                        placements: vec![(zvec, acceval_ir::MemSpace::Texture)],
+                        ..Default::default()
+                    },
+                );
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA")],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::{output_scalar, run_cpu};
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn sixteen_regions() {
+        let p = Cg.original();
+        assert_eq!(p.region_count, 16);
+    }
+
+    #[test]
+    fn eight_regions_are_rstream_mappable() {
+        let p = Cg.original();
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        let mut ok = vec![];
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            if m.accepts(&f).is_ok() {
+                ok.push(r.label.clone());
+            }
+        }
+        assert_eq!(ok.len(), 8, "mappable: {ok:?}");
+    }
+
+    #[test]
+    fn cg_converges_to_small_residual() {
+        let ds = Cg.dataset(Scale::Test);
+        let p = Cg.original();
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let rnorm = output_scalar(&p, &r, "rnorm").as_f().sqrt();
+        // diagonally dominant system: a few CG iterations shrink ||x - Az||.
+        assert!(rnorm.is_finite());
+        assert!(rnorm < 10.0, "residual {rnorm}");
+        let norm1 = output_scalar(&p, &r, "norm1").as_f();
+        assert!(norm1.abs() > 1e-12, "x·z should be nonzero");
+    }
+
+    #[test]
+    fn collapsed_matches_original() {
+        let ds = Cg.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::Original), &ds, &cfg);
+        let b = run_cpu(&build(Variant::Collapsed), &ds, &cfg);
+        let xi = Cg.original().array_named("x").0 as usize;
+        assert!(a.data.bufs[xi].max_abs_diff(&b.data.bufs[xi]) < 1e-9);
+    }
+
+    #[test]
+    fn inlined_matches_original() {
+        let ds = Cg.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let o = build(Variant::Original);
+        let flat = inline_all(&o);
+        assert_eq!(flat.region_count, 16, "single call site: same region count");
+        let a = run_cpu(&o, &ds, &cfg);
+        let b = run_cpu(&flat, &ds, &cfg);
+        let xi = o.array_named("x").0 as usize;
+        assert!(a.data.bufs[xi].max_abs_diff(&b.data.bufs[xi]) < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! Seeded workload generators shared by the benchmarks: sparse matrices
+//! (CSR), graphs, grids, and a splittable hash-based RNG (so generation is
+//! order-independent and deterministic).
+
+use acceval_sim::{Buffer, ElemType};
+
+/// A tiny deterministic hash RNG (splitmix64-style). Not cryptographic —
+/// just a reproducible source of workload randomness.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A CSR sparse matrix with f64 values.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    pub n: usize,
+    pub ptr: Vec<i64>,
+    pub col: Vec<i64>,
+    pub val: Vec<f64>,
+}
+
+impl Csr {
+    /// Random square matrix: `per_row` nonzeros per row (clamped to n),
+    /// including the diagonal (made dominant so CG converges).
+    pub fn random(n: usize, per_row: usize, seed: u64) -> Csr {
+        let per_row = per_row.min(n);
+        let mut rng = Rng::new(seed);
+        let mut ptr = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        ptr.push(0i64);
+        for i in 0..n {
+            let mut cols: Vec<usize> = vec![i];
+            while cols.len() < per_row {
+                let c = rng.below(n);
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            cols.sort_unstable();
+            for c in cols {
+                col.push(c as i64);
+                if c == i {
+                    val.push(per_row as f64 + 1.0 + rng.f64()); // diagonal dominance
+                } else {
+                    val.push(-rng.f64());
+                }
+            }
+            ptr.push(col.len() as i64);
+        }
+        Csr { n, ptr, col, val }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Row index of every nonzero (the auxiliary map loop collapsing uses).
+    pub fn row_of_nnz(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.n {
+            for _ in self.ptr[r]..self.ptr[r + 1] {
+                out.push(r as i64);
+            }
+        }
+        out
+    }
+
+    /// y = A x (host-side reference).
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let mut s = 0.0;
+            for k in self.ptr[r]..self.ptr[r + 1] {
+                s += self.val[k as usize] * x[self.col[k as usize] as usize];
+            }
+            y[r] = s;
+        }
+        y
+    }
+}
+
+/// An undirected-ish CSR graph for BFS: every node gets `deg` out-edges.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub n: usize,
+    pub off: Vec<i64>,
+    pub edge: Vec<i64>,
+}
+
+impl Graph {
+    /// Random graph with a guaranteed spine (node i -> i+1) so BFS reaches
+    /// everything, plus extra edges confined to a locality window. The
+    /// window keeps the diameter ~ n/window, so level-synchronous BFS runs
+    /// many frontier levels — the behaviour that makes GPU BFS launch-bound
+    /// (a fully random graph would collapse to a handful of levels).
+    pub fn random(n: usize, deg: usize, seed: u64) -> Graph {
+        Graph::random_windowed(n, deg, n / 256, seed)
+    }
+
+    /// Like [`Graph::random`] with an explicit locality window.
+    pub fn random_windowed(n: usize, deg: usize, window: usize, seed: u64) -> Graph {
+        let window = window.max(2);
+        let mut rng = Rng::new(seed);
+        let mut off = Vec::with_capacity(n + 1);
+        let mut edge = Vec::new();
+        off.push(0i64);
+        for i in 0..n {
+            if i + 1 < n {
+                edge.push((i + 1) as i64); // spine
+            }
+            for _ in 1..deg {
+                let lo = i.saturating_sub(window);
+                let hi = (i + window).min(n - 1);
+                edge.push((lo + rng.below(hi - lo + 1)) as i64);
+            }
+            off.push(edge.len() as i64);
+        }
+        Graph { n, off, edge }
+    }
+
+    /// Reference BFS levels from node 0 (-1 = unreachable).
+    pub fn bfs_levels(&self) -> Vec<i64> {
+        let mut level = vec![-1i64; self.n];
+        level[0] = 0;
+        let mut frontier = vec![0usize];
+        let mut d = 0i64;
+        while !frontier.is_empty() {
+            let mut next = vec![];
+            for &u in &frontier {
+                for k in self.off[u]..self.off[u + 1] {
+                    let v = self.edge[k as usize] as usize;
+                    if level[v] < 0 {
+                        level[v] = d + 1;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            d += 1;
+        }
+        level
+    }
+}
+
+/// Random f64 buffer in [lo, hi).
+pub fn random_f64(len: usize, lo: f64, hi: f64, seed: u64) -> Buffer {
+    let mut rng = Rng::new(seed);
+    Buffer::from_f64(ElemType::F64, (0..len).map(|_| lo + (hi - lo) * rng.f64()).collect())
+}
+
+/// Random f32-typed buffer (stored as f64 values, moved as 4-byte elements).
+pub fn random_f32(len: usize, lo: f64, hi: f64, seed: u64) -> Buffer {
+    let mut rng = Rng::new(seed);
+    // quantize to f32 so CPU/GPU agreement is exact under f64 math
+    Buffer::from_f64(ElemType::F32, (0..len).map(|_| (lo + (hi - lo) * rng.f64()) as f32 as f64).collect())
+}
+
+/// i32-typed buffer from i64 values.
+pub fn i32_buffer(v: Vec<i64>) -> Buffer {
+    Buffer::from_i64(ElemType::I32, v)
+}
+
+/// f64 buffer from values.
+pub fn f64_buffer(v: Vec<f64>) -> Buffer {
+    Buffer::from_f64(ElemType::F64, v)
+}
+
+/// Bit-reversal permutation table for an n-point FFT (n a power of two).
+pub fn bit_reverse_table(n: usize) -> Vec<i64> {
+    assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros();
+    (0..n).map(|i| (i as u64).reverse_bits() >> (64 - bits) << 0).map(|x| x as i64).collect()
+}
+
+/// Twiddle factors (real, imag) for each FFT stage, laid out stage-major:
+/// `tw[s * (n/2) + j]` is the factor for butterfly j at stage s.
+pub fn twiddles(n: usize, inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let stages = n.trailing_zeros() as usize;
+    let half = n / 2;
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut re = vec![0.0; stages * half];
+    let mut im = vec![0.0; stages * half];
+    for s in 0..stages {
+        let m = 1usize << (s + 1);
+        for j in 0..half {
+            let k = j % (m / 2);
+            let ang = sign * 2.0 * std::f64::consts::PI * k as f64 / m as f64;
+            re[s * half + j] = ang.cos();
+            im[s * half + j] = ang.sin();
+        }
+    }
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let x = Rng::new(1).next_u64();
+        let y = Rng::new(2).next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn rng_f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn csr_well_formed() {
+        let m = Csr::random(100, 8, 1);
+        assert_eq!(m.ptr.len(), 101);
+        assert_eq!(m.nnz(), 800);
+        assert_eq!(*m.ptr.last().unwrap() as usize, m.nnz());
+        // columns within range and sorted per row, diagonal present
+        for r in 0..m.n {
+            let (a, b) = (m.ptr[r] as usize, m.ptr[r + 1] as usize);
+            let cols = &m.col[a..b];
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            assert!(cols.contains(&(r as i64)));
+        }
+    }
+
+    #[test]
+    fn csr_spmv_identityish() {
+        // strongly dominant diagonal: y ~ diag * x for e_i probes
+        let m = Csr::random(50, 5, 3);
+        let x = vec![1.0; 50];
+        let y = m.spmv(&x);
+        assert_eq!(y.len(), 50);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn row_of_nnz_matches_ptr() {
+        let m = Csr::random(40, 6, 9);
+        let rm = m.row_of_nnz();
+        assert_eq!(rm.len(), m.nnz());
+        for r in 0..m.n {
+            for k in m.ptr[r]..m.ptr[r + 1] {
+                assert_eq!(rm[k as usize], r as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_reaches_everything() {
+        let g = Graph::random(500, 4, 11);
+        let lv = g.bfs_levels();
+        assert!(lv.iter().all(|&l| l >= 0), "spine guarantees reachability");
+        assert_eq!(lv[0], 0);
+        assert!(lv[499] > 0);
+    }
+
+    #[test]
+    fn bit_reverse_is_involution() {
+        let t = bit_reverse_table(64);
+        for i in 0..64 {
+            assert_eq!(t[t[i] as usize], i as i64);
+        }
+    }
+
+    #[test]
+    fn twiddles_unit_magnitude() {
+        let (re, im) = twiddles(16, false);
+        for (r, i) in re.iter().zip(&im) {
+            let mag = (r * r + i * i).sqrt();
+            assert!((mag - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_via_tables() {
+        // sanity: radix-2 with these tables inverts correctly
+        let n = 32;
+        let brt = bit_reverse_table(n);
+        let (fre, fim) = twiddles(n, false);
+        let (ire, iim) = twiddles(n, true);
+        let mut rng = Rng::new(5);
+        let xr: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let xi: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+
+        let fft = |mut re: Vec<f64>, mut im: Vec<f64>, twr: &[f64], twi: &[f64]| {
+            let mut r2 = vec![0.0; n];
+            let mut i2 = vec![0.0; n];
+            for k in 0..n {
+                r2[k] = re[brt[k] as usize];
+                i2[k] = im[brt[k] as usize];
+            }
+            re = r2;
+            im = i2;
+            let stages = n.trailing_zeros() as usize;
+            let half = n / 2;
+            for s in 0..stages {
+                let m = 1usize << (s + 1);
+                for j in 0..half {
+                    let blk = j / (m / 2);
+                    let off = j % (m / 2);
+                    let a = blk * m + off;
+                    let b = a + m / 2;
+                    let (wr, wi) = (twr[s * half + j], twi[s * half + j]);
+                    let tr = wr * re[b] - wi * im[b];
+                    let ti = wr * im[b] + wi * re[b];
+                    let (ar, ai) = (re[a], im[a]);
+                    re[a] = ar + tr;
+                    im[a] = ai + ti;
+                    re[b] = ar - tr;
+                    im[b] = ai - ti;
+                }
+            }
+            (re, im)
+        };
+        let (fr, fi) = fft(xr.clone(), xi.clone(), &fre, &fim);
+        let (mut br, mut bi) = fft(fr, fi, &ire, &iim);
+        for v in br.iter_mut() {
+            *v /= n as f64;
+        }
+        for v in bi.iter_mut() {
+            *v /= n as f64;
+        }
+        for k in 0..n {
+            assert!((br[k] - xr[k]).abs() < 1e-9, "roundtrip real {k}");
+            assert!((bi[k] - xi[k]).abs() < 1e-9, "roundtrip imag {k}");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! EP — NAS Embarrassingly Parallel (Monte-Carlo Gaussian pairs).
+//!
+//! Paper narrative (§V-A): EP's single parallel region contains a
+//! work-sharing loop with a *private array* and a *critical section*
+//! performing an array reduction — the one region (of 58) only OpenMPC can
+//! translate directly. The other models need the array reduction manually
+//! decomposed into scalar reductions and the loop strip-mined so the
+//! expanded private array fits in memory. Performance is decided by the
+//! private-array expansion layout: row-wise (PGI & friends) is uncoalesced;
+//! column-wise (OpenMPC's Matrix Transpose, or the manual input change) is
+//! coalesced; the hand-written version removes the redundant private array
+//! entirely (registers).
+//!
+//! The RNG is a splittable hash (counter-based) rather than NAS's
+//! lagged-linear scheme so that any iteration order gives identical results;
+//! this preserves EP's structure (independent samples, tiny reduction
+//! state) without a sequential seed chain.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v, Expr};
+use acceval_ir::kernel::Expansion;
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::types::{ReduceOp, Value, VarRef};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+const NQ: i64 = 10;
+/// Samples per chunk (each work-sharing iteration handles one chunk).
+const CHUNK: i64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Original OpenMP: private array + critical array reduction.
+    Original,
+    /// Array reduction decomposed into NQ scalar reductions, as the PGI /
+    /// OpenACC / HMPP ports require.
+    Decomposed,
+}
+
+/// Counter-based pseudo-random in [0,1): hash the sample index.
+/// `u(k) = frac(hash(k))` built from integer ops the IR supports.
+fn unit_rand(k: Expr, salt: i64) -> Expr {
+    // x = (k * 2654435761 + salt) mod 2^31, scaled to [0,1)
+    let h = (k * 2654435761i64 + salt).bitand((1i64 << 31) - 1);
+    h.to_f() / ((1i64 << 31) as f64)
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("ep");
+    let nchunk = pb.iscalar("nchunk");
+    let t = pb.iscalar("t");
+    let k = pb.iscalar("k");
+    let j = pb.iscalar("j");
+    let l = pb.iscalar("l");
+    let sx = pb.fscalar("sx");
+    let sy = pb.fscalar("sy");
+    let tt = pb.fscalar("tt");
+    let x = pb.fscalar("x");
+    let y = pb.fscalar("y");
+    let fac = pb.fscalar("fac");
+    let gx = pb.fscalar("gx");
+    let gy = pb.fscalar("gy");
+    let q = pb.farray("q", vec![Expr::I(NQ)]);
+    let qq = pb.farray("qq", vec![Expr::I(NQ)]);
+
+    // Per-sample computation: two uniforms -> Marsaglia polar -> bin index.
+    let sample = |accept: Vec<acceval_ir::stmt::Stmt>| -> Vec<acceval_ir::stmt::Stmt> {
+        let mut body = vec![
+            assign(x, unit_rand(v(t) * CHUNK + v(k), 12345) * 2.0 - 1.0),
+            assign(y, unit_rand(v(t) * CHUNK + v(k), 67891) * 2.0 - 1.0),
+            assign(tt, v(x) * v(x) + v(y) * v(y)),
+        ];
+        body.push(iff(
+            v(tt).le(1.0).and(v(tt).gt(1e-30)),
+            {
+                let mut b = vec![
+                    assign(fac, ((-(v(tt).log()) * 2.0) / v(tt)).sqrt()),
+                    assign(gx, v(x) * v(fac)),
+                    assign(gy, v(y) * v(fac)),
+                    assign(l, v(gx).abs().max(v(gy).abs()).floor().to_i().min(NQ - 1)),
+                ];
+                b.extend(accept);
+                b
+            },
+        ));
+        body
+    };
+
+    match variant {
+        Variant::Original => {
+            // pfor over chunks; q private; critical folds q into qq.
+            let accept = vec![
+                store(q, vec![v(l)], ld(q, vec![v(l)]) + 1.0),
+                assign(sx, v(sx) + v(gx)),
+                assign(sy, v(sy) + v(gy)),
+            ];
+            let chunk_loop = vec![
+                sfor(j, 0i64, NQ, vec![store(q, vec![v(j)], 0.0)]),
+                sfor(k, 0i64, CHUNK, sample(accept)),
+                critical(vec![sfor(j, 0i64, NQ, vec![store(qq, vec![v(j)], ld(qq, vec![v(j)]) + ld(q, vec![v(j)]))])]),
+            ];
+            pb.main(vec![
+                assign(sx, 0.0),
+                assign(sy, 0.0),
+                parallel_with(
+                    "ep.main",
+                    vec![pfor_with(
+                        t,
+                        0i64,
+                        v(nchunk),
+                        chunk_loop,
+                        acceval_ir::stmt::ParInfo {
+                            reductions: vec![red(ReduceOp::Add, sx), red(ReduceOp::Add, sy)],
+                            private: vec![VarRef::Array(q)],
+                            ..Default::default()
+                        },
+                    )],
+                    vec![VarRef::Array(q)],
+                ),
+            ]);
+        }
+        Variant::Decomposed => {
+            // NQ scalar accumulators qq0..qq9 with declared reductions; the
+            // private array q remains (it is part of the algorithm), but the
+            // critical section is gone. After the region, the host writes
+            // the scalars back into qq.
+            let qs: Vec<_> = (0..NQ).map(|b| pb.fscalar(&format!("qq{b}"))).collect();
+            let accept = vec![
+                store(q, vec![v(l)], ld(q, vec![v(l)]) + 1.0),
+                assign(sx, v(sx) + v(gx)),
+                assign(sy, v(sy) + v(gy)),
+            ];
+            let mut chunk_loop = vec![
+                sfor(j, 0i64, NQ, vec![store(q, vec![v(j)], 0.0)]),
+                sfor(k, 0i64, CHUNK, sample(accept)),
+            ];
+            // unrolled per-bin scalar folds (the manual decomposition)
+            for (b, &qb) in qs.iter().enumerate() {
+                chunk_loop.push(assign(qb, v(qb) + ld(q, vec![Expr::I(b as i64)])));
+            }
+            let mut reductions = vec![red(ReduceOp::Add, sx), red(ReduceOp::Add, sy)];
+            for &qb in &qs {
+                reductions.push(red(ReduceOp::Add, qb));
+            }
+            let mut main = vec![assign(sx, 0.0), assign(sy, 0.0)];
+            main.push(parallel_with(
+                "ep.main",
+                vec![pfor_with(
+                    t,
+                    0i64,
+                    v(nchunk),
+                    chunk_loop,
+                    acceval_ir::stmt::ParInfo {
+                        reductions,
+                        private: vec![VarRef::Array(q)],
+                        ..Default::default()
+                    },
+                )],
+                vec![VarRef::Array(q)],
+            ));
+            for (b, &qb) in qs.iter().enumerate() {
+                main.push(store(qq, vec![Expr::I(b as i64)], v(qb)));
+            }
+            pb.main(main);
+        }
+    }
+    pb.outputs(vec![qq]);
+    pb.output_scalars(vec![sx, sy]);
+    pb.build()
+}
+
+/// The EP benchmark.
+pub struct Ep;
+
+impl Benchmark for Ep {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "EP",
+            suite: Suite::Nas,
+            domain: "Monte Carlo / random number generation",
+            base_loc: 350,
+            tolerance: 1e-9,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let nchunk = match scale {
+            Scale::Test => 2048i64,
+            Scale::Paper => 16384,
+        };
+        let p = self.original();
+        DataSet {
+            scalars: vec![(p.scalar_named("nchunk"), Value::I(nchunk))],
+            arrays: vec![],
+            label: format!("{} samples", nchunk * CHUNK),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // Critical section recognized as an array reduction; Matrix
+                // Transpose expansion is automatic.
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 14, "OpenMPC tuning directives")],
+            },
+            ModelKind::PgiAccelerator | ModelKind::OpenAcc | ModelKind::Hmpp | ModelKind::HiCuda => {
+                let who = model.display();
+                let mut changes = vec![
+                    PortChange::new(
+                        ChangeKind::RegionRestructure,
+                        18,
+                        "convert parallel region + critical into an explicit parallel loop",
+                    ),
+                    PortChange::new(
+                        ChangeKind::DecomposeReduction,
+                        34,
+                        "decompose qq[] array reduction into 10 scalar reductions",
+                    ),
+                    PortChange::new(
+                        ChangeKind::StripMine,
+                        10,
+                        "strip-mine so the expanded private array fits device memory",
+                    ),
+                    PortChange::new(ChangeKind::Directive, 20, format!("{who} compute + data directives")),
+                ];
+                if model == ModelKind::Hmpp {
+                    changes.push(PortChange::new(ChangeKind::Outline, 12, "outline loop into a codelet"));
+                }
+                Port { program: build(Variant::Decomposed), hints: HintMap::new(), changes }
+            }
+            ModelKind::RStream => Port {
+                // Not mappable (critical section, data-dependent control).
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 16, "mappable tags + machine model (rejected: non-affine)"),
+                    PortChange::new(ChangeKind::DummyAffine, 22, "dummy affine summary of the sampling loop"),
+                ],
+            },
+            ModelKind::ManualCuda => {
+                // Removes the redundant private array (register accumulators)
+                // and keeps qq as a column-wise-expanded reduction target.
+                let prog = build(Variant::Original);
+                let mut hints = HintMap::new();
+                // The manual version keeps the per-thread q (and the qq
+                // partials) in registers/shared memory: no expanded private
+                // array in global memory at all.
+                hints.insert(
+                    "ep.main".to_string(),
+                    RegionHints {
+                        block: Some((128, 1)),
+                        expansion: Some(Expansion::Register),
+                        partials_in_shared: true,
+                        ..Default::default()
+                    },
+                );
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA")],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::{output_scalar, run_cpu};
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn single_region_with_critical() {
+        let p = Ep.original();
+        assert_eq!(p.region_count, 1);
+        let f = acceval_ir::analysis::region_features(&p, p.regions()[0]);
+        assert!(f.has_critical);
+        assert!(f.critical_is_array_reduction);
+        assert!(!f.private_arrays.is_empty());
+    }
+
+    #[test]
+    fn decomposed_variant_matches_original() {
+        let ds = Ep.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let o = build(Variant::Original);
+        let d = build(Variant::Decomposed);
+        let ro = run_cpu(&o, &ds, &cfg);
+        let rd = run_cpu(&d, &ds, &cfg);
+        let qq_o = &ro.data.bufs[o.array_named("qq").0 as usize];
+        let qq_d = &rd.data.bufs[d.array_named("qq").0 as usize];
+        assert!(qq_o.max_abs_diff(qq_d) < 1e-9);
+        let sx_o = output_scalar(&o, &ro, "sx").as_f();
+        let sx_d = output_scalar(&d, &rd, "sx").as_f();
+        assert!((sx_o - sx_d).abs() < 1e-9 * sx_o.abs().max(1.0));
+    }
+
+    #[test]
+    fn bins_are_populated() {
+        let ds = Ep.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let p = Ep.original();
+        let r = run_cpu(&p, &ds, &cfg);
+        let qq = &r.data.bufs[p.array_named("qq").0 as usize];
+        let total: f64 = (0..10).map(|i| qq.get_f(i)).sum();
+        assert!(total > 0.0, "some samples must be accepted");
+        // Marsaglia polar accepts ~78.5% of pairs
+        let frac = total / (2048.0 * CHUNK as f64);
+        assert!((0.6..0.95).contains(&frac), "acceptance fraction {frac}");
+        // bin 0 dominates for standard gaussians
+        assert!(qq.get_f(0) > qq.get_f(3));
+    }
+
+    #[test]
+    fn ep_is_rejected_by_loop_models_only() {
+        let p = Ep.original();
+        let f = acceval_ir::analysis::region_features(&p, p.regions()[0]);
+        use acceval_models::{model, ModelKind as MK};
+        assert!(model(MK::PgiAccelerator).accepts(&f).is_err());
+        assert!(model(MK::OpenAcc).accepts(&f).is_err());
+        assert!(model(MK::Hmpp).accepts(&f).is_err());
+        assert!(model(MK::RStream).accepts(&f).is_err());
+        assert!(model(MK::OpenMpc).accepts(&f).is_ok());
+    }
+}

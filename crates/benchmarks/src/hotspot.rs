@@ -1,0 +1,267 @@
+//! HOTSPOT — processor-temperature estimation (Rodinia).
+//!
+//! Paper narrative (§V-B): the original OpenMP program parallelizes only the
+//! outer loops of two 2-level nests, which "does not provide enough threads
+//! to hide the global memory latency" on the GPU. The manual CUDA version
+//! uses a two-dimensional partitioning scheme plus shared-memory tiling;
+//! OpenMPC lacks multi-dimensional partitioning but achieves a similar
+//! effect with the OpenMP `collapse` clause; the other models used *manual*
+//! collapsing in the input code.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::{DataClauses, ParInfo};
+use acceval_ir::types::Value;
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::random_f64;
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Outer loops parallelized (the OpenMP original).
+    Original,
+    /// `collapse(2)` clauses (the OpenMPC port).
+    CollapseClause,
+    /// Manually collapsed 1-D loops (PGI/OpenACC/HMPP ports).
+    ManualCollapse,
+    /// Both loops parallel: 2-D partitioning (the manual CUDA version).
+    TwoD,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("hotspot");
+    let n = pb.iscalar("n"); // interior cells per side; arrays are (n+2)^2
+    let iters = pb.iscalar("iters");
+    let it = pb.iscalar("it");
+    let i = pb.iscalar("i");
+    let j = pb.iscalar("j");
+    let k = pb.iscalar("k");
+    let sdc = pb.fscalar("sdc"); // step / capacitance
+    let rx = pb.fscalar("rx");
+    let ry = pb.fscalar("ry");
+    let rz = pb.fscalar("rz");
+    let amb = pb.fscalar("amb");
+    let temp = pb.farray("temp", vec![v(n) + 2i64, v(n) + 2i64]);
+    let power = pb.farray("power", vec![v(n) + 2i64, v(n) + 2i64]);
+    let tmp = pb.farray("tmp", vec![v(n) + 2i64, v(n) + 2i64]);
+
+    let compute_body = |iv, jv| {
+        let t = ld(temp, vec![v(iv), v(jv)]);
+        vec![store(
+            tmp,
+            vec![v(iv), v(jv)],
+            t.clone()
+                + v(sdc)
+                    * (ld(power, vec![v(iv), v(jv)])
+                        + (ld(temp, vec![v(iv) + 1i64, v(jv)]) + ld(temp, vec![v(iv) - 1i64, v(jv)])
+                            - t.clone() * 2.0)
+                            / v(ry)
+                        + (ld(temp, vec![v(iv), v(jv) + 1i64]) + ld(temp, vec![v(iv), v(jv) - 1i64])
+                            - t.clone() * 2.0)
+                            / v(rx)
+                        + (v(amb) - t) / v(rz)),
+        )]
+    };
+    let copy_body = |iv, jv| vec![store(temp, vec![v(iv), v(jv)], ld(tmp, vec![v(iv), v(jv)]))];
+
+    let nest = |body: Vec<acceval_ir::stmt::Stmt>| -> acceval_ir::stmt::Stmt {
+        match variant {
+            Variant::Original => pfor(i, 1i64, v(n) + 1i64, vec![sfor(j, 1i64, v(n) + 1i64, body)]),
+            Variant::CollapseClause => pfor_with(
+                i,
+                1i64,
+                v(n) + 1i64,
+                vec![sfor(j, 1i64, v(n) + 1i64, body)],
+                ParInfo { collapse: 2, ..Default::default() },
+            ),
+            Variant::ManualCollapse => {
+                let mut b = vec![
+                    assign(i, v(k) / v(n) + 1i64),
+                    assign(j, v(k) % v(n) + 1i64),
+                ];
+                b.extend(body);
+                pfor(k, 0i64, v(n) * v(n), b)
+            }
+            Variant::TwoD => pfor(i, 1i64, v(n) + 1i64, vec![pfor(j, 1i64, v(n) + 1i64, body)]),
+        }
+    };
+
+    pb.main(vec![sfor(
+        it,
+        0i64,
+        v(iters),
+        vec![
+            parallel("hotspot.compute", vec![nest(compute_body(i, j))]),
+            parallel("hotspot.copy", vec![nest(copy_body(i, j))]),
+        ],
+    )]);
+    pb.outputs(vec![temp]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let temp = prog.array_named("temp");
+    let power = prog.array_named("power");
+    let tmp = prog.array_named("tmp");
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(
+        DataClauses { copyin: vec![power], copyout: vec![], copy: vec![temp], create: vec![tmp] },
+        body,
+    )];
+    prog.finalize();
+    prog
+}
+
+/// The HOTSPOT benchmark.
+pub struct Hotspot;
+
+impl Benchmark for Hotspot {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "HOTSPOT",
+            suite: Suite::Rodinia,
+            domain: "Physics simulation (structured grid)",
+            base_loc: 340,
+            tolerance: 1e-10,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (n, iters) = match scale {
+            Scale::Test => (64usize, 3i64),
+            Scale::Paper => (256, 20),
+        };
+        let p = self.original();
+        let side = n + 2;
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("iters"), Value::I(iters)),
+                (p.scalar_named("sdc"), Value::F(0.003)),
+                (p.scalar_named("rx"), Value::F(1.2)),
+                (p.scalar_named("ry"), Value::F(1.2)),
+                (p.scalar_named("rz"), Value::F(3.5)),
+                (p.scalar_named("amb"), Value::F(80.0)),
+            ],
+            arrays: vec![
+                (p.array_named("temp"), random_f64(side * side, 320.0, 340.0, 0x407)),
+                (p.array_named("power"), random_f64(side * side, 0.0, 5.0, 0x90E)),
+            ],
+            label: format!("{n}x{n} grid, {iters} steps"),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                program: build(Variant::CollapseClause),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 4, "add collapse(2) clauses"),
+                    PortChange::new(ChangeKind::Directive, 10, "OpenMPC tuning directives"),
+                ],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::ManualCollapse)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::RegionRestructure, 18, "manually collapse both nests"),
+                    PortChange::new(ChangeKind::Directive, 36, "acc regions + data region + bounds clauses"),
+                ],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::ManualCollapse)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::RegionRestructure, 18, "manually collapse both nests"),
+                    PortChange::new(ChangeKind::Directive, 32, "kernels + data clauses"),
+                ],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::ManualCollapse)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 14, "outline both nests into codelets"),
+                    PortChange::new(ChangeKind::RegionRestructure, 18, "manually collapse both nests"),
+                    PortChange::new(ChangeKind::Directive, 24, "codelet group + transfer rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 20, "mappable tags + machine model")],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                let prog = build(Variant::TwoD);
+                let temp = prog.array_named("temp");
+                let mut hints = HintMap::new();
+                hints.insert(
+                    "hotspot.compute".into(),
+                    RegionHints {
+                        block: Some((32, 4)),
+                        placements: vec![(temp, acceval_ir::MemSpace::SharedTiled { reuse: 5.0 })],
+                        ..Default::default()
+                    },
+                );
+                hints.insert("hotspot.copy".into(), RegionHints { block: Some((32, 4)), ..Default::default() });
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA")],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::run_cpu;
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn two_affine_regions() {
+        let p = Hotspot.original();
+        assert_eq!(p.region_count, 2);
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            assert!(m.accepts(&f).is_ok(), "{} should be mappable", r.label);
+        }
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let ds = Hotspot.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let base = run_cpu(&build(Variant::Original), &ds, &cfg);
+        for variant in [Variant::CollapseClause, Variant::ManualCollapse, Variant::TwoD] {
+            let r = run_cpu(&build(variant), &ds, &cfg);
+            let d = base.data.bufs[0].max_abs_diff(&r.data.bufs[0]);
+            assert!(d < 1e-12, "{variant:?} diverged by {d}");
+        }
+    }
+
+    #[test]
+    fn temperatures_move_toward_equilibrium() {
+        let ds = Hotspot.dataset(Scale::Test);
+        let p = Hotspot.original();
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let before = &ds.arrays[0].1;
+        let after = &r.data.bufs[p.array_named("temp").0 as usize];
+        assert!(before.max_abs_diff(after) > 1e-9, "temperatures must change");
+        // all temps stay physical
+        for i in 0..after.len() {
+            let t = after.get_f(i);
+            assert!((0.0..1000.0).contains(&t), "temp {t}");
+        }
+    }
+}

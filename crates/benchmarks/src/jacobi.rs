@@ -1,0 +1,264 @@
+//! JACOBI — iterative 2-D Poisson stencil (kernel benchmark).
+//!
+//! Paper narrative (§V-A): the original OpenMP code parallelizes the
+//! *outermost* loops, which produces large uncoalesced global accesses when
+//! mapped naively to the GPU. OpenMPC fixes this automatically with
+//! *parallel loop-swap*; PGI Accelerator/OpenACC reach the same point when
+//! the swap is applied manually in the input (or via a 2-D gang/vector
+//! mapping, which the PGI compiler additionally tiles through shared
+//! memory); HMPP expresses the same transformations with its loop-transform
+//! directives. The hand-written CUDA version uses the 2-D tiled mapping.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::transform::interchange;
+use acceval_ir::types::Value;
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange};
+
+use crate::data::random_f64;
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+/// Input-code variants a port may start from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Original OpenMP: outer loops parallelized.
+    Original,
+    /// Manual parallel loop-swap applied in the input (inner j loop becomes
+    /// the work-shared loop). This is the paper's "best PGI" configuration
+    /// at full problem sizes; at our scaled-down grids it is occupancy-
+    /// starved, so the ports use [`Variant::TwoD`] instead and this variant
+    /// remains as a tested semantic-equivalence witness.
+    #[allow(dead_code)]
+    Swapped,
+    /// Both loops annotated parallel (2-D gang/vector mapping).
+    TwoD,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("jacobi");
+    let n = pb.iscalar("n");
+    let iters = pb.iscalar("iters");
+    let it = pb.iscalar("it");
+    let i = pb.iscalar("i");
+    let j = pb.iscalar("j");
+    let a = pb.farray("a", vec![v(n), v(n)]);
+    let anew = pb.farray("anew", vec![v(n), v(n)]);
+    let f = pb.farray("f", vec![v(n), v(n)]);
+
+    let compute_body = vec![store(
+        anew,
+        vec![v(i), v(j)],
+        (ld(a, vec![v(i) - 1i64, v(j)])
+            + ld(a, vec![v(i) + 1i64, v(j)])
+            + ld(a, vec![v(i), v(j) - 1i64])
+            + ld(a, vec![v(i), v(j) + 1i64])
+            + ld(f, vec![v(i), v(j)]))
+            * 0.25,
+    )];
+    let copy_body = vec![store(a, vec![v(i), v(j)], ld(anew, vec![v(i), v(j)]))];
+
+    let nest = |body: Vec<acceval_ir::stmt::Stmt>| -> acceval_ir::stmt::Stmt {
+        match variant {
+            Variant::Original => pfor(i, 1i64, v(n) - 1i64, vec![sfor(j, 1i64, v(n) - 1i64, body)]),
+            Variant::Swapped => {
+                let mut s = pfor(i, 1i64, v(n) - 1i64, vec![sfor(j, 1i64, v(n) - 1i64, body)]);
+                assert!(interchange(&mut s));
+                s
+            }
+            Variant::TwoD => pfor(i, 1i64, v(n) - 1i64, vec![pfor(j, 1i64, v(n) - 1i64, body)]),
+        }
+    };
+
+    pb.main(vec![sfor(
+        it,
+        0i64,
+        v(iters),
+        vec![
+            parallel("jacobi.compute", vec![nest(compute_body)]),
+            parallel("jacobi.copy", vec![nest(copy_body)]),
+        ],
+    )]);
+    pb.outputs(vec![a]);
+    pb.build()
+}
+
+/// Wrap the iteration loop in a `data` region (the PGI/OpenACC/HMPP
+/// transfer optimization).
+fn with_data_region(mut prog: Program) -> Program {
+    let a = prog.array_named("a");
+    let anew = prog.array_named("anew");
+    let f = prog.array_named("f");
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(
+        DataClauses { copyin: vec![f], copyout: vec![], copy: vec![a], create: vec![anew] },
+        body,
+    )];
+    prog.finalize();
+    prog
+}
+
+/// The JACOBI benchmark.
+pub struct Jacobi;
+
+impl Benchmark for Jacobi {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "JACOBI",
+            suite: Suite::Kernel,
+            domain: "Structured grid / iterative solver",
+            base_loc: 230,
+            tolerance: 1e-10,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (n, iters) = match scale {
+            Scale::Test => (48usize, 3i64),
+            Scale::Paper => (256, 24),
+        };
+        let p = self.original();
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("iters"), Value::I(iters)),
+            ],
+            arrays: vec![
+                (p.array_named("a"), random_f64(n * n, 0.0, 1.0, 0xA11)),
+                (p.array_named("f"), random_f64(n * n, -0.5, 0.5, 0xF00)),
+            ],
+            label: format!("{n}x{n}, {iters} sweeps"),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // Original input; the compiler swaps loops automatically.
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(
+                    ChangeKind::Directive,
+                    12,
+                    "OpenMPC tuning directives + data-transfer environment setup",
+                )],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::LoopSwap, 12, "annotate both nest levels parallel (2-D mapping)"),
+                    PortChange::new(ChangeKind::Directive, 26, "acc region + data region with copy/create clauses"),
+                ],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::LoopSwap, 12, "manual parallel loop-swap of both nests"),
+                    PortChange::new(ChangeKind::Directive, 24, "kernels + loop gang/vector + data clauses"),
+                ],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 16, "outline compute/copy into codelets"),
+                    PortChange::new(ChangeKind::Directive, 30, "codelet/callsite/group + loop permute + advancedload"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                // Affine kernel: tag the function as mappable; nothing else.
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 18, "mappable-function tags + machine model")],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                // 2-D tiled mapping (CUDA version / fully explicit hiCUDA).
+                let prog = build(Variant::TwoD);
+                let mut hints = HintMap::new();
+                let a = prog.array_named("a");
+                for label in ["jacobi.compute", "jacobi.copy"] {
+                    hints.insert(
+                        label.to_string(),
+                        acceval_models::RegionHints {
+                            block: Some((32, 4)),
+                            placements: if label == "jacobi.compute" {
+                                vec![(a, acceval_ir::MemSpace::SharedTiled { reuse: 4.0 })]
+                            } else {
+                                vec![]
+                            },
+                            ..Default::default()
+                        },
+                    );
+                }
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(
+                        ChangeKind::RegionRestructure,
+                        0,
+                        "hand-written CUDA: 2-D tiled kernels",
+                    )],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::run_cpu;
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn original_has_two_regions() {
+        let p = Jacobi.original();
+        assert_eq!(p.region_count, 2);
+        let regions = p.regions();
+        assert_eq!(regions[0].label, "jacobi.compute");
+    }
+
+    #[test]
+    fn variants_compute_identical_results() {
+        let ds = Jacobi.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let orig = build(Variant::Original);
+        let base = run_cpu(&orig, &ds, &cfg);
+        for variant in [Variant::Swapped, Variant::TwoD] {
+            let p = build(variant);
+            let r = run_cpu(&p, &ds, &cfg);
+            let d = base.data.bufs[0].max_abs_diff(&r.data.bufs[0]);
+            assert!(d < 1e-12, "{variant:?} diverged by {d}");
+        }
+    }
+
+    #[test]
+    fn data_region_variant_preserves_results() {
+        let ds = Jacobi.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let base = run_cpu(&Jacobi.original(), &ds, &cfg);
+        let port = Jacobi.port(ModelKind::PgiAccelerator);
+        let r = run_cpu(&port.program, &ds, &cfg);
+        assert!(base.data.bufs[0].max_abs_diff(&r.data.bufs[0]) < 1e-12);
+    }
+
+    #[test]
+    fn stencil_iterations_change_interior() {
+        let ds = Jacobi.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let p = Jacobi.original();
+        let r = run_cpu(&p, &ds, &cfg);
+        // the interior must differ from the random initial data
+        let before = &ds.arrays[0].1;
+        let after = &r.data.bufs[p.array_named("a").0 as usize];
+        assert!(before.max_abs_diff(after) > 1e-6);
+    }
+}

@@ -1,0 +1,412 @@
+//! KMEANS — k-means clustering (Rodinia).
+//!
+//! Paper narrative (§V-B): the benchmark has reduction patterns, but the
+//! original OpenMP code does not express them as reductions (OpenMP lacks
+//! array reductions) — it uses per-thread expanded arrays with a CPU-side
+//! final reduction, which most models carry to the GPU unchanged (modelled
+//! here as the slow cluster-parallel update). For OpenMPC, the port rewrote
+//! the pattern as OpenMP critical sections so the compiler recognizes an
+//! array reduction and generates two-level tree code. The manual CUDA
+//! version does the same two-level reduction but keeps the partials in
+//! *shared memory* (after shrinking them with subscript manipulation),
+//! which is why it is far faster than even OpenMPC.
+//!
+//! Three parallel regions (assign, delta, update); data-dependent control
+//! flow everywhere, so R-Stream maps none.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::types::{ReduceOp, Value};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::{f64_buffer, i32_buffer, Rng};
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Cluster-parallel center update (the OpenMP original's GPU-unfriendly
+    /// expanded-array pattern, collapsed to its essence).
+    Original,
+    /// Point-parallel update inside a critical section (the OpenMPC
+    /// rewrite; also the basis of the manual two-level reduction).
+    Critical,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("kmeans");
+    let npoints = pb.iscalar("npoints");
+    let nfeat = pb.iscalar("nfeat");
+    let nclusters = pb.iscalar("nclusters");
+    let iters = pb.iscalar("iters");
+    let it = pb.iscalar("it");
+    let pt = pb.iscalar("pt");
+    let c = pb.iscalar("c");
+    let f = pb.iscalar("f");
+    let idx = pb.iscalar("idx");
+    let dist = pb.fscalar("dist");
+    let dd = pb.fscalar("dd");
+    let best = pb.fscalar("best");
+    let bestc = pb.iscalar("bestc");
+    let delta = pb.fscalar("delta");
+    let feat = pb.farray("feat", vec![v(npoints) * v(nfeat)]);
+    let centers = pb.farray("centers", vec![v(nclusters) * v(nfeat)]);
+    let newc = pb.farray("newc", vec![v(nclusters) * v(nfeat)]);
+    let counts = pb.farray("counts", vec![v(nclusters)]);
+    let member = pb.iarray("member", vec![v(npoints)]);
+    let newmember = pb.iarray("newmember", vec![v(npoints)]);
+
+    let assign_region = parallel(
+        "km.assign",
+        vec![pfor(
+            pt,
+            0i64,
+            v(npoints),
+            vec![
+                assign(best, 1e30),
+                assign(bestc, 0i64),
+                sfor(
+                    c,
+                    0i64,
+                    v(nclusters),
+                    vec![
+                        assign(dist, 0.0),
+                        sfor(
+                            f,
+                            0i64,
+                            v(nfeat),
+                            vec![
+                                assign(
+                                    dd,
+                                    ld(feat, vec![v(pt) * v(nfeat) + v(f)])
+                                        - ld(centers, vec![v(c) * v(nfeat) + v(f)]),
+                                ),
+                                assign(dist, v(dist) + v(dd) * v(dd)),
+                            ],
+                        ),
+                        iff(v(dist).lt(v(best)), vec![assign(best, v(dist)), assign(bestc, v(c))]),
+                    ],
+                ),
+                store(newmember, vec![v(pt)], v(bestc)),
+            ],
+        )],
+    );
+
+    let delta_region = parallel(
+        "km.delta",
+        vec![pfor_with(
+            pt,
+            0i64,
+            v(npoints),
+            vec![
+                assign(
+                    delta,
+                    v(delta) + ld(newmember, vec![v(pt)]).ne_(ld(member, vec![v(pt)])).select(1.0, 0.0),
+                ),
+                store(member, vec![v(pt)], ld(newmember, vec![v(pt)])),
+            ],
+            acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, delta)], ..Default::default() },
+        )],
+    );
+
+    let recenter = pfor(
+        c,
+        0i64,
+        v(nclusters),
+        vec![sfor(
+            f,
+            0i64,
+            v(nfeat),
+            vec![store(
+                centers,
+                vec![v(c) * v(nfeat) + v(f)],
+                ld(newc, vec![v(c) * v(nfeat) + v(f)]) / ld(counts, vec![v(c)]).max(1.0),
+            )],
+        )],
+    );
+
+    let update_region = match variant {
+        Variant::Original => parallel(
+            "km.update",
+            vec![
+                // cluster-parallel accumulation: only `nclusters` threads
+                pfor(
+                    c,
+                    0i64,
+                    v(nclusters),
+                    vec![
+                        sfor(f, 0i64, v(nfeat), vec![store(newc, vec![v(c) * v(nfeat) + v(f)], 0.0)]),
+                        store(counts, vec![v(c)], 0.0),
+                        sfor(
+                            pt,
+                            0i64,
+                            v(npoints),
+                            vec![iff(
+                                ld(member, vec![v(pt)]).eq_(v(c)),
+                                vec![
+                                    sfor(
+                                        f,
+                                        0i64,
+                                        v(nfeat),
+                                        vec![store(
+                                            newc,
+                                            vec![v(c) * v(nfeat) + v(f)],
+                                            ld(newc, vec![v(c) * v(nfeat) + v(f)])
+                                                + ld(feat, vec![v(pt) * v(nfeat) + v(f)]),
+                                        )],
+                                    ),
+                                    store(counts, vec![v(c)], ld(counts, vec![v(c)]) + 1.0),
+                                ],
+                            )],
+                        ),
+                    ],
+                ),
+                recenter.clone(),
+            ],
+        ),
+        Variant::Critical => parallel(
+            "km.update",
+            vec![
+                pfor(
+                    idx,
+                    0i64,
+                    v(nclusters) * v(nfeat),
+                    vec![
+                        store(newc, vec![v(idx)], 0.0),
+                        iff(v(idx).lt(v(nclusters)), vec![store(counts, vec![v(idx)], 0.0)]),
+                    ],
+                ),
+                // point-parallel accumulation guarded by a critical section:
+                // the array-reduction shape OpenMPC recognizes
+                pfor(
+                    pt,
+                    0i64,
+                    v(npoints),
+                    vec![critical(vec![
+                        sfor(
+                            f,
+                            0i64,
+                            v(nfeat),
+                            vec![store(
+                                newc,
+                                vec![ld(member, vec![v(pt)]) * v(nfeat) + v(f)],
+                                ld(newc, vec![ld(member, vec![v(pt)]) * v(nfeat) + v(f)])
+                                    + ld(feat, vec![v(pt) * v(nfeat) + v(f)]),
+                            )],
+                        ),
+                        store(
+                            counts,
+                            vec![ld(member, vec![v(pt)])],
+                            ld(counts, vec![ld(member, vec![v(pt)])]) + 1.0,
+                        ),
+                    ])],
+                ),
+                recenter,
+            ],
+        ),
+    };
+
+    pb.main(vec![sfor(
+        it,
+        0i64,
+        v(iters),
+        vec![assign_region, assign(delta, 0.0), delta_region, update_region],
+    )]);
+    pb.outputs(vec![member, centers]);
+    pb.output_scalars(vec![delta]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let copyin = vec![prog.array_named("feat")];
+    let copy = ["centers", "member"].iter().map(|s| prog.array_named(s)).collect();
+    let create = ["newc", "counts", "newmember"].iter().map(|s| prog.array_named(s)).collect();
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(DataClauses { copyin, copyout: vec![], copy, create }, body)];
+    prog.finalize();
+    prog
+}
+
+/// The KMEANS benchmark.
+pub struct Kmeans;
+
+impl Benchmark for Kmeans {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "KMEANS",
+            suite: Suite::Rodinia,
+            domain: "Data mining (clustering)",
+            base_loc: 420,
+            tolerance: 1e-9,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (npoints, nfeat, k, iters) = match scale {
+            Scale::Test => (4096usize, 8usize, 8usize, 2i64),
+            Scale::Paper => (16384, 16, 8, 3),
+        };
+        let p = self.original();
+        let mut rng = Rng::new(0x3EA);
+        // clustered blobs so the algorithm does something meaningful
+        let feat: Vec<f64> = (0..npoints)
+            .flat_map(|pt2| {
+                let blob = pt2 % k;
+                (0..nfeat).map(move |f2| (blob * 7 + f2) as f64 * 0.5).collect::<Vec<_>>()
+            })
+            .zip((0..npoints * nfeat).map(|_| rng.f64() * 0.4))
+            .map(|(a, b)| a + b)
+            .collect();
+        // initial centers = first k points
+        let centers: Vec<f64> = (0..k * nfeat).map(|i| feat[i]).collect();
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("npoints"), Value::I(npoints as i64)),
+                (p.scalar_named("nfeat"), Value::I(nfeat as i64)),
+                (p.scalar_named("nclusters"), Value::I(k as i64)),
+                (p.scalar_named("iters"), Value::I(iters)),
+            ],
+            arrays: vec![
+                (p.array_named("feat"), f64_buffer(feat)),
+                (p.array_named("centers"), f64_buffer(centers)),
+                (p.array_named("member"), i32_buffer(vec![0; npoints])),
+            ],
+            label: format!("{npoints} points, {nfeat} features, k={k}, {iters} iterations"),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // rewrite the update as critical sections so the compiler
+                // recognizes the array reduction (§V-B)
+                program: build(Variant::Critical),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::ReductionRewrite, 16, "rewrite update as critical array reduction"),
+                    PortChange::new(ChangeKind::Directive, 12, "OpenMPC tuning directives"),
+                ],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 72, "acc regions + data region + per-loop mapping clauses")],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 80, "kernels + reduction + data clauses per loop")],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::Original)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 18, "outline three codelets"),
+                    PortChange::new(ChangeKind::Directive, 30, "group + transfer rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 6, "mappable tags (rejected: data-dependent control)"),
+                    PortChange::new(ChangeKind::DummyAffine, 28, "dummy affine summaries + machine model"),
+                ],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                // manual: two-level tree reduction with the partial output
+                // shrunk into shared memory
+                let prog = build(Variant::Critical);
+                let feat = prog.array_named("feat");
+                let mut hints = HintMap::new();
+                hints.insert(
+                    "km.update".into(),
+                    RegionHints {
+                        block: Some((128, 1)),
+                        partials_in_shared: true,
+                        ..Default::default()
+                    },
+                );
+                hints.insert(
+                    "km.assign".into(),
+                    RegionHints {
+                        block: Some((128, 1)),
+                        placements: vec![(feat, acceval_ir::MemSpace::Texture)],
+                        ..Default::default()
+                    },
+                );
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA")],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::{output_scalar, run_cpu};
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn three_regions_none_affine() {
+        let p = Kmeans.original();
+        assert_eq!(p.region_count, 3);
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            assert!(m.accepts(&f).is_err(), "{} should not be mappable", r.label);
+        }
+    }
+
+    #[test]
+    fn critical_variant_matches_original() {
+        let ds = Kmeans.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::Original), &ds, &cfg);
+        let b = run_cpu(&build(Variant::Critical), &ds, &cfg);
+        let p = Kmeans.original();
+        for name in ["member", "centers"] {
+            let id = p.array_named(name).0 as usize;
+            let d = a.data.bufs[id].max_abs_diff(&b.data.bufs[id]);
+            assert!(d < 1e-9, "{name} diff {d}");
+        }
+    }
+
+    #[test]
+    fn clustering_separates_blobs() {
+        let ds = Kmeans.dataset(Scale::Test);
+        let p = Kmeans.original();
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let member = &r.data.bufs[p.array_named("member").0 as usize];
+        // points from the same blob should mostly share a cluster
+        let m0 = member.get_i(0); // blob 0
+        let m8 = member.get_i(8); // blob 0 again (8 % 8 == 0)
+        assert_eq!(m0, m8);
+        // distinct blobs should not all collapse into one cluster
+        let distinct: std::collections::BTreeSet<i64> = (0..64).map(|i| member.get_i(i)).collect();
+        assert!(distinct.len() >= 4, "found {distinct:?}");
+        let delta = output_scalar(&p, &r, "delta").as_f();
+        assert!(delta >= 0.0);
+    }
+
+    #[test]
+    fn update_region_critical_is_reduction() {
+        let p = build(Variant::Critical);
+        let regions = p.regions();
+        let upd = regions.iter().find(|r| r.label == "km.update").unwrap();
+        let f = acceval_ir::analysis::region_features(&p, upd);
+        assert!(f.has_critical);
+        assert!(f.critical_is_array_reduction);
+        assert_eq!(f.detected_array_reductions.len(), 2); // newc + counts
+    }
+}

@@ -1,0 +1,161 @@
+//! # acceval-benchmarks
+//!
+//! The thirteen OpenMP programs of Lee & Vetter (SC'12), expressed in the
+//! ACCEVAL directive IR:
+//!
+//! * two kernel benchmarks — JACOBI, SPMUL;
+//! * three NAS OpenMP Parallel Benchmarks — EP, CG, FT;
+//! * eight Rodinia benchmarks — BACKPROP, BFS, CFD, SRAD, HOTSPOT, KMEANS,
+//!   LUD, NW.
+//!
+//! Each benchmark provides its *original* OpenMP program (the coverage /
+//! baseline artifact, with exactly the parallel-region inventory the paper
+//! counts — 58 regions across the suite), seeded input generators, and one
+//! *port* per evaluated model: the restructured input plus directive
+//! annotations the paper describes, with a ledger of the code changes (the
+//! Table II code-size accounting).
+
+#![forbid(unsafe_code)]
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod cg;
+pub mod data;
+pub mod ep;
+pub mod ft;
+pub mod hotspot;
+pub mod jacobi;
+pub mod kmeans;
+pub mod lud;
+pub mod nw;
+pub mod spmul;
+
+use acceval_ir::program::{DataSet, Program};
+use acceval_models::lower::HintMap;
+use acceval_models::{ModelKind, PortChange};
+
+/// Which benchmark suite a program comes from (reporting only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    Kernel,
+    Nas,
+    Rodinia,
+}
+
+/// Static description of a benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchSpec {
+    pub name: &'static str,
+    pub suite: Suite,
+    pub domain: &'static str,
+    /// Lines of code of the original OpenMP source (denominator of the
+    /// code-size-increase metric; values chosen to match the real codes).
+    pub base_loc: u32,
+    /// Relative tolerance for output validation against the CPU oracle.
+    pub tolerance: f64,
+}
+
+/// Problem scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests (debug builds).
+    Test,
+    /// The evaluation inputs used for the figures (release builds).
+    Paper,
+}
+
+/// One model's port of one benchmark.
+pub struct Port {
+    /// The (flat, call-free) program the model compiles and the runtime
+    /// executes: restructured input + dialect annotations.
+    pub program: Program,
+    /// Per-region-label explicit guidance (HMPP directive sets, manual CUDA
+    /// choices). Empty for models that get no explicit control.
+    pub hints: HintMap,
+    /// The code changes this port required, with line costs.
+    pub changes: Vec<PortChange>,
+}
+
+/// A benchmark of the suite.
+pub trait Benchmark: Sync {
+    fn spec(&self) -> BenchSpec;
+
+    /// The original OpenMP program (possibly with functions; regions inside
+    /// functions are counted once). This is what coverage (Table II) is
+    /// measured against and what the sequential CPU baseline runs.
+    fn original(&self) -> Program;
+
+    /// Input data for the given scale (seeded, deterministic).
+    fn dataset(&self, scale: Scale) -> DataSet;
+
+    /// The port of this benchmark to `model` (including `ModelKind::ManualCuda`
+    /// for the hand-written version).
+    fn port(&self, model: ModelKind) -> Port;
+}
+
+/// All thirteen benchmarks, in the paper's Figure 1 order.
+pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(jacobi::Jacobi),
+        Box::new(ep::Ep),
+        Box::new(spmul::Spmul),
+        Box::new(cg::Cg),
+        Box::new(ft::Ft),
+        Box::new(srad::Srad),
+        Box::new(cfd::Cfd),
+        Box::new(bfs::Bfs),
+        Box::new(hotspot::Hotspot),
+        Box::new(backprop::Backprop),
+        Box::new(kmeans::Kmeans),
+        Box::new(nw::Nw),
+        Box::new(lud::Lud),
+    ]
+}
+
+pub mod srad;
+
+/// Look a benchmark up by (case-insensitive) name.
+pub fn benchmark_named(name: &str) -> Option<Box<dyn Benchmark>> {
+    all_benchmarks().into_iter().find(|b| b.spec().name.eq_ignore_ascii_case(name))
+}
+
+/// Total added lines of a change ledger.
+pub fn ledger_lines(changes: &[PortChange]) -> u32 {
+    changes.iter().map(|c| c.lines).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_benchmarks_with_unique_names() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.spec().name).collect();
+        assert_eq!(names.len(), 13);
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 13, "duplicate benchmark names: {names:?}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark_named("JACOBI").is_some());
+        assert!(benchmark_named("kmeans").is_some());
+        assert!(benchmark_named("nonesuch").is_none());
+    }
+
+    /// The paper's region inventory: 58 OpenMP parallel regions total.
+    #[test]
+    fn suite_has_58_parallel_regions() {
+        let mut total = 0;
+        let mut per_bench = vec![];
+        for b in all_benchmarks() {
+            let p = b.original();
+            per_bench.push((b.spec().name, p.region_count));
+            total += p.region_count;
+        }
+        assert_eq!(total, 58, "region inventory: {per_bench:?}");
+    }
+}

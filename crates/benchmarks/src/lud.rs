@@ -1,0 +1,424 @@
+//! LUD — dense LU decomposition (Rodinia).
+//!
+//! Paper narrative (§V-B): "the main computation consists of only two simple
+//! parallel loops", but the shrinking triangular iteration spaces make it
+//! "very difficult for compilers to analyze and generate efficient GPU
+//! code": every elimination step costs kernel launches whose useful work
+//! shrinks to nothing, and the column accesses are uncoalesced. The
+//! hand-written CUDA code makes *algorithmic* changes (blocked
+//! decomposition with aggressive shared-memory reuse) that improve
+//! performance by an order of magnitude — and those changes are not
+//! expressible through the directive models.
+//!
+//! Three parallel regions: scale (affine), trailing update (affine), and a
+//! final norm check (reduction).
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::types::{ReduceOp, Value};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::Rng;
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Outer loops parallelized (the OpenMP original).
+    Original,
+    /// The trailing update as a 2-D nest (PGI/OpenACC/HMPP ports).
+    TwoD,
+    /// Blocked right-looking decomposition (the manual CUDA algorithm):
+    /// per block step, a sequential diagonal factorization, parallel row/
+    /// column panels, and a large tiled trailing update — n/B kernel rounds
+    /// instead of n, with heavy shared-memory reuse.
+    Blocked,
+}
+
+/// Block size of the manual blocked variant.
+const B: i64 = 16;
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("lud");
+    let n = pb.iscalar("n");
+    let nbb = pb.iscalar("nbb");
+    let k = pb.iscalar("k");
+    let i = pb.iscalar("i");
+    let j = pb.iscalar("j");
+    let idx = pb.iscalar("idx");
+    let kb = pb.iscalar("kb");
+    let k0 = pb.iscalar("k0");
+    let kk = pb.iscalar("kk");
+    let i2 = pb.iscalar("i2");
+    let j2 = pb.iscalar("j2");
+    let m2 = pb.iscalar("m2");
+    let t = pb.iscalar("t");
+    let nrm = pb.fscalar("nrm");
+    let a = pb.farray("a", vec![v(n) * v(n)]);
+    let at = |r: acceval_ir::Expr, c: acceval_ir::Expr| ld(a, vec![r * v(n) + c]);
+    let st = |r: acceval_ir::Expr, c: acceval_ir::Expr, val: acceval_ir::Expr| store(a, vec![r * v(n) + c], val);
+
+    if variant == Variant::Blocked {
+        let step = vec![
+            assign(k0, v(kb) * B),
+            // sequential factorization of the diagonal block (one thread)
+            parallel(
+                "lud.diag",
+                vec![pfor(
+                    t,
+                    0i64,
+                    1i64,
+                    vec![sfor(
+                        kk,
+                        v(k0),
+                        v(k0) + B,
+                        vec![
+                            sfor(i2, v(kk) + 1i64, v(k0) + B, vec![st(v(i2), v(kk), at(v(i2), v(kk)) / at(v(kk), v(kk)))]),
+                            sfor(
+                                i2,
+                                v(kk) + 1i64,
+                                v(k0) + B,
+                                vec![sfor(
+                                    j2,
+                                    v(kk) + 1i64,
+                                    v(k0) + B,
+                                    vec![st(v(i2), v(j2), at(v(i2), v(j2)) - at(v(i2), v(kk)) * at(v(kk), v(j2)))],
+                                )],
+                            ),
+                        ],
+                    )],
+                )],
+            ),
+            // row panel: apply the block's L to all columns right of it
+            parallel(
+                "lud.row_panel",
+                vec![pfor(
+                    j,
+                    v(k0) + B,
+                    v(n),
+                    vec![sfor(
+                        kk,
+                        v(k0),
+                        v(k0) + B,
+                        vec![sfor(
+                            i2,
+                            v(kk) + 1i64,
+                            v(k0) + B,
+                            vec![st(v(i2), v(j), at(v(i2), v(j)) - at(v(i2), v(kk)) * at(v(kk), v(j)))],
+                        )],
+                    )],
+                )],
+            ),
+            // column panel: compute the L rows below the block
+            parallel(
+                "lud.col_panel",
+                vec![pfor(
+                    i,
+                    v(k0) + B,
+                    v(n),
+                    vec![sfor(
+                        kk,
+                        v(k0),
+                        v(k0) + B,
+                        vec![
+                            sfor(m2, v(k0), v(kk), vec![st(v(i), v(kk), at(v(i), v(kk)) - at(v(i), v(m2)) * at(v(m2), v(kk)))]),
+                            st(v(i), v(kk), at(v(i), v(kk)) / at(v(kk), v(kk))),
+                        ],
+                    )],
+                )],
+            ),
+            // trailing update: one large 2-D kernel, tiled in shared memory
+            parallel(
+                "lud.trailing",
+                vec![pfor(
+                    i,
+                    v(k0) + B,
+                    v(n),
+                    vec![pfor(
+                        j,
+                        v(k0) + B,
+                        v(n),
+                        vec![sfor(
+                            kk,
+                            v(k0),
+                            v(k0) + B,
+                            vec![st(v(i), v(j), at(v(i), v(j)) - at(v(i), v(kk)) * at(v(kk), v(j)))],
+                        )],
+                    )],
+                )],
+            ),
+        ];
+        pb.main(vec![
+            sfor(kb, 0i64, v(nbb), step),
+            assign(nrm, 0.0),
+            parallel(
+                "lud.norm",
+                vec![pfor_with(
+                    idx,
+                    0i64,
+                    v(n) * v(n),
+                    vec![assign(nrm, v(nrm) + ld(a, vec![v(idx)]).abs())],
+                    acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, nrm)], ..Default::default() },
+                )],
+            ),
+        ]);
+        pb.outputs(vec![a]);
+        pb.output_scalars(vec![nrm]);
+        return pb.build();
+    }
+
+    let update_body = vec![store(
+        a,
+        vec![v(i) * v(n) + v(j)],
+        ld(a, vec![v(i) * v(n) + v(j)]) - ld(a, vec![v(i) * v(n) + v(k)]) * ld(a, vec![v(k) * v(n) + v(j)]),
+    )];
+    let update_nest = match variant {
+        Variant::Original => pfor(i, v(k) + 1i64, v(n), vec![sfor(j, v(k) + 1i64, v(n), update_body)]),
+        Variant::TwoD => pfor(i, v(k) + 1i64, v(n), vec![pfor(j, v(k) + 1i64, v(n), update_body)]),
+        Variant::Blocked => unreachable!("handled above"),
+    };
+
+    pb.main(vec![
+        sfor(
+            k,
+            0i64,
+            v(n) - 1i64,
+            vec![
+                parallel(
+                    "lud.div",
+                    vec![pfor(
+                        i,
+                        v(k) + 1i64,
+                        v(n),
+                        vec![store(
+                            a,
+                            vec![v(i) * v(n) + v(k)],
+                            ld(a, vec![v(i) * v(n) + v(k)]) / ld(a, vec![v(k) * v(n) + v(k)]),
+                        )],
+                    )],
+                ),
+                parallel("lud.update", vec![update_nest]),
+            ],
+        ),
+        assign(nrm, 0.0),
+        parallel(
+            "lud.norm",
+            vec![pfor_with(
+                idx,
+                0i64,
+                v(n) * v(n),
+                vec![assign(nrm, v(nrm) + ld(a, vec![v(idx)]).abs())],
+                acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, nrm)], ..Default::default() },
+            )],
+        ),
+    ]);
+    pb.outputs(vec![a]);
+    pb.output_scalars(vec![nrm]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let a = prog.array_named("a");
+    let body = std::mem::take(&mut prog.main);
+    prog.main =
+        vec![data_region(DataClauses { copyin: vec![], copyout: vec![], copy: vec![a], create: vec![] }, body)];
+    prog.finalize();
+    prog
+}
+
+/// The LUD benchmark.
+pub struct Lud;
+
+impl Benchmark for Lud {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "LUD",
+            suite: Suite::Rodinia,
+            domain: "Dense linear algebra",
+            base_loc: 210,
+            tolerance: 1e-7,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (n, _) = match scale {
+            Scale::Test => (96usize, 0),
+            Scale::Paper => (256, 0),
+        };
+        let p = self.original();
+        let mut rng = Rng::new(0x10D);
+        let mut a = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = if r == c { n as f64 + 1.0 + rng.f64() } else { rng.f64() - 0.5 };
+            }
+        }
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nbb"), Value::I(n as i64 / B)),
+            ],
+            arrays: vec![(p.array_named("a"), crate::data::f64_buffer(a))],
+            label: format!("{n}x{n} matrix"),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // automatic loop-swap on the update; still per-step kernels
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 10, "OpenMPC tuning directives")],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::RegionRestructure, 8, "2-D mapping of the update"),
+                    PortChange::new(ChangeKind::Directive, 34, "acc regions + data region + bounds clauses"),
+                ],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::RegionRestructure, 8, "gang/vector 2-D mapping"),
+                    PortChange::new(ChangeKind::Directive, 38, "kernels + data clauses"),
+                ],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 14, "outline codelets"),
+                    PortChange::new(ChangeKind::Directive, 22, "gridify + group + transfer rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 16, "mappable tags + machine model")],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                // The real manual algorithm: blocked right-looking LU with
+                // shared-memory tiles and n/B kernel rounds instead of n.
+                let prog = build(Variant::Blocked);
+                let a = prog.array_named("a");
+                let mut hints = HintMap::new();
+                hints.insert(
+                    "lud.trailing".into(),
+                    RegionHints {
+                        block: Some((32, 4)),
+                        placements: vec![(a, acceval_ir::MemSpace::SharedTiled { reuse: B as f64 })],
+                        ..Default::default()
+                    },
+                );
+                for label in ["lud.row_panel", "lud.col_panel"] {
+                    hints.insert(
+                        label.to_string(),
+                        RegionHints {
+                            block: Some((64, 1)),
+                            placements: vec![(a, acceval_ir::MemSpace::SharedTiled { reuse: B as f64 / 2.0 })],
+                            ..Default::default()
+                        },
+                    );
+                }
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(
+                        ChangeKind::RegionRestructure,
+                        0,
+                        "hand-written CUDA (blocked algorithm)",
+                    )],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::{output_scalar, run_cpu};
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn three_regions_two_affine() {
+        let p = Lud.original();
+        assert_eq!(p.region_count, 3);
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        let mut ok = vec![];
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            if m.accepts(&f).is_ok() {
+                ok.push(r.label.clone());
+            }
+        }
+        assert_eq!(ok, vec!["lud.div", "lud.update"], "mappable: {ok:?}");
+    }
+
+    #[test]
+    fn lu_factors_reproduce_matrix() {
+        // verify L*U == A on a small instance
+        let n = 24usize;
+        let p = Lud.original();
+        let mut rng = Rng::new(7);
+        let mut a0 = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a0[r * n + c] = if r == c { n as f64 + 1.0 } else { rng.f64() - 0.5 };
+            }
+        }
+        let ds = DataSet {
+            scalars: vec![(p.scalar_named("n"), Value::I(n as i64))],
+            arrays: vec![(p.array_named("a"), crate::data::f64_buffer(a0.clone()))],
+            label: "t".into(),
+        };
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let lu = &r.data.bufs[p.array_named("a").0 as usize];
+        for rr in 0..n {
+            for cc in 0..n {
+                // (L*U)[rr][cc] with L unit-lower, U upper
+                let mut s = 0.0;
+                for kk in 0..=rr.min(cc) {
+                    let lv = if kk == rr { 1.0 } else { lu.get_f(rr * n + kk) };
+                    s += lv * lu.get_f(kk * n + cc);
+                }
+                assert!(
+                    (s - a0[rr * n + cc]).abs() < 1e-8,
+                    "LU mismatch at ({rr},{cc}): {s} vs {}",
+                    a0[rr * n + cc]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_variant_matches_original() {
+        let ds = Lud.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::Original), &ds, &cfg);
+        let b = run_cpu(&build(Variant::Blocked), &ds, &cfg);
+        let d = a.data.bufs[0].max_abs_diff(&b.data.bufs[0]);
+        assert!(d < 1e-9, "blocked LU diverged by {d}");
+    }
+
+    #[test]
+    fn variants_agree() {
+        let ds = Lud.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::Original), &ds, &cfg);
+        let b = run_cpu(&build(Variant::TwoD), &ds, &cfg);
+        assert!(a.data.bufs[0].max_abs_diff(&b.data.bufs[0]) < 1e-12);
+        let na = output_scalar(&build(Variant::Original), &a, "nrm").as_f();
+        assert!(na.is_finite() && na > 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! NW — Needleman-Wunsch DNA sequence alignment (Rodinia).
+//!
+//! Paper narrative (§V-B): a wavefront dynamic program. The OpenMP original
+//! parallelizes each anti-diagonal, which on the GPU means one kernel launch
+//! per diagonal with little work and no data reuse; shared-memory tiling is
+//! essential for performance, but "due to the boundary access patterns, our
+//! tested compilers could not generate efficient tiling codes" — only the
+//! hand-written CUDA version (block-wavefront with shared-memory tiles)
+//! gets it.
+//!
+//! Two parallel regions (upper-left and lower-right triangle wavefronts),
+//! both affine (R-Stream-mappable — its problem here is performance, not
+//! applicability).
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v, Expr};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::types::Value;
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::{f64_buffer, Rng};
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+/// Block size of the manual (tiled) variant.
+const BLOCK: i64 = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Cell-level anti-diagonal wavefront (the OpenMP original).
+    Cell,
+    /// Block-level wavefront: each thread computes a BLOCK x BLOCK tile in
+    /// row-major order (dependencies within a tile are honored by that
+    /// order; tiles on one block-diagonal are independent) — the manual
+    /// CUDA restructuring.
+    Blocked,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("nw");
+    let n = pb.iscalar("n"); // sequence length; score is (n+1)^2
+    let nb = pb.iscalar("nb"); // n / BLOCK
+    let d = pb.iscalar("d");
+    let t = pb.iscalar("t");
+    let ii = pb.iscalar("ii");
+    let jj = pb.iscalar("jj");
+    let i = pb.iscalar("i");
+    let j = pb.iscalar("j");
+    let penalty = pb.fscalar("penalty");
+    let score = pb.farray("score", vec![(v(n) + 1i64) * (v(n) + 1i64)]);
+    let refm = pb.farray("refm", vec![(v(n) + 1i64) * (v(n) + 1i64)]);
+
+    // score[i][j] = max(score[i-1][j-1] + refm[i][j],
+    //                   score[i-1][j] - penalty, score[i][j-1] - penalty)
+    let cell = |iv: Expr, jv: Expr| -> acceval_ir::stmt::Stmt {
+        let w = v(n) + 1i64;
+        let at = |a, ie: Expr, je: Expr| ld(a, vec![ie * w.clone() + je]);
+        store(
+            score,
+            vec![iv.clone() * w.clone() + jv.clone()],
+            (at(score, iv.clone() - 1i64, jv.clone() - 1i64) + at(refm, iv.clone(), jv.clone()))
+                .max(at(score, iv.clone() - 1i64, jv.clone()) - v(penalty))
+                .max(at(score, iv, jv - 1i64) - v(penalty)),
+        )
+    };
+
+    let main = match variant {
+        Variant::Cell => vec![
+            // upper-left triangle: diagonals d = 1..=n, cells t = 0..d
+            sfor(
+                d,
+                1i64,
+                v(n) + 1i64,
+                vec![parallel(
+                    "nw.upper",
+                    vec![pfor(t, 0i64, v(d), vec![cell(v(t) + 1i64, v(d) - v(t))])],
+                )],
+            ),
+            // lower-right triangle: d = 1..n, cells t = 0..n-d
+            sfor(
+                d,
+                1i64,
+                v(n),
+                vec![parallel(
+                    "nw.lower",
+                    vec![pfor(t, 0i64, v(n) - v(d), vec![cell(v(d) + 1i64 + v(t), v(n) - v(t))])],
+                )],
+            ),
+        ],
+        Variant::Blocked => {
+            // one thread computes tile (bi, bj) in row-major order
+            let tile = |bi: Expr, bj: Expr| -> Vec<acceval_ir::stmt::Stmt> {
+                vec![
+                    assign(i, bi * BLOCK),
+                    assign(j, bj * BLOCK),
+                    sfor(
+                        ii,
+                        1i64,
+                        Expr::I(BLOCK + 1),
+                        vec![sfor(jj, 1i64, Expr::I(BLOCK + 1), vec![cell(v(i) + v(ii), v(j) + v(jj))])],
+                    ),
+                ]
+            };
+            vec![
+                sfor(
+                    d,
+                    1i64,
+                    v(nb) + 1i64,
+                    vec![parallel("nw.upper", vec![pfor(t, 0i64, v(d), tile(v(t), v(d) - 1i64 - v(t)))])],
+                ),
+                sfor(
+                    d,
+                    1i64,
+                    v(nb),
+                    vec![parallel(
+                        "nw.lower",
+                        vec![pfor(t, 0i64, v(nb) - v(d), tile(v(d) + v(t), v(nb) - 1i64 - v(t)))],
+                    )],
+                ),
+            ]
+        }
+    };
+    pb.main(main);
+    pb.outputs(vec![score]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let score = prog.array_named("score");
+    let refm = prog.array_named("refm");
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(
+        DataClauses { copyin: vec![refm], copyout: vec![], copy: vec![score], create: vec![] },
+        body,
+    )];
+    prog.finalize();
+    prog
+}
+
+/// The NW benchmark.
+pub struct Nw;
+
+impl Benchmark for Nw {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "NW",
+            suite: Suite::Rodinia,
+            domain: "Bioinformatics (sequence alignment)",
+            base_loc: 280,
+            tolerance: 1e-12,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Cell)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let n = match scale {
+            Scale::Test => 128usize,
+            Scale::Paper => 512,
+        };
+        let p = self.original();
+        let w = n + 1;
+        let mut rng = Rng::new(0x3A);
+        let mut refm = vec![0.0; w * w];
+        for r in 1..w {
+            for c in 1..w {
+                refm[r * w + c] = (rng.below(21) as f64) - 10.0; // similarity in [-10, 10]
+            }
+        }
+        let mut score = vec![0.0; w * w];
+        let penalty = 10.0;
+        for r in 0..w {
+            score[r * w] = -(r as f64) * penalty;
+            score[r] = -(r as f64) * penalty;
+        }
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nb"), Value::I(n as i64 / BLOCK)),
+                (p.scalar_named("penalty"), Value::F(penalty)),
+            ],
+            arrays: vec![
+                (p.array_named("score"), f64_buffer(score)),
+                (p.array_named("refm"), f64_buffer(refm)),
+            ],
+            label: format!("{n}x{n} alignment"),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                program: build(Variant::Cell),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 10, "OpenMPC tuning directives")],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::Cell)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 48, "acc regions per diagonal + data region")],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::Cell)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 52, "kernels + data clauses per wavefront")],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::Cell)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 12, "outline wavefront codelets"),
+                    PortChange::new(ChangeKind::Directive, 22, "group + transfer rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(Variant::Cell),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 18, "mappable tags + machine model")],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                let prog = build(Variant::Blocked);
+                let score = prog.array_named("score");
+                let refm = prog.array_named("refm");
+                let mut hints = HintMap::new();
+                for label in ["nw.upper", "nw.lower"] {
+                    hints.insert(
+                        label.into(),
+                        RegionHints {
+                            block: Some((32, 1)),
+                            placements: vec![
+                                (score, acceval_ir::MemSpace::SharedTiled { reuse: 3.0 }),
+                                (refm, acceval_ir::MemSpace::SharedTiled { reuse: 1.0 }),
+                            ],
+                            ..Default::default()
+                        },
+                    );
+                }
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(
+                        ChangeKind::RegionRestructure,
+                        0,
+                        "hand-written CUDA (block wavefront + shared tiles)",
+                    )],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::run_cpu;
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn two_affine_regions() {
+        let p = Nw.original();
+        assert_eq!(p.region_count, 2);
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            assert!(m.accepts(&f).is_ok(), "{} should be mappable", r.label);
+        }
+    }
+
+    #[test]
+    fn matches_row_major_dp_reference() {
+        let ds = Nw.dataset(Scale::Test);
+        let p = Nw.original();
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let n = 128usize;
+        let w = n + 1;
+        // reference: straightforward row-major DP
+        let refm = &ds.arrays[1].1;
+        let mut want = vec![0.0f64; w * w];
+        for i in 0..w {
+            want[i * w] = -(i as f64) * 10.0;
+            want[i] = -(i as f64) * 10.0;
+        }
+        for i in 1..w {
+            for j in 1..w {
+                let a = want[(i - 1) * w + j - 1] + refm.get_f(i * w + j);
+                let b = want[(i - 1) * w + j] - 10.0;
+                let c = want[i * w + j - 1] - 10.0;
+                want[i * w + j] = a.max(b).max(c);
+            }
+        }
+        let got = &r.data.bufs[p.array_named("score").0 as usize];
+        for i in 0..w * w {
+            assert!((got.get_f(i) - want[i]).abs() < 1e-12, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_variant_matches_cell() {
+        let ds = Nw.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::Cell), &ds, &cfg);
+        let b = run_cpu(&build(Variant::Blocked), &ds, &cfg);
+        assert!(a.data.bufs[0].max_abs_diff(&b.data.bufs[0]) < 1e-12);
+    }
+}

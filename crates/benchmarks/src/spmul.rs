@@ -1,0 +1,304 @@
+//! SPMUL — sparse matrix-vector multiplication kernel (power-iteration
+//! style: y = A·x, then x = y / ‖y‖∞, repeated).
+//!
+//! Paper narrative: an important representative of *irregular* applications.
+//! Row-parallel CSR SpMV gathers `x[col[k]]` through an index array and
+//! walks `val`/`col` at row-dependent offsets — uncoalesced. OpenMPC's
+//! *loop collapsing* restructures the irregular nest into an element-
+//! parallel product phase (coalesced) plus a per-row accumulation, and its
+//! automatic caching serves the `x` gather from texture memory.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::types::{ReduceOp, Value};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::{f64_buffer, i32_buffer, Csr};
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Row-parallel CSR SpMV (the OpenMP original).
+    RowParallel,
+    /// OpenMPC's loop-collapsed two-phase SpMV: element-parallel products
+    /// into `tmp`, then per-row accumulation of contiguous segments.
+    Collapsed,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("spmul");
+    let n = pb.iscalar("n");
+    let nnz = pb.iscalar("nnz");
+    let iters = pb.iscalar("iters");
+    let it = pb.iscalar("it");
+    let row = pb.iscalar("row");
+    let k = pb.iscalar("k");
+    let i = pb.iscalar("i");
+    let s = pb.fscalar("s");
+    let norm = pb.fscalar("norm");
+    let ptr = pb.iarray("ptr", vec![v(n) + 1i64]);
+    let col = pb.iarray("col", vec![v(nnz)]);
+    let val = pb.farray("val", vec![v(nnz)]);
+    let x = pb.farray("x", vec![v(n)]);
+    let y = pb.farray("y", vec![v(n)]);
+    let tmp = pb.farray("tmp", vec![v(nnz)]);
+
+    let spmv_region = match variant {
+        Variant::RowParallel => parallel(
+            "spmul.spmv",
+            vec![pfor(
+                row,
+                0i64,
+                v(n),
+                vec![
+                    assign(s, 0.0),
+                    sfor(
+                        k,
+                        ld(ptr, vec![v(row)]),
+                        ld(ptr, vec![v(row) + 1i64]),
+                        vec![assign(s, v(s) + ld(val, vec![v(k)]) * ld(x, vec![ld(col, vec![v(k)])]))],
+                    ),
+                    store(y, vec![v(row)], v(s)),
+                ],
+            )],
+        ),
+        Variant::Collapsed => parallel(
+            "spmul.spmv",
+            vec![
+                pfor(k, 0i64, v(nnz), vec![store(tmp, vec![v(k)], ld(val, vec![v(k)]) * ld(x, vec![ld(col, vec![v(k)])]))]),
+                pfor(
+                    row,
+                    0i64,
+                    v(n),
+                    vec![
+                        assign(s, 0.0),
+                        sfor(
+                            k,
+                            ld(ptr, vec![v(row)]),
+                            ld(ptr, vec![v(row) + 1i64]),
+                            vec![assign(s, v(s) + ld(tmp, vec![v(k)]))],
+                        ),
+                        store(y, vec![v(row)], v(s)),
+                    ],
+                ),
+            ],
+        ),
+    };
+
+    pb.main(vec![sfor(
+        it,
+        0i64,
+        v(iters),
+        vec![
+            spmv_region,
+            assign(norm, 0.0),
+            parallel(
+                "spmul.norm_scale",
+                vec![
+                    pfor_with(
+                        i,
+                        0i64,
+                        v(n),
+                        vec![assign(norm, v(norm).max(ld(y, vec![v(i)]).abs()))],
+                        acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Max, norm)], ..Default::default() },
+                    ),
+                    pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], ld(y, vec![v(i)]) / v(norm))]),
+                ],
+            ),
+        ],
+    )]);
+    pb.outputs(vec![x]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let (ptr, col, val, x, y, tmp) = (
+        prog.array_named("ptr"),
+        prog.array_named("col"),
+        prog.array_named("val"),
+        prog.array_named("x"),
+        prog.array_named("y"),
+        prog.array_named("tmp"),
+    );
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(
+        DataClauses { copyin: vec![ptr, col, val], copyout: vec![], copy: vec![x], create: vec![y, tmp] },
+        body,
+    )];
+    prog.finalize();
+    prog
+}
+
+/// The SPMUL benchmark.
+pub struct Spmul;
+
+impl Benchmark for Spmul {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "SPMUL",
+            suite: Suite::Kernel,
+            domain: "Sparse linear algebra (irregular)",
+            base_loc: 320,
+            tolerance: 1e-9,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::RowParallel)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (n, per_row, iters) = match scale {
+            Scale::Test => (512usize, 8usize, 2i64),
+            Scale::Paper => (8192, 16, 10),
+        };
+        let m = Csr::random(n, per_row, 0x5B);
+        let p = self.original();
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nnz"), Value::I(m.nnz() as i64)),
+                (p.scalar_named("iters"), Value::I(iters)),
+            ],
+            arrays: vec![
+                (p.array_named("ptr"), i32_buffer(m.ptr.clone())),
+                (p.array_named("col"), i32_buffer(m.col.clone())),
+                (p.array_named("val"), f64_buffer(m.val.clone())),
+                (p.array_named("x"), f64_buffer(vec![1.0; n])),
+            ],
+            label: format!("n={n}, nnz={}, {iters} iterations", m.nnz()),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // Loop collapsing applied by the compiler (no source cost);
+                // x is gathered through texture automatically.
+                program: build(Variant::Collapsed),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 10, "OpenMPC tuning directives")],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::RowParallel)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(
+                    ChangeKind::Directive,
+                    62,
+                    "acc regions + data region (ptr/col/val copyin, x copy) + bounds clauses",
+                )],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::RowParallel)),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(
+                    ChangeKind::Directive,
+                    58,
+                    "kernels + reduction(max) + data/present clauses",
+                )],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::RowParallel)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 18, "outline spmv and normalize into codelets"),
+                    PortChange::new(ChangeKind::Directive, 34, "group + mirror + advancedload/delegatedstore rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(Variant::RowParallel),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 6, "mappable tags"),
+                    PortChange::new(ChangeKind::Outline, 20, "outline irregular loops for masking"),
+                    PortChange::new(ChangeKind::DummyAffine, 18, "dummy affine access summaries"),
+                ],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                let prog = build(Variant::RowParallel);
+                let x = prog.array_named("x");
+                let mut hints = HintMap::new();
+                hints.insert(
+                    "spmul.spmv".into(),
+                    RegionHints {
+                        block: Some((128, 1)),
+                        placements: vec![(x, acceval_ir::MemSpace::Texture)],
+                        ..Default::default()
+                    },
+                );
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA")],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::run_cpu;
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn two_regions() {
+        let p = Spmul.original();
+        assert_eq!(p.region_count, 2);
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        // one iteration of y = A*x with x = 1 must equal the host reference
+        let n = 128;
+        let m = Csr::random(n, 6, 0x5B);
+        let p = Spmul.original();
+        let ds = DataSet {
+            scalars: vec![
+                (p.scalar_named("n"), Value::I(n as i64)),
+                (p.scalar_named("nnz"), Value::I(m.nnz() as i64)),
+                (p.scalar_named("iters"), Value::I(1)),
+            ],
+            arrays: vec![
+                (p.array_named("ptr"), i32_buffer(m.ptr.clone())),
+                (p.array_named("col"), i32_buffer(m.col.clone())),
+                (p.array_named("val"), f64_buffer(m.val.clone())),
+                (p.array_named("x"), f64_buffer(vec![1.0; n])),
+            ],
+            label: "t".into(),
+        };
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let yref = m.spmv(&vec![1.0; n]);
+        let y = &r.data.bufs[p.array_named("y").0 as usize];
+        for i in 0..n {
+            assert!((y.get_f(i) - yref[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn collapsed_variant_matches_row_parallel() {
+        let ds = Spmul.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::RowParallel), &ds, &cfg);
+        let b = run_cpu(&build(Variant::Collapsed), &ds, &cfg);
+        let xa = &a.data.bufs[3];
+        let xb = &b.data.bufs[3];
+        assert!(xa.max_abs_diff(xb) < 1e-9);
+    }
+
+    #[test]
+    fn regions_are_irregular_not_affine() {
+        let p = Spmul.original();
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            if r.label == "spmul.spmv" {
+                assert!(f.has_indirect_subscripts);
+                assert!(!f.static_affine);
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! SRAD — Speckle Reducing Anisotropic Diffusion (Rodinia).
+//!
+//! Paper narrative (§V-B): ultrasound/radar despeckling via a PDE whose
+//! neighbor indices come from precomputed *subscript arrays* (`iN`, `iS`,
+//! `jW`, `jE`) — irregular as far as compilers can see. OpenMPC fixes the
+//! uncoalesced accesses with parallel loop-swap; the other models use
+//! multi-dimensional loop partitioning in their ports, as the manual CUDA
+//! version does. (The manual version additionally replaced the subscript
+//! arrays with direct index computation, but the extra control-flow
+//! divergence ate the gains — we keep the subscript arrays.)
+//!
+//! Five parallel regions, none R-Stream-mappable: two are reductions, three
+//! use the subscript arrays.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{fc, ld, v};
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::stmt::DataClauses;
+use acceval_ir::types::{ReduceOp, Value};
+use acceval_models::lower::HintMap;
+use acceval_models::{ChangeKind, ModelKind, PortChange, RegionHints};
+
+use crate::data::{f64_buffer, i32_buffer, Rng};
+use crate::{BenchSpec, Benchmark, Port, Scale, Suite};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Variant {
+    /// Row-parallel loops (the OpenMP original).
+    Original,
+    /// 2-D nested parallel loops (PGI/OpenACC/HMPP/manual ports).
+    TwoD,
+}
+
+fn build(variant: Variant) -> Program {
+    let mut pb = ProgramBuilder::new("srad");
+    let rows = pb.iscalar("rows");
+    let cols = pb.iscalar("cols");
+    let size = pb.iscalar("size");
+    let iters = pb.iscalar("iters");
+    let it = pb.iscalar("it");
+    let i = pb.iscalar("i");
+    let j = pb.iscalar("j");
+    let k = pb.iscalar("k");
+    let sum = pb.fscalar("sum");
+    let sum2 = pb.fscalar("sum2");
+    let meanv = pb.fscalar("meanv");
+    let varv = pb.fscalar("varv");
+    let q0s = pb.fscalar("q0s");
+    let g2 = pb.fscalar("g2");
+    let l = pb.fscalar("l");
+    let num = pb.fscalar("num");
+    let den = pb.fscalar("den");
+    let qsq = pb.fscalar("qsq");
+    let cval = pb.fscalar("cval");
+    let dval = pb.fscalar("dval");
+    let lambda = pb.fscalar("lambda");
+    let chk = pb.fscalar("chk");
+    let img = pb.farray("img", vec![v(size)]);
+    let dn = pb.farray("dn", vec![v(size)]);
+    let ds_ = pb.farray("ds", vec![v(size)]);
+    let dw = pb.farray("dw", vec![v(size)]);
+    let de = pb.farray("de", vec![v(size)]);
+    let cc = pb.farray("cc", vec![v(size)]);
+    let in_ = pb.iarray("iN", vec![v(rows)]);
+    let is_ = pb.iarray("iS", vec![v(rows)]);
+    let jw = pb.iarray("jW", vec![v(cols)]);
+    let je = pb.iarray("jE", vec![v(cols)]);
+
+    // 2-level nest over the image, in the variant's parallelization.
+    let nest = |body: Vec<acceval_ir::stmt::Stmt>| -> acceval_ir::stmt::Stmt {
+        match variant {
+            Variant::Original => pfor(i, 0i64, v(rows), vec![sfor(j, 0i64, v(cols), body)]),
+            Variant::TwoD => pfor(i, 0i64, v(rows), vec![pfor(j, 0i64, v(cols), body)]),
+        }
+    };
+
+    let grad_ns_body = vec![
+        assign(k, v(i) * v(cols) + v(j)),
+        store(dn, vec![v(k)], ld(img, vec![ld(in_, vec![v(i)]) * v(cols) + v(j)]) - ld(img, vec![v(k)])),
+        store(ds_, vec![v(k)], ld(img, vec![ld(is_, vec![v(i)]) * v(cols) + v(j)]) - ld(img, vec![v(k)])),
+    ];
+    let grad_we_body = vec![
+        assign(k, v(i) * v(cols) + v(j)),
+        store(dw, vec![v(k)], ld(img, vec![v(i) * v(cols) + ld(jw, vec![v(j)])]) - ld(img, vec![v(k)])),
+        store(de, vec![v(k)], ld(img, vec![v(i) * v(cols) + ld(je, vec![v(j)])]) - ld(img, vec![v(k)])),
+        // diffusion coefficient
+        assign(
+            g2,
+            (ld(dn, vec![v(k)]) * ld(dn, vec![v(k)])
+                + ld(ds_, vec![v(k)]) * ld(ds_, vec![v(k)])
+                + ld(dw, vec![v(k)]) * ld(dw, vec![v(k)])
+                + ld(de, vec![v(k)]) * ld(de, vec![v(k)]))
+                / (ld(img, vec![v(k)]) * ld(img, vec![v(k)])),
+        ),
+        assign(
+            l,
+            (ld(dn, vec![v(k)]) + ld(ds_, vec![v(k)]) + ld(dw, vec![v(k)]) + ld(de, vec![v(k)]))
+                / ld(img, vec![v(k)]),
+        ),
+        assign(num, v(g2) * 0.5 - (v(l) * v(l)) * (1.0 / 16.0)),
+        assign(den, v(l) * 0.25 + 1.0),
+        assign(qsq, v(num) / (v(den) * v(den))),
+        assign(den, (v(qsq) - v(q0s)) / (v(q0s) * (v(q0s) + 1.0))),
+        assign(cval, (fc(1.0) / (v(den) + 1.0)).max(0.0).min(1.0)),
+        store(cc, vec![v(k)], v(cval)),
+    ];
+    let update_body = vec![
+        assign(k, v(i) * v(cols) + v(j)),
+        assign(
+            dval,
+            ld(cc, vec![v(k)]) * ld(dn, vec![v(k)])
+                + ld(cc, vec![ld(is_, vec![v(i)]) * v(cols) + v(j)]) * ld(ds_, vec![v(k)])
+                + ld(cc, vec![v(k)]) * ld(dw, vec![v(k)])
+                + ld(cc, vec![v(i) * v(cols) + ld(je, vec![v(j)])]) * ld(de, vec![v(k)]),
+        ),
+        store(img, vec![v(k)], ld(img, vec![v(k)]) + v(dval) * 0.25 * v(lambda)),
+    ];
+
+    pb.main(vec![sfor(
+        it,
+        0i64,
+        v(iters),
+        vec![
+            assign(sum, 0.0),
+            assign(sum2, 0.0),
+            parallel(
+                "srad.sum",
+                vec![pfor_with(
+                    k,
+                    0i64,
+                    v(size),
+                    vec![
+                        assign(sum, v(sum) + ld(img, vec![v(k)])),
+                        assign(sum2, v(sum2) + ld(img, vec![v(k)]) * ld(img, vec![v(k)])),
+                    ],
+                    acceval_ir::stmt::ParInfo {
+                        reductions: vec![red(ReduceOp::Add, sum), red(ReduceOp::Add, sum2)],
+                        ..Default::default()
+                    },
+                )],
+            ),
+            assign(meanv, v(sum) / v(size).to_f()),
+            assign(varv, v(sum2) / v(size).to_f() - v(meanv) * v(meanv)),
+            assign(q0s, v(varv) / (v(meanv) * v(meanv))),
+            parallel("srad.grad_ns", vec![nest(grad_ns_body.clone())]),
+            parallel("srad.grad_we", vec![nest(grad_we_body.clone())]),
+            parallel("srad.update", vec![nest(update_body.clone())]),
+            assign(chk, 0.0),
+            parallel(
+                "srad.stats",
+                vec![pfor_with(
+                    k,
+                    0i64,
+                    v(size),
+                    vec![assign(chk, v(chk) + ld(img, vec![v(k)]))],
+                    acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, chk)], ..Default::default() },
+                )],
+            ),
+        ],
+    )]);
+    pb.outputs(vec![img]);
+    pb.output_scalars(vec![chk]);
+    pb.build()
+}
+
+fn with_data_region(mut prog: Program) -> Program {
+    let copyin = ["iN", "iS", "jW", "jE"].iter().map(|s| prog.array_named(s)).collect();
+    let copy = vec![prog.array_named("img")];
+    let create = ["dn", "ds", "dw", "de", "cc"].iter().map(|s| prog.array_named(s)).collect();
+    let body = std::mem::take(&mut prog.main);
+    prog.main = vec![data_region(DataClauses { copyin, copyout: vec![], copy, create }, body)];
+    prog.finalize();
+    prog
+}
+
+/// The SRAD benchmark.
+pub struct Srad;
+
+impl Benchmark for Srad {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "SRAD",
+            suite: Suite::Rodinia,
+            domain: "Medical imaging (PDE despeckling)",
+            base_loc: 290,
+            tolerance: 1e-9,
+        }
+    }
+
+    fn original(&self) -> Program {
+        build(Variant::Original)
+    }
+
+    fn dataset(&self, scale: Scale) -> DataSet {
+        let (rows, cols, iters) = match scale {
+            Scale::Test => (64usize, 64usize, 2i64),
+            Scale::Paper => (224, 224, 5),
+        };
+        let p = self.original();
+        let mut rng = Rng::new(0x5AD);
+        // J = exp(I/255) of a noisy 0..255 image (Rodinia's extract step)
+        let img: Vec<f64> = (0..rows * cols).map(|_| (rng.f64() * 255.0 / 255.0).exp()).collect();
+        let in_: Vec<i64> = (0..rows as i64).map(|x| (x - 1).max(0)).collect();
+        let is_: Vec<i64> = (0..rows as i64).map(|x| (x + 1).min(rows as i64 - 1)).collect();
+        let jw: Vec<i64> = (0..cols as i64).map(|x| (x - 1).max(0)).collect();
+        let je: Vec<i64> = (0..cols as i64).map(|x| (x + 1).min(cols as i64 - 1)).collect();
+        DataSet {
+            scalars: vec![
+                (p.scalar_named("rows"), Value::I(rows as i64)),
+                (p.scalar_named("cols"), Value::I(cols as i64)),
+                (p.scalar_named("size"), Value::I((rows * cols) as i64)),
+                (p.scalar_named("iters"), Value::I(iters)),
+                (p.scalar_named("lambda"), Value::F(0.5)),
+            ],
+            arrays: vec![
+                (p.array_named("img"), f64_buffer(img)),
+                (p.array_named("iN"), i32_buffer(in_)),
+                (p.array_named("iS"), i32_buffer(is_)),
+                (p.array_named("jW"), i32_buffer(jw)),
+                (p.array_named("jE"), i32_buffer(je)),
+            ],
+            label: format!("{rows}x{cols} image, {iters} iterations"),
+        }
+    }
+
+    fn port(&self, model: ModelKind) -> Port {
+        match model {
+            ModelKind::OpenMpc => Port {
+                // parallel loop-swap is automatic
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![PortChange::new(ChangeKind::Directive, 12, "OpenMPC tuning directives")],
+            },
+            ModelKind::PgiAccelerator => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::RegionRestructure, 10, "annotate inner loops parallel (2-D)"),
+                    PortChange::new(ChangeKind::Directive, 44, "acc regions + data region + bounds clauses"),
+                ],
+            },
+            ModelKind::OpenAcc => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::RegionRestructure, 10, "gang/vector 2-D mapping"),
+                    PortChange::new(ChangeKind::Directive, 42, "kernels + reduction + data clauses"),
+                ],
+            },
+            ModelKind::Hmpp => Port {
+                program: with_data_region(build(Variant::TwoD)),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Outline, 26, "outline five codelets"),
+                    PortChange::new(ChangeKind::Directive, 34, "gridify(2) + group + transfer rules"),
+                ],
+            },
+            ModelKind::RStream => Port {
+                program: build(Variant::Original),
+                hints: HintMap::new(),
+                changes: vec![
+                    PortChange::new(ChangeKind::Directive, 6, "mappable tags"),
+                    PortChange::new(ChangeKind::DummyAffine, 36, "affine summaries of subscript arrays + machine model"),
+                ],
+            },
+            ModelKind::HiCuda | ModelKind::ManualCuda => {
+                let prog = build(Variant::TwoD);
+                let mut hints = HintMap::new();
+                for label in ["srad.grad_ns", "srad.grad_we", "srad.update"] {
+                    hints.insert(label.into(), RegionHints { block: Some((32, 4)), ..Default::default() });
+                }
+                Port {
+                    program: prog,
+                    hints,
+                    changes: vec![PortChange::new(ChangeKind::RegionRestructure, 0, "hand-written CUDA")],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_ir::interp::cpu::run_cpu;
+    use acceval_sim::HostConfig;
+
+    #[test]
+    fn five_regions_none_affine() {
+        let p = Srad.original();
+        assert_eq!(p.region_count, 5);
+        let m = acceval_models::model(acceval_models::ModelKind::RStream);
+        for r in p.regions() {
+            let f = acceval_ir::analysis::region_features(&p, r);
+            assert!(m.accepts(&f).is_err(), "{} should NOT be mappable", r.label);
+        }
+    }
+
+    #[test]
+    fn variants_agree() {
+        let ds = Srad.dataset(Scale::Test);
+        let cfg = HostConfig::xeon_x5660();
+        let a = run_cpu(&build(Variant::Original), &ds, &cfg);
+        let b = run_cpu(&build(Variant::TwoD), &ds, &cfg);
+        assert!(a.data.bufs[0].max_abs_diff(&b.data.bufs[0]) < 1e-12);
+    }
+
+    #[test]
+    fn diffusion_smooths_the_image() {
+        let ds = Srad.dataset(Scale::Test);
+        let p = Srad.original();
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let before = &ds.arrays[0].1;
+        let after = &r.data.bufs[p.array_named("img").0 as usize];
+        let var = |b: &acceval_sim::Buffer| {
+            let n = b.len() as f64;
+            let mean: f64 = (0..b.len()).map(|i| b.get_f(i)).sum::<f64>() / n;
+            (0..b.len()).map(|i| (b.get_f(i) - mean).powi(2)).sum::<f64>() / n
+        };
+        let (v0, v1) = (var(before), var(after));
+        assert!(v1 < v0, "diffusion must reduce variance: {v0} -> {v1}");
+        for i in 0..after.len() {
+            assert!(after.get_f(i).is_finite());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Table II, column 2: normalized average code-size increase per model —
+//! how much code had to be added to port the suite to each model.
+
+use acceval_benchmarks::{all_benchmarks, ledger_lines, Benchmark};
+use acceval_models::ModelKind;
+use serde::Serialize;
+
+/// Code-size accounting for one model.
+#[derive(Debug, Clone, Serialize)]
+pub struct CodeSizeRow {
+    pub model: ModelKind,
+    /// Per-benchmark (name, base LoC, added lines, increase %).
+    pub per_bench: Vec<(String, u32, u32, f64)>,
+    /// Normalized average increase over the suite, in percent.
+    pub average_percent: f64,
+}
+
+/// Compute the code-size increase of one model over a benchmark set.
+pub fn codesize_of(kind: ModelKind, benches: &[Box<dyn Benchmark>]) -> CodeSizeRow {
+    let mut per_bench = Vec::new();
+    let mut sum = 0.0;
+    for b in benches {
+        let spec = b.spec();
+        let port = b.port(kind);
+        let added = ledger_lines(&port.changes);
+        let pct = 100.0 * added as f64 / spec.base_loc as f64;
+        per_bench.push((spec.name.to_string(), spec.base_loc, added, pct));
+        sum += pct;
+    }
+    CodeSizeRow { model: kind, average_percent: sum / benches.len().max(1) as f64, per_bench }
+}
+
+/// The full Table II code-size column.
+pub fn codesize_table() -> Vec<CodeSizeRow> {
+    let benches = all_benchmarks();
+    ModelKind::coverage_models().into_iter().map(|k| codesize_of(k, &benches)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openmpc_needs_least_restructuring() {
+        let benches: Vec<Box<dyn Benchmark>> = vec![
+            Box::new(acceval_benchmarks::jacobi::Jacobi),
+            Box::new(acceval_benchmarks::ep::Ep),
+            Box::new(acceval_benchmarks::spmul::Spmul),
+        ];
+        let mpc = codesize_of(ModelKind::OpenMpc, &benches).average_percent;
+        for k in [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp] {
+            let other = codesize_of(k, &benches).average_percent;
+            assert!(mpc < other, "OpenMPC {mpc:.1}% should be below {k:?} {other:.1}%");
+        }
+    }
+}

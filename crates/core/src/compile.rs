@@ -1,0 +1,121 @@
+//! Compile a ported benchmark with a model's compiler: every parallel
+//! region becomes a list of kernel plans (or stays on the host if the model
+//! cannot translate it).
+
+use std::collections::HashMap;
+
+use acceval_ir::interp::gpu::env_from_dataset;
+use acceval_ir::kernel::KernelPlan;
+use acceval_ir::program::{DataSet, Program};
+use acceval_ir::types::Value;
+use acceval_models::lower::{lower_region, manual_lowering, RegionHints};
+use acceval_models::{model, DataPolicy, ModelKind, TuningPoint, Unsupported};
+
+use acceval_benchmarks::Port;
+
+/// A ported program compiled for execution.
+pub struct CompiledProgram {
+    /// The program the runtime walks.
+    pub program: Program,
+    /// Kernel plans per region id (absent = region runs on the host).
+    pub kernels: HashMap<u32, Vec<KernelPlan>>,
+    /// Regions the model could not translate, with reasons.
+    pub unsupported: Vec<(String, Unsupported)>,
+    /// The model's transfer-planning policy.
+    pub policy: DataPolicy,
+    /// The model this was compiled for.
+    pub kind: ModelKind,
+}
+
+/// Compile `port` for `kind` at `tuning` (None = the model's default point).
+pub fn compile_port(
+    port: &Port,
+    kind: ModelKind,
+    ds: &DataSet,
+    tuning: Option<&TuningPoint>,
+) -> CompiledProgram {
+    let (opts, policy) = match kind {
+        ModelKind::ManualCuda => (manual_lowering(), DataPolicy::Automatic),
+        k => {
+            let m = model(k);
+            (m.lowering(), m.data_policy())
+        }
+    };
+    let default_t = TuningPoint::best_for(kind);
+    let tuning = tuning.unwrap_or(&default_t);
+
+    let mut program = port.program.clone();
+    // Plausible env for profitability analyses: dataset scalars, everything
+    // else 1.
+    let mut env: Vec<Value> = env_from_dataset(&program, ds);
+    for (i, v) in env.iter_mut().enumerate() {
+        if !program.scalars[i].is_float && v.as_i() == 0 {
+            *v = Value::I(1);
+        }
+    }
+
+    let regions: Vec<_> = program.regions().into_iter().cloned().collect();
+    let mut kernels = HashMap::new();
+    let mut unsupported = Vec::new();
+    let empty = RegionHints::default();
+    for r in regions {
+        let hints = port.hints.get(&r.label).unwrap_or(&empty);
+        match lower_region(&mut program, &r, &opts, hints, tuning, &env) {
+            Ok(ks) => {
+                kernels.insert(r.id.0, ks);
+            }
+            Err(e) => unsupported.push((r.label.clone(), e)),
+        }
+    }
+    // lower_region may have added fresh scalars (collapse); renumber.
+    program.finalize();
+    CompiledProgram { program, kernels, unsupported, policy, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acceval_benchmarks::{Benchmark, Scale};
+
+    #[test]
+    fn jacobi_compiles_for_all_figure1_models() {
+        let b = acceval_benchmarks::jacobi::Jacobi;
+        let ds = b.dataset(Scale::Test);
+        for kind in ModelKind::figure1_models() {
+            let port = b.port(kind);
+            let c = compile_port(&port, kind, &ds, None);
+            assert!(c.unsupported.is_empty(), "{kind:?}: {:?}", c.unsupported);
+            assert_eq!(c.kernels.len(), 2, "{kind:?} should compile both regions");
+        }
+    }
+
+    #[test]
+    fn ep_port_differs_by_model() {
+        let b = acceval_benchmarks::ep::Ep;
+        let ds = b.dataset(Scale::Test);
+        // OpenMPC compiles the original (critical-section) region.
+        let mpc = compile_port(&b.port(ModelKind::OpenMpc), ModelKind::OpenMpc, &ds, None);
+        assert!(mpc.unsupported.is_empty(), "{:?}", mpc.unsupported);
+        let ks = mpc.kernels.values().next().unwrap();
+        assert!(!ks[0].reductions.is_empty());
+        // PGI compiles the decomposed port.
+        let pgi = compile_port(&b.port(ModelKind::PgiAccelerator), ModelKind::PgiAccelerator, &ds, None);
+        assert!(pgi.unsupported.is_empty(), "{:?}", pgi.unsupported);
+        // Row-wise expansion for PGI, column-wise for OpenMPC.
+        use acceval_ir::kernel::Expansion;
+        let pk = pgi.kernels.values().next().unwrap();
+        assert!(pk[0].private_arrays.iter().all(|p| p.expansion == Expansion::RowWise));
+        let mk = mpc.kernels.values().next().unwrap();
+        assert!(mk[0].private_arrays.iter().all(|p| p.expansion == Expansion::ColumnWise));
+    }
+
+    #[test]
+    fn manual_hints_are_honored() {
+        let b = acceval_benchmarks::jacobi::Jacobi;
+        let ds = b.dataset(Scale::Test);
+        let c = compile_port(&b.port(ModelKind::ManualCuda), ModelKind::ManualCuda, &ds, None);
+        let compute = c.kernels.get(&0).expect("compute kernel");
+        assert_eq!(compute[0].block, (32, 4)); // row-major warps (hint)
+        assert_eq!(compute[0].axes.len(), 2);
+    }
+}

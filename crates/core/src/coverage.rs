@@ -1,0 +1,72 @@
+//! Table II, column 1: program coverage — the percentage of the suite's
+//! OpenMP parallel regions each model can translate to GPU kernels.
+
+use acceval_benchmarks::{all_benchmarks, Benchmark};
+use acceval_ir::analysis::region_features;
+use acceval_models::{model, ModelKind};
+use serde::Serialize;
+
+/// One model's coverage over the suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageRow {
+    pub model: ModelKind,
+    pub translated: u32,
+    pub total: u32,
+    /// (benchmark, region label, reason) for every rejection.
+    pub rejections: Vec<(String, String, String)>,
+}
+
+impl CoverageRow {
+    pub fn percent(&self) -> f64 {
+        100.0 * self.translated as f64 / self.total as f64
+    }
+}
+
+/// Coverage of one model over a set of benchmarks.
+pub fn coverage_of(kind: ModelKind, benches: &[Box<dyn Benchmark>]) -> CoverageRow {
+    let m = model(kind);
+    let mut translated = 0;
+    let mut total = 0;
+    let mut rejections = Vec::new();
+    for b in benches {
+        let prog = b.original();
+        for r in prog.regions() {
+            total += 1;
+            let f = region_features(&prog, r);
+            match m.accepts(&f) {
+                Ok(()) => translated += 1,
+                Err(e) => rejections.push((b.spec().name.to_string(), r.label.clone(), e.reason)),
+            }
+        }
+    }
+    CoverageRow { model: kind, translated, total, rejections }
+}
+
+/// The full Table II coverage column (all five models, all benchmarks).
+pub fn coverage_table() -> Vec<CoverageRow> {
+    let benches = all_benchmarks();
+    ModelKind::coverage_models().into_iter().map(|k| coverage_of(k, &benches)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Coverage of the three implemented-first benchmarks behaves per paper:
+    /// OpenMPC accepts everything; the loop models reject only EP's region.
+    #[test]
+    fn early_benchmarks_coverage() {
+        let benches: Vec<Box<dyn Benchmark>> = vec![
+            Box::new(acceval_benchmarks::jacobi::Jacobi),
+            Box::new(acceval_benchmarks::ep::Ep),
+            Box::new(acceval_benchmarks::spmul::Spmul),
+        ];
+        let mpc = coverage_of(ModelKind::OpenMpc, &benches);
+        assert_eq!((mpc.translated, mpc.total), (5, 5));
+        let pgi = coverage_of(ModelKind::PgiAccelerator, &benches);
+        assert_eq!((pgi.translated, pgi.total), (4, 5));
+        assert_eq!(pgi.rejections[0].0, "EP");
+        let rs = coverage_of(ModelKind::RStream, &benches);
+        assert_eq!(rs.translated, 2, "only the two affine JACOBI regions: {:?}", rs.rejections);
+    }
+}

@@ -1,0 +1,180 @@
+//! Speedup measurement: the machinery behind Figure 1.
+//!
+//! Every benchmark runs once sequentially on the CPU model (the baseline and
+//! correctness oracle), then once per model through its port; speedup is
+//! baseline-seconds over GPU-version-seconds, and GPU outputs are validated
+//! against the oracle.
+
+use acceval_benchmarks::{Benchmark, Scale};
+use acceval_ir::interp::cpu::{run_cpu, CpuRun};
+use acceval_ir::program::DataSet;
+use acceval_models::{model, ModelKind, TuningPoint};
+use acceval_sim::{MachineConfig, Summary};
+use serde::Serialize;
+
+use crate::compile::compile_port;
+use crate::runtime::run_gpu_program;
+
+/// One GPU-version run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelRun {
+    pub model: ModelKind,
+    pub secs: f64,
+    pub speedup: f64,
+    pub summary: Summary,
+    /// `Ok` if outputs matched the oracle within tolerance.
+    pub valid: Result<(), String>,
+    /// Regions that stayed on the host.
+    pub unsupported_regions: usize,
+}
+
+/// All results for one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchResult {
+    pub name: String,
+    pub dataset: String,
+    pub cpu_secs: f64,
+    pub runs: Vec<ModelRun>,
+    /// (model, min speedup, max speedup) over the tuning space.
+    pub tuning_bands: Vec<(ModelKind, f64, f64)>,
+}
+
+impl BenchResult {
+    /// The default-point speedup of a model (None if absent/invalid).
+    pub fn speedup_of(&self, kind: ModelKind) -> Option<f64> {
+        self.runs.iter().find(|r| r.model == kind && r.valid.is_ok()).map(|r| r.speedup)
+    }
+}
+
+/// Run the sequential CPU baseline.
+pub fn run_baseline(bench: &dyn Benchmark, ds: &DataSet, cfg: &MachineConfig) -> CpuRun {
+    run_cpu(&bench.original(), ds, &cfg.host)
+}
+
+/// Validate a GPU run's outputs against the oracle.
+fn validate(
+    bench: &dyn Benchmark,
+    oracle: &CpuRun,
+    run: &crate::runtime::GpuRun,
+    compiled: &crate::compile::CompiledProgram,
+) -> Result<(), String> {
+    let orig = bench.original();
+    let tol = bench.spec().tolerance;
+    for out in &orig.outputs {
+        let name = orig.array_name(*out);
+        let oid = compiled.program.array_named(name);
+        let a = &oracle.data.bufs[out.0 as usize];
+        let b = &run.data.bufs[oid.0 as usize];
+        if a.len() != b.len() {
+            return Err(format!("{name}: length mismatch"));
+        }
+        // scale-aware comparison
+        let mut scale: f64 = 1.0;
+        for i in 0..a.len() {
+            scale = scale.max(a.get_f(i).abs());
+        }
+        let d = a.max_abs_diff(b);
+        if d > tol * scale {
+            return Err(format!("{name}: max diff {d:.3e} (scale {scale:.3e}, tol {tol:.1e})"));
+        }
+    }
+    for s in &orig.output_scalars {
+        let name = &orig.scalars[s.0 as usize].name;
+        let sid = compiled.program.scalar_named(name);
+        let a = oracle.scalars[s.0 as usize].as_f();
+        let b = run.scalars[sid.0 as usize].as_f();
+        if (a - b).abs() > tol * a.abs().max(1.0) {
+            return Err(format!("scalar {name}: {a} vs {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// Run one model's port at one tuning point.
+pub fn run_model(
+    bench: &dyn Benchmark,
+    kind: ModelKind,
+    ds: &DataSet,
+    cfg: &MachineConfig,
+    oracle: &CpuRun,
+    tuning: Option<&TuningPoint>,
+) -> ModelRun {
+    let port = bench.port(kind);
+    let compiled = compile_port(&port, kind, ds, tuning);
+    let run = run_gpu_program(&compiled, ds, cfg);
+    let valid = validate(bench, oracle, &run, &compiled);
+    ModelRun {
+        model: kind,
+        secs: run.secs,
+        speedup: oracle.secs / run.secs,
+        summary: run.timeline.summary(),
+        valid,
+        unsupported_regions: compiled.unsupported.len(),
+    }
+}
+
+/// Evaluate one benchmark across the Figure 1 models.
+///
+/// With `with_tuning`, every model's tuning space is swept to produce the
+/// "performance variation by tuning" band.
+pub fn evaluate_benchmark(
+    bench: &dyn Benchmark,
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_tuning: bool,
+) -> BenchResult {
+    let ds = bench.dataset(scale);
+    let oracle = run_baseline(bench, &ds, cfg);
+    let mut runs = Vec::new();
+    let mut bands = Vec::new();
+    for kind in ModelKind::figure1_models() {
+        let default_run = run_model(bench, kind, &ds, cfg, &oracle, None);
+        if with_tuning && kind != ModelKind::ManualCuda {
+            let space = model(kind).tuning_space();
+            let mut lo = default_run.speedup;
+            let mut hi = default_run.speedup;
+            for pt in space.iter().skip(1) {
+                let r = run_model(bench, kind, &ds, cfg, &oracle, Some(pt));
+                if r.valid.is_ok() {
+                    lo = lo.min(r.speedup);
+                    hi = hi.max(r.speedup);
+                }
+            }
+            bands.push((kind, lo, hi));
+        }
+        runs.push(default_run);
+    }
+    BenchResult {
+        name: bench.spec().name.to_string(),
+        dataset: ds.label.clone(),
+        cpu_secs: oracle.secs,
+        runs,
+        tuning_bands: bands,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_end_to_end() {
+        let cfg = MachineConfig::keeneland_node();
+        let r = evaluate_benchmark(&acceval_benchmarks::jacobi::Jacobi, &cfg, Scale::Test, false);
+        assert_eq!(r.runs.len(), 5);
+        for run in &r.runs {
+            assert!(run.valid.is_ok(), "{:?}: {:?}", run.model, run.valid);
+            assert!(run.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn tuning_band_brackets_default() {
+        let cfg = MachineConfig::keeneland_node();
+        let r = evaluate_benchmark(&acceval_benchmarks::jacobi::Jacobi, &cfg, Scale::Test, true);
+        for (kind, lo, hi) in &r.tuning_bands {
+            let d = r.speedup_of(*kind).unwrap();
+            assert!(*lo <= d + 1e-9 && d <= *hi + 1e-9, "{kind:?}: {lo} <= {d} <= {hi}");
+        }
+    }
+}

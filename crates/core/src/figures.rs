@@ -1,0 +1,45 @@
+//! Figure 1: speedups of GPU programs translated by the directive compilers,
+//! over serial CPU, per benchmark — plus the tuning-variation band.
+
+use acceval_benchmarks::{all_benchmarks, Scale};
+use acceval_models::ModelKind;
+use acceval_sim::MachineConfig;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::eval::{evaluate_benchmark, BenchResult};
+
+/// The whole figure: one [`BenchResult`] per benchmark, paper order.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure1 {
+    pub results: Vec<BenchResult>,
+}
+
+/// Compute Figure 1. Benchmarks are evaluated in parallel (each evaluation
+/// is an independent simulation).
+pub fn figure1(cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> Figure1 {
+    let benches = all_benchmarks();
+    let results: Vec<BenchResult> = benches
+        .par_iter()
+        .map(|b| evaluate_benchmark(b.as_ref(), cfg, scale, with_tuning))
+        .collect();
+    Figure1 { results }
+}
+
+/// Compute Figure 1 for a subset of benchmarks by name.
+pub fn figure1_subset(names: &[&str], cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> Figure1 {
+    let benches = all_benchmarks();
+    let results: Vec<BenchResult> = benches
+        .par_iter()
+        .filter(|b| names.iter().any(|n| n.eq_ignore_ascii_case(b.spec().name)))
+        .map(|b| evaluate_benchmark(b.as_ref(), cfg, scale, with_tuning))
+        .collect();
+    Figure1 { results }
+}
+
+impl Figure1 {
+    /// The (benchmark, model) speedup, if present and valid.
+    pub fn speedup(&self, bench: &str, model: ModelKind) -> Option<f64> {
+        self.results.iter().find(|r| r.name == bench)?.speedup_of(model)
+    }
+}

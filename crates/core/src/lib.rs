@@ -1,0 +1,62 @@
+//! # acceval
+//!
+//! The evaluation engine reproducing Lee & Vetter, *"Early Evaluation of
+//! Directive-Based GPU Programming Models for Productive Exascale
+//! Computing"* (SC'12), on the ACCEVAL simulated platform.
+//!
+//! * [`compile`] — compile a ported benchmark's parallel regions into kernel
+//!   plans with a model's compiler;
+//! * [`runtime`] — execute a GPU version: host statements on the CPU model,
+//!   regions as simulated kernels, transfers per the model's data policy
+//!   with residency tracking;
+//! * [`eval`] — speedups over the sequential CPU baseline, with output
+//!   validation against the oracle;
+//! * [`coverage`] / [`codesize`] — Table II; [`tables`] — Table I;
+//! * [`figures`] — Figure 1 series incl. tuning-variation bands;
+//! * [`report`] — ASCII/CSV/JSON renderers.
+//!
+//! # Example
+//!
+//! ```
+//! use acceval::benchmarks::{Benchmark, Scale};
+//! use acceval::models::ModelKind;
+//! use acceval::sim::MachineConfig;
+//!
+//! let bench = acceval::benchmarks::jacobi::Jacobi;
+//! let cfg = MachineConfig::keeneland_node();          // X5660 + M2090 + PCIe 2.0
+//! let ds = bench.dataset(Scale::Test);
+//!
+//! let oracle = acceval::run_baseline(&bench, &ds, &cfg);          // serial CPU
+//! let port = bench.port(ModelKind::OpenAcc);                      // the paper's port
+//! let compiled = acceval::compile_port(&port, ModelKind::OpenAcc, &ds, None);
+//! let run = acceval::run_gpu_program(&compiled, &ds, &cfg);       // simulated GPU
+//! assert!(oracle.secs / run.secs > 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod codesize;
+pub mod compile;
+pub mod coverage;
+pub mod eval;
+pub mod figures;
+pub mod report;
+pub mod runtime;
+pub mod tables;
+
+pub use compile::{compile_port, CompiledProgram};
+pub use coverage::{coverage_table, CoverageRow};
+pub use eval::{evaluate_benchmark, run_baseline, run_model, BenchResult, ModelRun};
+pub use runtime::{run_gpu_program, GpuRun};
+
+// Re-export the full stack so downstream users need only this crate.
+pub use acceval_benchmarks as benchmarks;
+pub use acceval_ir as ir;
+pub use acceval_models as models;
+pub use acceval_sim as sim;
+
+/// Serialize any of the report structures to pretty JSON (convenience for
+/// binaries; avoids every consumer depending on serde_json directly).
+pub fn figures_json<T: serde::Serialize>(t: &T) -> String {
+    serde_json::to_string_pretty(t).expect("report structures serialize")
+}

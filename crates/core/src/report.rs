@@ -1,0 +1,131 @@
+//! Renderers: ASCII tables (paper-style), CSV series, JSON dumps.
+
+use std::fmt::Write;
+
+use acceval_models::ModelKind;
+
+use crate::codesize::CodeSizeRow;
+use crate::coverage::CoverageRow;
+use crate::figures::Figure1;
+
+/// Render Table II (coverage + code-size increase).
+pub fn render_table2(cov: &[CoverageRow], size: &[CodeSizeRow]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II. PROGRAM COVERAGE AND NORMALIZED, AVERAGE CODE-SIZE INCREASE\n\n");
+    let _ = writeln!(out, "{:18}| {:22}| {:22}", "GPU Models", "Program Coverage (%)", "Code-Size Increase (%)");
+    out.push_str(&"-".repeat(66));
+    out.push('\n');
+    for c in cov {
+        let s = size.iter().find(|s| s.model == c.model);
+        let pct = format!("{:.1} ({}/{})", c.percent(), c.translated, c.total);
+        let inc = s.map(|s| format!("{:.1}", s.average_percent)).unwrap_or_default();
+        let _ = writeln!(out, "{:18}| {:22}| {:22}", c.model.display(), pct, inc);
+    }
+    out
+}
+
+/// Render Figure 1 as an ASCII table plus log-scale bars.
+pub fn render_figure1(fig: &Figure1) -> String {
+    let mut out = String::new();
+    out.push_str("FIGURE 1. Speedups over serial CPU (largest evaluated inputs)\n\n");
+    let models = ModelKind::figure1_models();
+    let _ = write!(out, "{:10}", "Benchmark");
+    for m in models {
+        let _ = write!(out, "| {:>18}", m.display());
+    }
+    out.push_str("| tuning min..max (per model)\n");
+    out.push_str(&"-".repeat(10 + 20 * models.len() + 30));
+    out.push('\n');
+    for r in &fig.results {
+        let _ = write!(out, "{:10}", r.name);
+        for m in models {
+            match r.runs.iter().find(|x| x.model == m) {
+                Some(run) if run.valid.is_ok() => {
+                    let _ = write!(out, "| {:>18.2}", run.speedup);
+                }
+                Some(_) => {
+                    let _ = write!(out, "| {:>18}", "INVALID");
+                }
+                None => {
+                    let _ = write!(out, "| {:>18}", "-");
+                }
+            }
+        }
+        out.push_str("| ");
+        for (m, lo, hi) in &r.tuning_bands {
+            let _ = write!(out, "{}:{:.1}..{:.1} ", short(*m), lo, hi);
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&render_figure1_bars(fig));
+    out
+}
+
+fn short(m: ModelKind) -> &'static str {
+    match m {
+        ModelKind::PgiAccelerator => "PGI",
+        ModelKind::OpenAcc => "ACC",
+        ModelKind::Hmpp => "HMPP",
+        ModelKind::OpenMpc => "MPC",
+        ModelKind::RStream => "RS",
+        ModelKind::HiCuda => "HI",
+        ModelKind::ManualCuda => "CUDA",
+    }
+}
+
+/// Log-scale ASCII bar chart (like the paper's log-scale Figure 1).
+pub fn render_figure1_bars(fig: &Figure1) -> String {
+    let mut out = String::new();
+    out.push_str("log-scale bars (each char = 0.25 decades; '.' = 1x, left edge = 0.1x)\n");
+    for r in &fig.results {
+        out.push_str(&format!("{}\n", r.name));
+        for run in &r.runs {
+            let s = run.speedup.max(0.1);
+            let chars = ((s.log10() + 1.0) / 0.25).round().max(0.0) as usize;
+            let _ = writeln!(out, "  {:5} {}| {:.2}x", short(run.model), "#".repeat(chars), run.speedup);
+        }
+    }
+    out
+}
+
+/// Figure 1 as CSV (benchmark, model, speedup, tuning_min, tuning_max).
+pub fn figure1_csv(fig: &Figure1) -> String {
+    let mut out = String::from("benchmark,model,speedup,valid,tuning_min,tuning_max\n");
+    for r in &fig.results {
+        for run in &r.runs {
+            let band = r.tuning_bands.iter().find(|(m, _, _)| *m == run.model);
+            let (lo, hi) = band.map(|(_, l, h)| (*l, *h)).unwrap_or((run.speedup, run.speedup));
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{},{:.4},{:.4}",
+                r.name,
+                short(run.model),
+                run.speedup,
+                run.valid.is_ok(),
+                lo,
+                hi
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codesize::codesize_of;
+    use crate::coverage::coverage_of;
+    use acceval_benchmarks::Benchmark;
+
+    #[test]
+    fn table2_renders() {
+        let benches: Vec<Box<dyn Benchmark>> = vec![Box::new(acceval_benchmarks::jacobi::Jacobi)];
+        let cov: Vec<_> = ModelKind::coverage_models().into_iter().map(|k| coverage_of(k, &benches)).collect();
+        let size: Vec<_> = ModelKind::coverage_models().into_iter().map(|k| codesize_of(k, &benches)).collect();
+        let txt = render_table2(&cov, &size);
+        assert!(txt.contains("PGI Accelerator"));
+        assert!(txt.contains("R-Stream"));
+        assert!(txt.contains("(2/2)"));
+    }
+}

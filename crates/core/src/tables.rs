@@ -1,0 +1,56 @@
+//! Table I: the qualitative feature matrix.
+
+use acceval_models::features::FEATURE_LABELS;
+use acceval_models::{model, FeatureRow, ModelKind};
+
+/// Table I as (model, row) pairs in paper column order.
+pub fn table1() -> Vec<(ModelKind, FeatureRow)> {
+    ModelKind::table1_models().into_iter().map(|k| (k, model(k).features())).collect()
+}
+
+/// Render Table I as ASCII.
+pub fn render_table1() -> String {
+    let cols = table1();
+    let mut out = String::new();
+    out.push_str("TABLE I. FEATURE TABLE — type of information GPU directives can provide\n\n");
+    let name_w = FEATURE_LABELS.iter().map(|l| l.len()).max().unwrap_or(0) + 2;
+    // header
+    out.push_str(&format!("{:name_w$}", "Features"));
+    for (k, _) in &cols {
+        out.push_str(&format!("| {:20}", k.display()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(name_w + cols.len() * 22));
+    out.push('\n');
+    for (i, label) in FEATURE_LABELS.iter().enumerate() {
+        out.push_str(&format!("{label:name_w$}"));
+        for (_, row) in &cols {
+            out.push_str(&format!("| {:20}", row.cells()[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_models() {
+        assert_eq!(table1().len(), 6);
+    }
+
+    #[test]
+    fn render_contains_all_features_and_models() {
+        let txt = render_table1();
+        for l in FEATURE_LABELS {
+            assert!(txt.contains(l), "missing row {l}");
+        }
+        for k in ModelKind::table1_models() {
+            assert!(txt.contains(k.display()));
+        }
+        assert!(txt.contains("implicit"));
+        assert!(txt.contains("explicit"));
+    }
+}

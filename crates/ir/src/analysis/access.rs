@@ -1,0 +1,328 @@
+//! Access-stride sampling: for a candidate parallel (thread) variable,
+//! estimate each access site's flat-index stride per unit of that variable.
+//!
+//! Unit (or zero) strides coalesce on the GPU; large strides do not. The
+//! OpenMPC compiler uses exactly this information to decide *parallel
+//! loop-swap* (interchange so that the unit-stride loop becomes the thread
+//! loop), and the evaluation harness uses it to sanity-check kernel plans.
+
+use crate::expr::Expr;
+use crate::interp::row_major_strides;
+use crate::program::{eval_const, Program};
+use crate::stmt::{visit_exprs, visit_stmts, Stmt};
+use crate::types::{ArrayId, ScalarId, SiteId, Value};
+
+/// Sampled stride of one access site with respect to a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessStride {
+    pub site: SiteId,
+    pub array: ArrayId,
+    /// Flat element-index stride per unit of the variable, or `None` if the
+    /// subscript is indirect (loads) or non-linear in the sampled range.
+    pub stride: Option<i64>,
+    /// Whether this is a store (writes matter more for coalescing).
+    pub is_store: bool,
+}
+
+/// Evaluate a load-free expression; `None` if it contains loads.
+fn try_eval(e: &Expr, scal: &[Value]) -> Option<i64> {
+    if e.has_load() {
+        return None;
+    }
+    Some(crate::interp::eval_pure(e, scal).as_i())
+}
+
+/// Flat index of an access at the given environment, or None.
+fn flat_at(index: &[Expr], strides: &[usize], scal: &[Value]) -> Option<i64> {
+    let mut flat = 0i64;
+    for (d, e) in index.iter().enumerate() {
+        flat += try_eval(e, scal)? * strides[d] as i64;
+    }
+    Some(flat)
+}
+
+/// Forward-substitute load-free scalar copies (`k = i*cols + j; ... a[k]`)
+/// so stride sampling can see through index temporaries. Load-carrying
+/// assignments are substituted as well, which marks dependent subscripts as
+/// indirect. Loop/branch bodies invalidate everything they assign before
+/// being entered.
+pub fn propagate_copies(stmts: &[Stmt]) -> Vec<Stmt> {
+    use std::collections::HashMap;
+    fn assigned_in(stmts: &[Stmt], out: &mut Vec<ScalarId>) {
+        crate::stmt::visit_stmts(stmts, &mut |s| match s {
+            Stmt::Assign { var, .. } => out.push(*var),
+            Stmt::For { var, .. } => out.push(*var),
+            _ => {}
+        });
+    }
+    fn subst(e: &mut Expr, map: &HashMap<ScalarId, Expr>) {
+        e.visit_mut(&mut |n| {
+            if let Expr::Var(v) = n {
+                if let Some(rep) = map.get(v) {
+                    *n = rep.clone();
+                }
+            }
+        });
+    }
+    fn go(stmts: &[Stmt], map: &mut HashMap<ScalarId, Expr>) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            let mut s = s.clone();
+            for e in s.exprs_mut() {
+                subst(e, map);
+            }
+            match &mut s {
+                Stmt::Assign { var, value } => {
+                    // Load-carrying values are substituted too: a subscript
+                    // that ends up containing a load is (correctly) treated
+                    // as indirect by the sampler.
+                    map.insert(*var, value.clone());
+                }
+                Stmt::For { var, body, .. } => {
+                    let mut killed = vec![*var];
+                    assigned_in(body, &mut killed);
+                    let mut inner = map.clone();
+                    for k in &killed {
+                        inner.remove(k);
+                        map.remove(k);
+                    }
+                    *body = go(body, &mut inner);
+                }
+                Stmt::If { then_b, else_b, .. } => {
+                    let mut killed = vec![];
+                    assigned_in(then_b, &mut killed);
+                    assigned_in(else_b, &mut killed);
+                    let mut t = map.clone();
+                    let mut f = map.clone();
+                    *then_b = go(then_b, &mut t);
+                    *else_b = go(else_b, &mut f);
+                    for k in &killed {
+                        map.remove(k);
+                    }
+                }
+                other => {
+                    let mut killed = vec![];
+                    for b in other.bodies_mut() {
+                        assigned_in(b, &mut killed);
+                        let mut inner = map.clone();
+                        let nb = go(b, &mut inner);
+                        *b = nb;
+                    }
+                    for k in &killed {
+                        map.remove(k);
+                    }
+                }
+            }
+            out.push(s);
+        }
+        out
+    }
+    go(stmts, &mut HashMap::new())
+}
+
+/// Sample every access site in `body` for its stride with respect to `var`.
+///
+/// `env` must assign plausible values to all free scalars (the harness uses
+/// the dataset scalars and sets candidate loop variables to small positive
+/// values). Linearity is verified on three sample points. Scalar index
+/// temporaries are seen through via [`propagate_copies`].
+pub fn access_strides(prog: &Program, body: &[Stmt], var: ScalarId, env: &[Value]) -> Vec<AccessStride> {
+    let body = &propagate_copies(body);
+    let extents: Vec<Vec<usize>> = prog
+        .arrays
+        .iter()
+        .map(|a| a.dims.iter().map(|d| eval_const(d, env)).collect())
+        .collect();
+    let strides: Vec<Vec<usize>> = extents.iter().map(|e| row_major_strides(e)).collect();
+
+    let mut out = Vec::new();
+    let mut probe = |array: ArrayId, index: &[Expr], site: SiteId, is_store: bool| {
+        let arr_str = &strides[array.0 as usize];
+        let mut envs = [env.to_vec(), env.to_vec(), env.to_vec()];
+        for (k, e) in envs.iter_mut().enumerate() {
+            e[var.0 as usize] = Value::I(2 + k as i64);
+        }
+        let f: Vec<Option<i64>> = envs.iter().map(|e| flat_at(index, arr_str, e)).collect();
+        let stride = match (f[0], f[1], f[2]) {
+            (Some(a), Some(b), Some(c)) if b - a == c - b => Some(b - a),
+            _ => None,
+        };
+        out.push(AccessStride { site, array, stride, is_store });
+    };
+
+    visit_stmts(body, &mut |s| {
+        if let Stmt::Store { array, index, site, .. } = s {
+            probe(*array, index, *site, true);
+        }
+    });
+    visit_exprs(body, &mut |e| {
+        if let Expr::Load { array, index, site } = e {
+            probe(*array, index, *site, false);
+        }
+    });
+    out
+}
+
+/// Fraction of access sites whose byte-stride w.r.t. `var` is small enough
+/// to coalesce (|stride| * elem <= 8 bytes, i.e. unit or broadcast).
+/// Indirect sites count as uncoalesced.
+pub fn coalesced_fraction(prog: &Program, body: &[Stmt], var: ScalarId, env: &[Value]) -> f64 {
+    let sites = access_strides(prog, body, var, env);
+    if sites.is_empty() {
+        return 1.0;
+    }
+    let good = sites
+        .iter()
+        .filter(|a| {
+            let eb = prog.array_elem(a.array).size_bytes() as i64;
+            match a.stride {
+                Some(s) => s.abs() * eb <= 8,
+                None => false,
+            }
+        })
+        .count();
+    good as f64 / sites.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+
+    fn prog2d() -> Program {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let j = pb.iscalar("j");
+        let a = pb.farray("a", vec![v(n), v(n)]);
+        let idx = pb.iarray("idx", vec![v(n)]);
+        let _ = (i, j, a, idx);
+        pb.main(vec![]);
+        pb.build()
+    }
+
+    fn env(prog: &Program, n: i64) -> Vec<Value> {
+        let mut e: Vec<Value> = prog
+            .scalars
+            .iter()
+            .map(|d| if d.is_float { Value::F(1.0) } else { Value::I(1) })
+            .collect();
+        e[prog.scalar_named("n").0 as usize] = Value::I(n);
+        e
+    }
+
+    #[test]
+    fn row_access_strides() {
+        let p = prog2d();
+        let (n, i, j, a) = (p.scalar_named("n"), p.scalar_named("i"), p.scalar_named("j"), p.array_named("a"));
+        let _ = n;
+        let mut body = vec![store(a, vec![v(i), v(j)], ld(a, vec![v(i), v(j)]) + 1.0)];
+        crate::program::renumber_sites(&mut body);
+        let e = env(&p, 64);
+        // w.r.t. j: unit stride
+        let sj = access_strides(&p, &body, j, &e);
+        assert!(sj.iter().all(|s| s.stride == Some(1)));
+        // w.r.t. i: stride n (=64)
+        let si = access_strides(&p, &body, i, &e);
+        assert!(si.iter().all(|s| s.stride == Some(64)));
+        assert!(coalesced_fraction(&p, &body, j, &e) > 0.99);
+        assert!(coalesced_fraction(&p, &body, i, &e) < 0.01);
+    }
+
+    #[test]
+    fn indirect_access_has_no_stride() {
+        let p = prog2d();
+        let (i, a, idx) = (p.scalar_named("i"), p.array_named("a"), p.array_named("idx"));
+        let mut body = vec![store(a, vec![ld(idx, vec![v(i)]), Expr::I(0)], 1.0)];
+        crate::program::renumber_sites(&mut body);
+        let e = env(&p, 64);
+        let s = access_strides(&p, &body, i, &e);
+        // the store is indirect; the idx load itself is unit-stride
+        let store_site = s.iter().find(|x| x.is_store).unwrap();
+        assert_eq!(store_site.stride, None);
+        let load_site = s.iter().find(|x| !x.is_store).unwrap();
+        assert_eq!(load_site.stride, Some(1));
+    }
+
+    #[test]
+    fn nonlinear_detected() {
+        let p = prog2d();
+        let (i, a) = (p.scalar_named("i"), p.array_named("a"));
+        let mut body = vec![store(a, vec![v(i) * v(i) % 64i64, Expr::I(0)], 1.0)];
+        crate::program::renumber_sites(&mut body);
+        let e = env(&p, 64);
+        let s = access_strides(&p, &body, i, &e);
+        assert_eq!(s[0].stride, None);
+    }
+
+    #[test]
+    fn broadcast_counts_as_coalesced() {
+        let p = prog2d();
+        let (i, a) = (p.scalar_named("i"), p.array_named("a"));
+        let _ = i;
+        let j = p.scalar_named("j");
+        // load doesn't depend on j at all -> stride 0 (broadcast)
+        let mut body = vec![store(a, vec![v(j), Expr::I(0)], ld(a, vec![Expr::I(0), Expr::I(0)]))];
+        crate::program::renumber_sites(&mut body);
+        let e = env(&p, 64);
+        let s = access_strides(&p, &body, j, &e);
+        let load = s.iter().find(|x| !x.is_store).unwrap();
+        assert_eq!(load.stride, Some(0));
+    }
+}
+
+#[cfg(test)]
+mod copyprop_tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+    use crate::types::{ArrayId, ScalarId, Value};
+
+    #[test]
+    fn sees_through_index_temporaries() {
+        // k = i*cols + j; a[k] = a[k] + 1 — stride wrt j must be 1, wrt i = cols
+        let mut pb = ProgramBuilder::new("p");
+        let cols = pb.iscalar("cols");
+        let i = pb.iscalar("i");
+        let j = pb.iscalar("j");
+        let k = pb.iscalar("k");
+        let n2 = pb.iscalar("n2");
+        let a = pb.farray("a", vec![v(n2)]);
+        pb.main(vec![]);
+        let p = pb.build();
+        let mut body = vec![
+            assign(k, v(i) * v(cols) + v(j)),
+            store(a, vec![v(k)], ld(a, vec![v(k)]) + 1.0),
+        ];
+        crate::program::renumber_sites(&mut body);
+        let mut env: Vec<Value> = p.scalars.iter().map(|_| Value::I(1)).collect();
+        env[cols.0 as usize] = Value::I(64);
+        env[n2.0 as usize] = Value::I(64 * 64);
+        let sj = access_strides(&p, &body, j, &env);
+        assert!(sj.iter().all(|x| x.stride == Some(1)), "{sj:?}");
+        let si = access_strides(&p, &body, i, &env);
+        assert!(si.iter().all(|x| x.stride == Some(64)), "{si:?}");
+        let _ = ScalarId(0);
+        let _ = ArrayId(0);
+    }
+
+    #[test]
+    fn reassignment_with_load_invalidates() {
+        let mut pb = ProgramBuilder::new("p");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let k = pb.iscalar("k");
+        let a = pb.farray("a", vec![v(n)]);
+        let idx = pb.iarray("idx", vec![v(n)]);
+        pb.main(vec![]);
+        let p = pb.build();
+        // k = idx[i] (indirect): stride must be None
+        let mut body = vec![assign(k, ld(idx, vec![v(i)])), store(a, vec![v(k)], 1.0)];
+        crate::program::renumber_sites(&mut body);
+        let env: Vec<Value> = p.scalars.iter().map(|_| Value::I(4)).collect();
+        let s = access_strides(&p, &body, i, &env);
+        let st = s.iter().find(|x| x.is_store).unwrap();
+        assert_eq!(st.stride, None);
+    }
+}

@@ -1,0 +1,280 @@
+//! Per-region feature summaries — the structural facts each directive model
+//! checks before agreeing to translate a region (the paper's Table II
+//! coverage machinery).
+
+use crate::analysis::affine::region_static_affine;
+use crate::analysis::reduction::{detect_array_reductions, detect_scalar_reductions};
+use crate::expr::Expr;
+use crate::program::Program;
+use crate::stmt::{visit_exprs, visit_stmts, ParallelRegion, Stmt};
+use crate::types::{ArrayId, ReduceOp, ScalarId, VarRef};
+
+/// Structural features of one parallel region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionFeatures {
+    /// Region label (from the benchmark).
+    pub label: String,
+    /// Number of work-sharing loops (`omp for`) in the region.
+    pub worksharing_loops: usize,
+    /// Contains a `critical` section.
+    pub has_critical: bool,
+    /// Every critical section is a recognizable array-reduction pattern
+    /// (OpenMPC's accepted shape). Meaningless when `has_critical` is false.
+    pub critical_is_array_reduction: bool,
+    /// Contains function calls.
+    pub has_calls: bool,
+    /// Contains explicit barriers.
+    pub has_barrier: bool,
+    /// Contains `while` loops (dynamic control).
+    pub has_while: bool,
+    /// Has statements outside any work-sharing loop (a "general structured
+    /// block": redundantly executed per-thread code, which loop-only models
+    /// cannot translate as-is).
+    pub has_nonloop_statements: bool,
+    /// Maximum loop nest depth.
+    pub max_nest_depth: usize,
+    /// Subscripts that read index arrays (irregular access).
+    pub has_indirect_subscripts: bool,
+    /// R-Stream mappability: static control, affine bounds and subscripts.
+    pub static_affine: bool,
+    /// Declared (clause) reductions on work-sharing loops.
+    pub declared_scalar_reductions: Vec<(ScalarId, ReduceOp)>,
+    /// Declared array reductions (the OpenMPC clause extension).
+    pub declared_array_reductions: Vec<(ArrayId, ReduceOp)>,
+    /// Detected (pattern) scalar reductions in loop bodies.
+    pub detected_scalar_reductions: Vec<(ScalarId, ReduceOp)>,
+    /// Detected array reductions inside critical sections.
+    pub detected_array_reductions: Vec<(ArrayId, ReduceOp)>,
+    /// Privatized arrays (clause level).
+    pub private_arrays: Vec<ArrayId>,
+}
+
+/// Compute the features of a region.
+pub fn region_features(_prog: &Program, r: &ParallelRegion) -> RegionFeatures {
+    let mut worksharing = 0usize;
+    let mut has_critical = false;
+    let mut has_calls = false;
+    let mut has_barrier = false;
+    let mut has_while = false;
+    let mut declared_scalar = Vec::new();
+    let mut declared_array = Vec::new();
+    let mut private_arrays: Vec<ArrayId> = r
+        .private
+        .iter()
+        .filter_map(|v| match v {
+            VarRef::Array(a) => Some(*a),
+            _ => None,
+        })
+        .collect();
+
+    visit_stmts(&r.body, &mut |s| match s {
+        Stmt::For { par: Some(p), .. } => {
+            worksharing += 1;
+            for red in &p.reductions {
+                match red.target {
+                    VarRef::Scalar(sc) => declared_scalar.push((sc, red.op)),
+                    VarRef::Array(a) => declared_array.push((a, red.op)),
+                }
+            }
+            for pv in &p.private {
+                if let VarRef::Array(a) = pv {
+                    if !private_arrays.contains(a) {
+                        private_arrays.push(*a);
+                    }
+                }
+            }
+        }
+        Stmt::Critical { .. } => has_critical = true,
+        Stmt::Call { .. } => has_calls = true,
+        Stmt::Barrier => has_barrier = true,
+        Stmt::While { .. } => has_while = true,
+        _ => {}
+    });
+
+    // Non-loop statements at region top level (ignoring directives).
+    let has_nonloop_statements = r.body.iter().any(|s| {
+        !matches!(
+            s,
+            Stmt::For { par: Some(_), .. } | Stmt::DataRegion { .. } | Stmt::Update { .. } | Stmt::Barrier
+        )
+    });
+
+    let mut has_indirect = false;
+    visit_exprs(&r.body, &mut |e| {
+        if let Expr::Load { index, .. } = e {
+            if index.iter().any(|ie| ie.has_load()) {
+                has_indirect = true;
+            }
+        }
+    });
+    visit_stmts(&r.body, &mut |s| {
+        if let Stmt::Store { index, .. } = s {
+            if index.iter().any(|ie| ie.has_load()) {
+                has_indirect = true;
+            }
+        }
+    });
+
+    let detected_array = detect_array_reductions(&r.body, true);
+    let critical_is_array_reduction = has_critical && {
+        // every critical body must consist solely of array-reduction stores
+        let mut all_ok = true;
+        visit_stmts(&r.body, &mut |s| {
+            if let Stmt::Critical { body } = s {
+                let ok = body.iter().all(|cs| match cs {
+                    Stmt::Store { array, .. } => detected_array.iter().any(|(a, _)| a == array),
+                    Stmt::For { body: b2, .. } => b2.iter().all(|inner| match inner {
+                        Stmt::Store { array, .. } => detected_array.iter().any(|(a, _)| a == array),
+                        _ => false,
+                    }),
+                    _ => false,
+                });
+                if !ok {
+                    all_ok = false;
+                }
+            }
+        });
+        all_ok
+    };
+
+    RegionFeatures {
+        label: r.label.clone(),
+        worksharing_loops: worksharing,
+        has_critical,
+        critical_is_array_reduction,
+        has_calls,
+        has_barrier,
+        has_while,
+        has_nonloop_statements,
+        max_nest_depth: nest_depth(&r.body),
+        has_indirect_subscripts: has_indirect,
+        static_affine: region_static_affine(r),
+        declared_scalar_reductions: declared_scalar,
+        declared_array_reductions: declared_array,
+        detected_scalar_reductions: detect_scalar_reductions(&r.body),
+        detected_array_reductions: detected_array,
+        private_arrays,
+    }
+}
+
+fn nest_depth(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::For { body, .. } => 1 + nest_depth(body),
+            _ => s.bodies().into_iter().map(|b| nest_depth(b)).max().unwrap_or(0),
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+    use crate::types::RegionId;
+
+    fn mk_region(body: Vec<Stmt>) -> ParallelRegion {
+        ParallelRegion { id: RegionId(0), label: "t".into(), body, private: vec![] }
+    }
+
+    fn prog() -> Program {
+        let mut pb = ProgramBuilder::new("t");
+        let _n = pb.iscalar("n");
+        let _i = pb.iscalar("i");
+        let _j = pb.iscalar("j");
+        let _s = pb.fscalar("s");
+        let _a = pb.farray("a", vec![v(ScalarId(0))]);
+        let _idx = pb.iarray("idx", vec![v(ScalarId(0))]);
+        pb.main(vec![]);
+        pb.build()
+    }
+
+    #[test]
+    fn counts_worksharing_and_depth() {
+        let p = prog();
+        let (n, i, j, a) = (ScalarId(0), ScalarId(1), ScalarId(2), ArrayId(0));
+        let r = mk_region(vec![pfor(
+            i,
+            0i64,
+            v(n),
+            vec![sfor(j, 0i64, v(n), vec![store(a, vec![v(i)], 0.0)])],
+        )]);
+        let f = region_features(&p, &r);
+        assert_eq!(f.worksharing_loops, 1);
+        assert_eq!(f.max_nest_depth, 2);
+        assert!(!f.has_nonloop_statements);
+        assert!(f.static_affine);
+    }
+
+    #[test]
+    fn critical_array_reduction_recognized() {
+        let p = prog();
+        let (n, i, a) = (ScalarId(0), ScalarId(1), ArrayId(0));
+        let r = mk_region(vec![pfor(
+            i,
+            0i64,
+            v(n),
+            vec![critical(vec![store(a, vec![v(i) % 8i64], ld(a, vec![v(i) % 8i64]) + 1.0)])],
+        )]);
+        let f = region_features(&p, &r);
+        assert!(f.has_critical);
+        assert!(f.critical_is_array_reduction);
+        assert_eq!(f.detected_array_reductions.len(), 1);
+        assert!(!f.static_affine); // critical disqualifies
+    }
+
+    #[test]
+    fn non_reduction_critical_flagged() {
+        let p = prog();
+        let (n, i, a) = (ScalarId(0), ScalarId(1), ArrayId(0));
+        let r = mk_region(vec![pfor(
+            i,
+            0i64,
+            v(n),
+            vec![critical(vec![store(a, vec![Expr::I(0)], v(i).to_f())])],
+        )]);
+        let f = region_features(&p, &r);
+        assert!(f.has_critical);
+        assert!(!f.critical_is_array_reduction);
+    }
+
+    #[test]
+    fn indirect_subscripts_flagged() {
+        let p = prog();
+        let (n, i, a, idx) = (ScalarId(0), ScalarId(1), ArrayId(0), ArrayId(1));
+        let r = mk_region(vec![pfor(i, 0i64, v(n), vec![store(a, vec![ld(idx, vec![v(i)])], 1.0)])]);
+        let f = region_features(&p, &r);
+        assert!(f.has_indirect_subscripts);
+        assert!(!f.static_affine);
+    }
+
+    #[test]
+    fn nonloop_statements_detected() {
+        let p = prog();
+        let (n, i, s, a) = (ScalarId(0), ScalarId(1), ScalarId(3), ArrayId(0));
+        let r = mk_region(vec![
+            assign(s, 0.0),
+            pfor(i, 0i64, v(n), vec![store(a, vec![v(i)], v(s))]),
+        ]);
+        let f = region_features(&p, &r);
+        assert!(f.has_nonloop_statements);
+    }
+
+    #[test]
+    fn declared_reductions_collected() {
+        let p = prog();
+        let (n, i, s, a) = (ScalarId(0), ScalarId(1), ScalarId(3), ArrayId(0));
+        let r = mk_region(vec![pfor_with(
+            i,
+            0i64,
+            v(n),
+            vec![assign(s, v(s) + ld(a, vec![v(i)]))],
+            crate::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, s)], ..Default::default() },
+        )]);
+        let f = region_features(&p, &r);
+        assert_eq!(f.declared_scalar_reductions, vec![(s, ReduceOp::Add)]);
+        assert_eq!(f.detected_scalar_reductions, vec![(s, ReduceOp::Add)]);
+    }
+}

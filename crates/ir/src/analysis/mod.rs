@@ -1,0 +1,24 @@
+//! Program analyses used by the model compilers.
+//!
+//! * [`affine`] — static-control / affine classification (R-Stream's
+//!   applicability test);
+//! * [`access`] — per-site access-stride sampling (coalescing prognosis,
+//!   drives OpenMPC's automatic *parallel loop-swap* decision);
+//! * [`reduction`] — scalar and array (critical-section) reduction pattern
+//!   recognition;
+//! * [`features`] — per-region feature summaries, the basis of the paper's
+//!   Table II coverage numbers;
+//! * [`touched`] — which arrays a statement subtree reads/writes (drives
+//!   the data-transfer planners).
+
+pub mod access;
+pub mod affine;
+pub mod features;
+pub mod reduction;
+pub mod touched;
+
+pub use access::{access_strides, coalesced_fraction, propagate_copies, AccessStride};
+pub use affine::{expr_affine, region_static_affine};
+pub use features::{region_features, RegionFeatures};
+pub use reduction::{detect_array_reductions, detect_scalar_reductions};
+pub use touched::{arrays_touched, Touched};

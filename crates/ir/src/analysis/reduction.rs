@@ -1,0 +1,204 @@
+//! Reduction pattern recognition.
+//!
+//! PGI Accelerator detects *scalar* reductions implicitly; OpenACC has an
+//! explicit scalar reduction clause; OpenMPC additionally recognizes *array*
+//! reductions written as OpenMP critical sections and turns them into GPU
+//! reduction code. These detectors implement the recognizable shapes.
+
+use crate::expr::{BinOp, Expr};
+use crate::stmt::{visit_stmts, Stmt};
+use crate::types::{ArrayId, ReduceOp, ScalarId};
+
+fn bin_to_reduce(op: BinOp) -> Option<ReduceOp> {
+    match op {
+        BinOp::Add => Some(ReduceOp::Add),
+        BinOp::Mul => Some(ReduceOp::Mul),
+        BinOp::Max => Some(ReduceOp::Max),
+        BinOp::Min => Some(ReduceOp::Min),
+        BinOp::Or => Some(ReduceOp::Or),
+        BinOp::And => Some(ReduceOp::And),
+        _ => None,
+    }
+}
+
+/// Detect scalar reductions in a loop body: assignments of the shape
+/// `s = s op rhs` (or `s = rhs op s` for commutative ops) where `rhs` does
+/// not read `s`. Returns each reduced scalar with its operator; scalars that
+/// are also assigned non-reduction values are excluded.
+pub fn detect_scalar_reductions(body: &[Stmt]) -> Vec<(ScalarId, ReduceOp)> {
+    let mut candidates: Vec<(ScalarId, ReduceOp)> = Vec::new();
+    let mut disqualified: Vec<ScalarId> = Vec::new();
+    visit_stmts(body, &mut |s| {
+        if let Stmt::Assign { var, value } = s {
+            match reduction_shape(*var, value) {
+                Some(op) => candidates.push((*var, op)),
+                None => disqualified.push(*var),
+            }
+        }
+    });
+    candidates.retain(|(v, _)| !disqualified.contains(v));
+    candidates.dedup();
+    candidates
+}
+
+/// Is `value` of the shape `var op rhs` / `rhs op var` with `rhs` free of `var`?
+fn reduction_shape(var: ScalarId, value: &Expr) -> Option<ReduceOp> {
+    if let Expr::Bin(op, a, b) = value {
+        let rop = bin_to_reduce(*op)?;
+        let a_is_var = matches!(a.as_ref(), Expr::Var(v) if *v == var);
+        let b_is_var = matches!(b.as_ref(), Expr::Var(v) if *v == var);
+        if a_is_var && !b.uses_var(var) {
+            return Some(rop);
+        }
+        if b_is_var && !a.uses_var(var) {
+            return Some(rop);
+        }
+    }
+    None
+}
+
+/// Detect array reductions: stores of the shape
+/// `a[idx...] = a[idx...] op rhs` with structurally identical subscripts and
+/// `rhs` free of loads from `a`. When `inside_critical_only` is set, only
+/// stores lexically inside a `critical` section count (the OpenMPC rule:
+/// "array reduction patterns in OpenMP critical sections").
+pub fn detect_array_reductions(body: &[Stmt], inside_critical_only: bool) -> Vec<(ArrayId, ReduceOp)> {
+    let mut out: Vec<(ArrayId, ReduceOp)> = Vec::new();
+    fn scan(stmts: &[Stmt], in_crit: bool, need_crit: bool, out: &mut Vec<(ArrayId, ReduceOp)>) {
+        for s in stmts {
+            match s {
+                Stmt::Critical { body } => scan(body, true, need_crit, out),
+                Stmt::Store { array, index, value, .. } if (in_crit || !need_crit) => {
+                    if let Some(op) = array_reduction_shape(*array, index, value) {
+                        if !out.iter().any(|(a, _)| a == array) {
+                            out.push((*array, op));
+                        }
+                    }
+                }
+                _ => {
+                    for b in s.bodies() {
+                        scan(b, in_crit, need_crit, out);
+                    }
+                }
+            }
+        }
+    }
+    scan(body, false, inside_critical_only, &mut out);
+    out
+}
+
+/// Structural equality modulo trace-site ids (sites are assigned per
+/// occurrence by `finalize`, so the "same subscript" in a load and a store
+/// never shares them).
+fn eq_mod_site(a: &Expr, b: &Expr) -> bool {
+    fn norm(e: &Expr) -> Expr {
+        let mut e = e.clone();
+        e.visit_mut(&mut |n| {
+            if let Expr::Load { site, .. } = n {
+                *site = crate::types::SiteId(u32::MAX);
+            }
+        });
+        e
+    }
+    norm(a) == norm(b)
+}
+
+fn array_reduction_shape(array: ArrayId, index: &[Expr], value: &Expr) -> Option<ReduceOp> {
+    if let Expr::Bin(op, a, b) = value {
+        let rop = bin_to_reduce(*op)?;
+        let is_self = |e: &Expr| {
+            matches!(e, Expr::Load { array: la, index: li, .. }
+                if *la == array && li.len() == index.len()
+                    && li.iter().zip(index).all(|(x, y)| eq_mod_site(x, y)))
+        };
+        if is_self(a) && !b.uses_array(array) {
+            return Some(rop);
+        }
+        if is_self(b) && !a.uses_array(array) {
+            return Some(rop);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+
+    #[test]
+    fn detects_sum_and_max() {
+        let s = ScalarId(0);
+        let m = ScalarId(1);
+        let i = ScalarId(2);
+        let x = ArrayId(0);
+        let body = vec![sfor(
+            i,
+            0i64,
+            10i64,
+            vec![
+                assign(s, v(s) + ld(x, vec![v(i)])),
+                assign(m, ld(x, vec![v(i)]).max(v(m))),
+            ],
+        )];
+        let r = detect_scalar_reductions(&body);
+        assert!(r.contains(&(s, ReduceOp::Add)));
+        assert!(r.contains(&(m, ReduceOp::Max)));
+    }
+
+    #[test]
+    fn non_reduction_assign_disqualifies() {
+        let s = ScalarId(0);
+        let i = ScalarId(1);
+        let x = ArrayId(0);
+        let body = vec![sfor(
+            i,
+            0i64,
+            10i64,
+            vec![assign(s, v(s) + ld(x, vec![v(i)])), assign(s, v(i).to_f())],
+        )];
+        assert!(detect_scalar_reductions(&body).is_empty());
+    }
+
+    #[test]
+    fn rhs_using_var_is_not_reduction() {
+        let s = ScalarId(0);
+        let body = vec![assign(s, v(s) + v(s))];
+        assert!(detect_scalar_reductions(&body).is_empty());
+    }
+
+    #[test]
+    fn detects_array_reduction_in_critical() {
+        let i = ScalarId(0);
+        let k = ScalarId(1);
+        let hist = ArrayId(0);
+        let body = vec![sfor(
+            i,
+            0i64,
+            10i64,
+            vec![critical(vec![store(hist, vec![v(k)], ld(hist, vec![v(k)]) + 1.0)])],
+        )];
+        let r = detect_array_reductions(&body, true);
+        assert_eq!(r, vec![(hist, ReduceOp::Add)]);
+        // Without the critical requirement it is found too.
+        assert_eq!(detect_array_reductions(&body, false), vec![(hist, ReduceOp::Add)]);
+    }
+
+    #[test]
+    fn store_outside_critical_requires_flag() {
+        let k = ScalarId(0);
+        let hist = ArrayId(0);
+        let body = vec![store(hist, vec![v(k)], ld(hist, vec![v(k)]) + 1.0)];
+        assert!(detect_array_reductions(&body, true).is_empty());
+        assert_eq!(detect_array_reductions(&body, false).len(), 1);
+    }
+
+    #[test]
+    fn mismatched_subscripts_not_reduction() {
+        let k = ScalarId(0);
+        let hist = ArrayId(0);
+        let body = vec![store(hist, vec![v(k)], ld(hist, vec![v(k) + 1i64]) + 1.0)];
+        assert!(detect_array_reductions(&body, false).is_empty());
+    }
+}

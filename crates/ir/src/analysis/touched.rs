@@ -1,0 +1,131 @@
+//! Which arrays a statement subtree reads and writes.
+//!
+//! This drives the data-transfer planners: a region's read set must be
+//! device-valid before launch, its write set invalidates host copies, and
+//! host statements touching device-dirty arrays force synchronization.
+
+use std::collections::BTreeSet;
+
+use crate::expr::Expr;
+use crate::program::Program;
+use crate::stmt::{visit_exprs, visit_stmts, Stmt};
+use crate::types::ArrayId;
+
+/// Read/write sets of a statement subtree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Touched {
+    pub reads: BTreeSet<ArrayId>,
+    pub writes: BTreeSet<ArrayId>,
+}
+
+impl Touched {
+    /// All arrays touched either way.
+    pub fn all(&self) -> BTreeSet<ArrayId> {
+        self.reads.union(&self.writes).copied().collect()
+    }
+
+    pub fn union(mut self, other: &Touched) -> Touched {
+        self.reads.extend(other.reads.iter().copied());
+        self.writes.extend(other.writes.iter().copied());
+        self
+    }
+}
+
+/// Compute read/write sets. Function calls are resolved through the program
+/// (conservatively: formal array params map to the actual arguments; scalar
+/// flow is ignored since scalars are always host-resident).
+pub fn arrays_touched(prog: &Program, stmts: &[Stmt]) -> Touched {
+    let mut t = Touched::default();
+    collect(prog, stmts, &mut t, 0);
+    t
+}
+
+fn collect(prog: &Program, stmts: &[Stmt], t: &mut Touched, depth: usize) {
+    assert!(depth < 16, "call graph too deep (recursion?)");
+    visit_stmts(stmts, &mut |s| {
+        if let Stmt::Store { array, .. } = s {
+            t.writes.insert(*array);
+        }
+        if let Stmt::Call { func, array_args, .. } = s {
+            let f = &prog.funcs[func.0 as usize];
+            let mut inner = Touched::default();
+            collect(prog, &f.body, &mut inner, depth + 1);
+            // remap formals to actuals
+            for (formal, actual) in f.array_params.iter().zip(array_args) {
+                if inner.reads.remove(formal) {
+                    inner.reads.insert(*actual);
+                }
+                if inner.writes.remove(formal) {
+                    inner.writes.insert(*actual);
+                }
+            }
+            t.reads.extend(inner.reads);
+            t.writes.extend(inner.writes);
+        }
+    });
+    visit_exprs(stmts, &mut |e| {
+        if let Expr::Load { array, .. } = e {
+            t.reads.insert(*array);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+    use crate::types::ScalarId;
+
+    #[test]
+    fn simple_read_write_sets() {
+        let mut pb = ProgramBuilder::new("t");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let a = pb.farray("a", vec![v(n)]);
+        let b = pb.farray("b", vec![v(n)]);
+        pb.main(vec![sfor(i, 0i64, v(n), vec![store(b, vec![v(i)], ld(a, vec![v(i)]))])]);
+        let p = pb.build();
+        let t = arrays_touched(&p, &p.main);
+        assert!(t.reads.contains(&a));
+        assert!(t.writes.contains(&b));
+        assert!(!t.writes.contains(&a));
+        assert_eq!(t.all().len(), 2);
+    }
+
+    #[test]
+    fn call_remapping_resolves_formals() {
+        let mut pb = ProgramBuilder::new("t");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let src = pb.farray("src", vec![v(n)]);
+        let dst = pb.farray("dst", vec![v(n)]);
+        let fa = pb.farray("fa", vec![v(n)]);
+        let fb = pb.farray("fb", vec![v(n)]);
+        let f = pb.func(
+            "copy",
+            vec![],
+            vec![fa, fb],
+            vec![sfor(i, 0i64, v(n), vec![store(fb, vec![v(i)], ld(fa, vec![v(i)]))])],
+        );
+        pb.main(vec![call(f, vec![], vec![src, dst])]);
+        let p = pb.build();
+        let t = arrays_touched(&p, &p.main);
+        assert!(t.reads.contains(&src));
+        assert!(t.writes.contains(&dst));
+        assert!(!t.reads.contains(&fa));
+        assert!(!t.writes.contains(&fb));
+    }
+
+    #[test]
+    fn read_modify_write_in_both_sets() {
+        let mut pb = ProgramBuilder::new("t");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let a = pb.farray("a", vec![v(n)]);
+        pb.main(vec![sfor(i, 0i64, v(n), vec![store(a, vec![v(i)], ld(a, vec![v(i)]) * 2.0)])]);
+        let p = pb.build();
+        let t = arrays_touched(&p, &p.main);
+        assert!(t.reads.contains(&a) && t.writes.contains(&a));
+    }
+}

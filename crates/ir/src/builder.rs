@@ -1,0 +1,234 @@
+//! Ergonomic construction of programs and statements.
+//!
+//! The benchmark crate builds all thirteen applications through this DSL;
+//! see `acceval-benchmarks/src/jacobi.rs` for a representative example.
+
+use acceval_sim::ElemType;
+
+use crate::expr::Expr;
+use crate::program::{ArrayDecl, Function, Program};
+use crate::stmt::{DataClauses, ParInfo, ParallelRegion, Reduction, Stmt, UpdateDir};
+use crate::types::{ArrayId, FuncId, ReduceOp, RegionId, ScalarId, SiteId, VarRef};
+
+/// Incremental program builder. Call [`ProgramBuilder::build`] last; it
+/// finalizes (site/region numbering + validation).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder { prog: Program { name: name.to_string(), ..Default::default() } }
+    }
+
+    /// Declare an integer scalar.
+    pub fn iscalar(&mut self, name: &str) -> ScalarId {
+        self.prog.fresh_scalar(name, false)
+    }
+
+    /// Declare a float scalar.
+    pub fn fscalar(&mut self, name: &str) -> ScalarId {
+        self.prog.fresh_scalar(name, true)
+    }
+
+    /// Declare an array with the given element type and dimension exprs.
+    pub fn array(&mut self, name: &str, elem: ElemType, dims: Vec<Expr>) -> ArrayId {
+        let id = ArrayId(self.prog.arrays.len() as u32);
+        self.prog.arrays.push(ArrayDecl { name: name.to_string(), elem, dims });
+        id
+    }
+
+    /// Declare an f64 array (the common case).
+    pub fn farray(&mut self, name: &str, dims: Vec<Expr>) -> ArrayId {
+        self.array(name, ElemType::F64, dims)
+    }
+
+    /// Declare an f32 array.
+    pub fn f32array(&mut self, name: &str, dims: Vec<Expr>) -> ArrayId {
+        self.array(name, ElemType::F32, dims)
+    }
+
+    /// Declare an i32 array (index/connectivity data).
+    pub fn iarray(&mut self, name: &str, dims: Vec<Expr>) -> ArrayId {
+        self.array(name, ElemType::I32, dims)
+    }
+
+    /// Define a function.
+    pub fn func(
+        &mut self,
+        name: &str,
+        scalar_params: Vec<ScalarId>,
+        array_params: Vec<ArrayId>,
+        body: Vec<Stmt>,
+    ) -> FuncId {
+        let id = FuncId(self.prog.funcs.len() as u32);
+        self.prog.funcs.push(Function { name: name.to_string(), scalar_params, array_params, body });
+        id
+    }
+
+    /// Set the main body.
+    pub fn main(&mut self, body: Vec<Stmt>) -> &mut Self {
+        self.prog.main = body;
+        self
+    }
+
+    /// Declare which arrays constitute program output.
+    pub fn outputs(&mut self, arrays: Vec<ArrayId>) -> &mut Self {
+        self.prog.outputs = arrays;
+        self
+    }
+
+    /// Declare which scalars constitute program output.
+    pub fn output_scalars(&mut self, scalars: Vec<ScalarId>) -> &mut Self {
+        self.prog.output_scalars = scalars;
+        self
+    }
+
+    /// Finalize and return the program.
+    pub fn build(mut self) -> Program {
+        self.prog.finalize();
+        self.prog
+    }
+}
+
+// ---- statement constructors ---------------------------------------------
+
+/// `var = value`.
+pub fn assign(var: ScalarId, value: impl Into<Expr>) -> Stmt {
+    Stmt::Assign { var, value: value.into() }
+}
+
+/// `array[index...] = value`.
+pub fn store(array: ArrayId, index: Vec<Expr>, value: impl Into<Expr>) -> Stmt {
+    Stmt::Store { array, index, value: value.into(), site: SiteId(u32::MAX) }
+}
+
+/// Sequential `for (var = lo; var < hi; var++)`.
+pub fn sfor(var: ScalarId, lo: impl Into<Expr>, hi: impl Into<Expr>, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var, lo: lo.into(), hi: hi.into(), step: Expr::I(1), body, par: None }
+}
+
+/// Sequential `for` with explicit step.
+pub fn sfor_step(
+    var: ScalarId,
+    lo: impl Into<Expr>,
+    hi: impl Into<Expr>,
+    step: impl Into<Expr>,
+    body: Vec<Stmt>,
+) -> Stmt {
+    Stmt::For { var, lo: lo.into(), hi: hi.into(), step: step.into(), body, par: None }
+}
+
+/// Work-sharing `#pragma omp for` loop.
+pub fn pfor(var: ScalarId, lo: impl Into<Expr>, hi: impl Into<Expr>, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var, lo: lo.into(), hi: hi.into(), step: Expr::I(1), body, par: Some(ParInfo::default()) }
+}
+
+/// Work-sharing loop with explicit clauses.
+pub fn pfor_with(
+    var: ScalarId,
+    lo: impl Into<Expr>,
+    hi: impl Into<Expr>,
+    body: Vec<Stmt>,
+    par: ParInfo,
+) -> Stmt {
+    Stmt::For { var, lo: lo.into(), hi: hi.into(), step: Expr::I(1), body, par: Some(par) }
+}
+
+/// A `reduction(op: scalar)` clause entry.
+pub fn red(op: ReduceOp, s: ScalarId) -> Reduction {
+    Reduction { op, target: VarRef::Scalar(s) }
+}
+
+/// A `reduction(op: array)` clause entry (OpenMPC extension).
+pub fn red_array(op: ReduceOp, a: ArrayId) -> Reduction {
+    Reduction { op, target: VarRef::Array(a) }
+}
+
+/// `if (cond) { then_b }`.
+pub fn iff(cond: impl Into<Expr>, then_b: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond: cond.into(), then_b, else_b: vec![], site: SiteId(u32::MAX) }
+}
+
+/// `if (cond) { then_b } else { else_b }`.
+pub fn if_else(cond: impl Into<Expr>, then_b: Vec<Stmt>, else_b: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond: cond.into(), then_b, else_b, site: SiteId(u32::MAX) }
+}
+
+/// `while (cond) body`.
+pub fn wloop(cond: impl Into<Expr>, body: Vec<Stmt>) -> Stmt {
+    Stmt::While { cond: cond.into(), body }
+}
+
+/// Call `func(scalar_args...; array_args...)`.
+pub fn call(func: FuncId, scalar_args: Vec<Expr>, array_args: Vec<ArrayId>) -> Stmt {
+    Stmt::Call { func, scalar_args, array_args }
+}
+
+/// `#pragma omp critical { body }`.
+pub fn critical(body: Vec<Stmt>) -> Stmt {
+    Stmt::Critical { body }
+}
+
+/// `#pragma omp parallel { body }`.
+pub fn parallel(label: &str, body: Vec<Stmt>) -> Stmt {
+    Stmt::Parallel(ParallelRegion { id: RegionId(u32::MAX), label: label.to_string(), body, private: vec![] })
+}
+
+/// Parallel region with explicit privates.
+pub fn parallel_with(label: &str, body: Vec<Stmt>, private: Vec<VarRef>) -> Stmt {
+    Stmt::Parallel(ParallelRegion { id: RegionId(u32::MAX), label: label.to_string(), body, private })
+}
+
+/// Directive-model data region.
+pub fn data_region(clauses: DataClauses, body: Vec<Stmt>) -> Stmt {
+    Stmt::DataRegion { clauses, body }
+}
+
+/// `update host(...)` / `update device(...)`.
+pub fn update(arrays: Vec<ArrayId>, dir: UpdateDir) -> Stmt {
+    Stmt::Update { arrays, dir }
+}
+
+/// `#pragma omp barrier`.
+pub fn barrier() -> Stmt {
+    Stmt::Barrier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ld, v};
+
+    #[test]
+    fn build_saxpy_like_program() {
+        let mut pb = ProgramBuilder::new("saxpy");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let alpha = pb.fscalar("alpha");
+        let x = pb.farray("x", vec![v(n)]);
+        let y = pb.farray("y", vec![v(n)]);
+        pb.main(vec![parallel(
+            "saxpy",
+            vec![pfor(i, 0i64, v(n), vec![store(y, vec![v(i)], v(alpha) * ld(x, vec![v(i)]) + ld(y, vec![v(i)]))])],
+        )])
+        .outputs(vec![y]);
+        let p = pb.build();
+        assert_eq!(p.region_count, 1);
+        assert_eq!(p.site_count, 3); // 2 loads + 1 store
+        assert_eq!(p.regions()[0].label, "saxpy");
+    }
+
+    #[test]
+    fn functions_get_ids_in_order() {
+        let mut pb = ProgramBuilder::new("f");
+        let a = pb.iscalar("a");
+        let f0 = pb.func("f0", vec![a], vec![], vec![assign(a, v(a) + 1i64)]);
+        let f1 = pb.func("f1", vec![], vec![], vec![call(f0, vec![Expr::I(3)], vec![])]);
+        pb.main(vec![call(f1, vec![], vec![])]);
+        let p = pb.build();
+        assert_eq!(p.funcs.len(), 2);
+        assert_eq!(f1, FuncId(1));
+    }
+}

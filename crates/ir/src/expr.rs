@@ -1,0 +1,400 @@
+//! Expressions of the directive IR.
+//!
+//! Expressions are plain trees. Array loads carry a [`SiteId`] (assigned by
+//! [`crate::program::Program::finalize`]) so the GPU executor can aggregate
+//! per-warp address traces by static site.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{ArrayId, ScalarId, SiteId};
+
+/// Binary operators. Comparison operators yield boolean values; arithmetic
+/// follows C-like promotion (int op int = int, anything with a float = float).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Math intrinsics. These cost more than one issue slot on both machines;
+/// see the machines' intrinsic cost tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intrin {
+    Sqrt,
+    Exp,
+    Log,
+    Pow,
+    Sin,
+    Cos,
+    Floor,
+    Abs,
+}
+
+/// An IR expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Float literal.
+    F(f64),
+    /// Integer literal.
+    I(i64),
+    /// Boolean literal.
+    B(bool),
+    /// Scalar variable read.
+    Var(ScalarId),
+    /// Array element read; `index` has one expression per declared dimension.
+    Load {
+        array: ArrayId,
+        index: Vec<Expr>,
+        site: SiteId,
+    },
+    Un(UnOp, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? t : f` — both sides are evaluated on the GPU (predication),
+    /// only the taken side on the CPU.
+    Select {
+        cond: Box<Expr>,
+        t: Box<Expr>,
+        f: Box<Expr>,
+    },
+    /// Math intrinsic call.
+    Intrin(Intrin, Vec<Expr>),
+    /// C-style cast to integer (truncation).
+    CastI(Box<Expr>),
+    /// C-style cast to double.
+    CastF(Box<Expr>),
+}
+
+impl Expr {
+    /// Visit every sub-expression (including self), depth-first.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::F(_) | Expr::I(_) | Expr::B(_) | Expr::Var(_) => {}
+            Expr::Load { index, .. } => {
+                for e in index {
+                    e.visit(f);
+                }
+            }
+            Expr::Un(_, a) => a.visit(f),
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Select { cond, t, f: fe } => {
+                cond.visit(f);
+                t.visit(f);
+                fe.visit(f);
+            }
+            Expr::Intrin(_, args) => {
+                for e in args {
+                    e.visit(f);
+                }
+            }
+            Expr::CastI(a) | Expr::CastF(a) => a.visit(f),
+        }
+    }
+
+    /// Visit every sub-expression mutably, depth-first (children first so a
+    /// rewriter sees updated children).
+    pub fn visit_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        match self {
+            Expr::F(_) | Expr::I(_) | Expr::B(_) | Expr::Var(_) => {}
+            Expr::Load { index, .. } => {
+                for e in index {
+                    e.visit_mut(f);
+                }
+            }
+            Expr::Un(_, a) => a.visit_mut(f),
+            Expr::Bin(_, a, b) => {
+                a.visit_mut(f);
+                b.visit_mut(f);
+            }
+            Expr::Select { cond, t, f: fe } => {
+                cond.visit_mut(f);
+                t.visit_mut(f);
+                fe.visit_mut(f);
+            }
+            Expr::Intrin(_, args) => {
+                for e in args {
+                    e.visit_mut(f);
+                }
+            }
+            Expr::CastI(a) | Expr::CastF(a) => a.visit_mut(f),
+        }
+        f(self);
+    }
+
+    /// True if the expression reads `var`.
+    pub fn uses_var(&self, var: ScalarId) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Var(v) if *v == var) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the expression loads from `array`.
+    pub fn uses_array(&self, array: ArrayId) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Load { array: a, .. } if *a == array) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the expression contains any array load.
+    pub fn has_load(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Load { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Substitute every read of `var` with `with` (used by inlining and
+    /// loop collapsing).
+    pub fn subst_var(&mut self, var: ScalarId, with: &Expr) {
+        self.visit_mut(&mut |e| {
+            if matches!(e, Expr::Var(v) if *v == var) {
+                *e = with.clone();
+            }
+        });
+    }
+
+    /// Number of expression nodes (a cheap size metric for reports).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+// ---- operator sugar ----------------------------------------------------
+
+impl From<f64> for Expr {
+    fn from(x: f64) -> Self {
+        Expr::F(x)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(x: i64) -> Self {
+        Expr::I(x)
+    }
+}
+
+impl From<i32> for Expr {
+    fn from(x: i32) -> Self {
+        Expr::I(x as i64)
+    }
+}
+
+impl From<usize> for Expr {
+    fn from(x: usize) -> Self {
+        Expr::I(x as i64)
+    }
+}
+
+impl From<ScalarId> for Expr {
+    fn from(v: ScalarId) -> Self {
+        Expr::Var(v)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<R: Into<Expr>> std::ops::$trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::Bin($op, Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(Div, div, BinOp::Div);
+impl_binop!(Rem, rem, BinOp::Rem);
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+impl Expr {
+    pub fn lt(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn le(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Le, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn gt(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Gt, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn ge(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Ge, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn eq_(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn ne_(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Ne, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn and(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn or(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn min(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn max(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn shl(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Shl, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn shr(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::Shr, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn bitand(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Bin(BinOp::BitAnd, Box::new(self), Box::new(rhs.into()))
+    }
+    pub fn to_i(self) -> Expr {
+        Expr::CastI(Box::new(self))
+    }
+    pub fn to_f(self) -> Expr {
+        Expr::CastF(Box::new(self))
+    }
+    pub fn sqrt(self) -> Expr {
+        Expr::Intrin(Intrin::Sqrt, vec![self])
+    }
+    pub fn exp(self) -> Expr {
+        Expr::Intrin(Intrin::Exp, vec![self])
+    }
+    pub fn log(self) -> Expr {
+        Expr::Intrin(Intrin::Log, vec![self])
+    }
+    pub fn abs(self) -> Expr {
+        Expr::Intrin(Intrin::Abs, vec![self])
+    }
+    pub fn floor(self) -> Expr {
+        Expr::Intrin(Intrin::Floor, vec![self])
+    }
+    pub fn pow(self, rhs: impl Into<Expr>) -> Expr {
+        Expr::Intrin(Intrin::Pow, vec![self, rhs.into()])
+    }
+    pub fn select(self, t: impl Into<Expr>, f: impl Into<Expr>) -> Expr {
+        Expr::Select { cond: Box::new(self), t: Box::new(t.into()), f: Box::new(f.into()) }
+    }
+}
+
+/// Shorthand for a variable read.
+pub fn v(id: ScalarId) -> Expr {
+    Expr::Var(id)
+}
+
+/// Shorthand for a float literal.
+pub fn fc(x: f64) -> Expr {
+    Expr::F(x)
+}
+
+/// Shorthand for an integer literal.
+pub fn ic(x: i64) -> Expr {
+    Expr::I(x)
+}
+
+/// Shorthand for an array load; the site is assigned at finalize time.
+pub fn ld(array: ArrayId, index: Vec<Expr>) -> Expr {
+    Expr::Load { array, index, site: SiteId(u32::MAX) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar_builds_trees() {
+        let x = ScalarId(0);
+        let e = (v(x) + 1i64) * 2i64;
+        assert_eq!(e.node_count(), 5);
+        assert!(e.uses_var(x));
+        assert!(!e.uses_var(ScalarId(1)));
+    }
+
+    #[test]
+    fn subst_replaces_all_uses() {
+        let x = ScalarId(0);
+        let y = ScalarId(1);
+        let mut e = v(x) + v(x) * v(y);
+        e.subst_var(x, &ic(7));
+        assert!(!e.uses_var(x));
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn load_detection() {
+        let a = ArrayId(0);
+        let e = ld(a, vec![ic(0)]) + 1i64;
+        assert!(e.has_load());
+        assert!(e.uses_array(a));
+        assert!(!e.uses_array(ArrayId(1)));
+    }
+
+    #[test]
+    fn visit_mut_rewrites_children_first() {
+        // fold constants: children first means (1+2)+3 can fold to 6 in one pass
+        let mut e = (ic(1) + ic(2)) + ic(3);
+        e.visit_mut(&mut |n| {
+            if let Expr::Bin(BinOp::Add, a, b) = n {
+                if let (Expr::I(x), Expr::I(y)) = (a.as_ref(), b.as_ref()) {
+                    *n = Expr::I(x + y);
+                }
+            }
+        });
+        assert_eq!(e, Expr::I(6));
+    }
+
+    #[test]
+    fn comparison_and_intrinsic_builders() {
+        let x = ScalarId(0);
+        let e = v(x).lt(10i64).select(v(x).sqrt(), fc(0.0));
+        assert!(matches!(e, Expr::Select { .. }));
+    }
+}

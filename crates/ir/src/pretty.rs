@@ -1,0 +1,315 @@
+//! Source-like rendering of programs and kernels.
+//!
+//! The paper's debuggability discussion (§VI-D) criticizes compilers that
+//! emit unreadable intermediate CUDA; ACCEVAL keeps every stage inspectable
+//! by rendering IR and kernel plans as C-like text.
+
+use std::fmt::Write;
+
+use crate::expr::{BinOp, Expr, Intrin, UnOp};
+use crate::kernel::KernelPlan;
+use crate::program::Program;
+use crate::stmt::{Stmt, UpdateDir};
+
+/// Render an expression.
+pub fn expr(prog: &Program, e: &Expr) -> String {
+    match e {
+        Expr::F(x) => format!("{x:?}"),
+        Expr::I(x) => format!("{x}"),
+        Expr::B(x) => format!("{x}"),
+        Expr::Var(s) => prog.scalars[s.0 as usize].name.clone(),
+        Expr::Load { array, index, .. } => {
+            let idx: Vec<String> = index.iter().map(|i| expr(prog, i)).collect();
+            format!("{}[{}]", prog.array_name(*array), idx.join("]["))
+        }
+        Expr::Un(op, a) => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{o}({})", expr(prog, a))
+        }
+        Expr::Bin(op, a, b) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Min => return format!("min({}, {})", expr(prog, a), expr(prog, b)),
+                BinOp::Max => return format!("max({}, {})", expr(prog, a), expr(prog, b)),
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+            };
+            format!("({} {o} {})", expr(prog, a), expr(prog, b))
+        }
+        Expr::Select { cond, t, f } => {
+            format!("({} ? {} : {})", expr(prog, cond), expr(prog, t), expr(prog, f))
+        }
+        Expr::Intrin(f, args) => {
+            let name = match f {
+                Intrin::Sqrt => "sqrt",
+                Intrin::Exp => "exp",
+                Intrin::Log => "log",
+                Intrin::Pow => "pow",
+                Intrin::Sin => "sin",
+                Intrin::Cos => "cos",
+                Intrin::Floor => "floor",
+                Intrin::Abs => "fabs",
+            };
+            let a: Vec<String> = args.iter().map(|x| expr(prog, x)).collect();
+            format!("{name}({})", a.join(", "))
+        }
+        Expr::CastI(a) => format!("(long)({})", expr(prog, a)),
+        Expr::CastF(a) => format!("(double)({})", expr(prog, a)),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Render a statement tree.
+pub fn stmt(prog: &Program, s: &Stmt, out: &mut String, depth: usize) {
+    match s {
+        Stmt::Assign { var, value } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{} = {};", prog.scalars[var.0 as usize].name, expr(prog, value));
+        }
+        Stmt::Store { array, index, value, .. } => {
+            indent(out, depth);
+            let idx: Vec<String> = index.iter().map(|i| expr(prog, i)).collect();
+            let _ = writeln!(out, "{}[{}] = {};", prog.array_name(*array), idx.join("]["), expr(prog, value));
+        }
+        Stmt::If { cond, then_b, else_b, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) {{", expr(prog, cond));
+            for t in then_b {
+                stmt(prog, t, out, depth + 1);
+            }
+            if !else_b.is_empty() {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                for t in else_b {
+                    stmt(prog, t, out, depth + 1);
+                }
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For { var, lo, hi, step, body, par } => {
+            if let Some(p) = par {
+                indent(out, depth);
+                let mut clauses = String::new();
+                if p.collapse > 1 {
+                    let _ = write!(clauses, " collapse({})", p.collapse);
+                }
+                for r in &p.reductions {
+                    let _ = write!(clauses, " reduction({:?}: ...)", r.op);
+                }
+                let _ = writeln!(out, "#pragma omp for{clauses}");
+            }
+            indent(out, depth);
+            let name = &prog.scalars[var.0 as usize].name;
+            let _ = writeln!(
+                out,
+                "for ({name} = {}; {name} < {}; {name} += {}) {{",
+                expr(prog, lo),
+                expr(prog, hi),
+                expr(prog, step)
+            );
+            for t in body {
+                stmt(prog, t, out, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            indent(out, depth);
+            let _ = writeln!(out, "while ({}) {{", expr(prog, cond));
+            for t in body {
+                stmt(prog, t, out, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Call { func, scalar_args, array_args } => {
+            indent(out, depth);
+            let f = &prog.funcs[func.0 as usize];
+            let mut args: Vec<String> = scalar_args.iter().map(|a| expr(prog, a)).collect();
+            args.extend(array_args.iter().map(|a| prog.array_name(*a).to_string()));
+            let _ = writeln!(out, "{}({});", f.name, args.join(", "));
+        }
+        Stmt::Critical { body } => {
+            indent(out, depth);
+            out.push_str("#pragma omp critical\n");
+            indent(out, depth);
+            out.push_str("{\n");
+            for t in body {
+                stmt(prog, t, out, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Parallel(r) => {
+            indent(out, depth);
+            let _ = writeln!(out, "#pragma omp parallel  // region {} \"{}\"", r.id.0, r.label);
+            indent(out, depth);
+            out.push_str("{\n");
+            for t in &r.body {
+                stmt(prog, t, out, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::DataRegion { clauses, body } => {
+            indent(out, depth);
+            let fmt = |ids: &[crate::types::ArrayId]| {
+                ids.iter().map(|a| prog.array_name(*a).to_string()).collect::<Vec<_>>().join(", ")
+            };
+            let _ = writeln!(
+                out,
+                "#pragma acc data copyin({}) copyout({}) copy({}) create({})",
+                fmt(&clauses.copyin),
+                fmt(&clauses.copyout),
+                fmt(&clauses.copy),
+                fmt(&clauses.create)
+            );
+            indent(out, depth);
+            out.push_str("{\n");
+            for t in body {
+                stmt(prog, t, out, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Update { arrays, dir } => {
+            indent(out, depth);
+            let d = match dir {
+                UpdateDir::Host => "host",
+                UpdateDir::Device => "device",
+            };
+            let names: Vec<String> = arrays.iter().map(|a| prog.array_name(*a).to_string()).collect();
+            let _ = writeln!(out, "#pragma acc update {d}({})", names.join(", "));
+        }
+        Stmt::Barrier => {
+            indent(out, depth);
+            out.push_str("#pragma omp barrier\n");
+        }
+    }
+}
+
+/// Render a whole program.
+pub fn program(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program {}", prog.name);
+    for a in &prog.arrays {
+        let dims: Vec<String> = a.dims.iter().map(|d| expr(prog, d)).collect();
+        let _ = writeln!(out, "{:?} {}[{}];", a.elem, a.name, dims.join("]["));
+    }
+    for f in &prog.funcs {
+        let params: Vec<String> = f
+            .scalar_params
+            .iter()
+            .map(|p| prog.scalars[p.0 as usize].name.clone())
+            .chain(f.array_params.iter().map(|a| format!("{}[]", prog.array_name(*a))))
+            .collect();
+        let _ = writeln!(out, "void {}({}) {{", f.name, params.join(", "));
+        for s in &f.body {
+            stmt(prog, s, &mut out, 1);
+        }
+        out.push_str("}\n");
+    }
+    out.push_str("void main() {\n");
+    for s in &prog.main {
+        stmt(prog, s, &mut out, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a compiled kernel plan (the "generated CUDA" view).
+pub fn kernel(prog: &Program, k: &KernelPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "__global__ void {}()  // block ({}, {})", k.name, k.block.0, k.block.1);
+    out.push_str("{\n");
+    for (d, ax) in k.axes.iter().enumerate() {
+        let dim = if d == 0 { "x" } else { "y" };
+        let _ = writeln!(
+            out,
+            "  int {} = {} + (blockIdx.{dim}*blockDim.{dim} + threadIdx.{dim}) * {};  // guard: < {}",
+            prog.scalars[ax.var.0 as usize].name,
+            expr(prog, &ax.lo),
+            expr(prog, &ax.step),
+            expr(prog, &ax.count),
+        );
+    }
+    for p in &k.private_arrays {
+        let _ = writeln!(out, "  // private {} expanded {:?}", prog.array_name(p.array), p.expansion);
+    }
+    for (a, sp) in &k.placement {
+        let _ = writeln!(out, "  // {} in {:?}", prog.array_name(*a), sp);
+    }
+    for r in &k.reductions {
+        let _ = writeln!(out, "  // reduction {:?} via {:?}", r.op, k.reduce_strategy);
+    }
+    for s in &k.body {
+        stmt(prog, s, &mut out, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+    use crate::kernel::axis;
+
+    #[test]
+    fn renders_program_text() {
+        let mut pb = ProgramBuilder::new("demo");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let a = pb.farray("a", vec![v(n)]);
+        pb.main(vec![parallel(
+            "r0",
+            vec![pfor(i, 0i64, v(n), vec![store(a, vec![v(i)], ld(a, vec![v(i)]) * 2.0)])],
+        )]);
+        let p = pb.build();
+        let txt = program(&p);
+        assert!(txt.contains("#pragma omp parallel"));
+        assert!(txt.contains("a[i] = (a[i] * 2.0);"));
+        assert!(txt.contains("for (i = 0; i < n; i += 1)"));
+    }
+
+    #[test]
+    fn renders_kernel_text() {
+        let mut pb = ProgramBuilder::new("demo");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let a = pb.farray("a", vec![v(n)]);
+        pb.main(vec![]);
+        let p = pb.build();
+        let mut k = crate::kernel::KernelPlan::new("k0", vec![axis(i, v(n))], vec![store(a, vec![v(i)], 1.0)]);
+        k.finalize();
+        let txt = kernel(&p, &k);
+        assert!(txt.contains("__global__ void k0"));
+        assert!(txt.contains("blockIdx.x"));
+        assert!(txt.contains("a[i] = 1.0;"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Whole programs: symbol tables, functions, datasets, and finalization.
+
+use serde::{Deserialize, Serialize};
+
+use acceval_sim::{Buffer, ElemType};
+
+use crate::expr::Expr;
+use crate::stmt::{visit_stmts_mut, ParallelRegion, Stmt};
+use crate::types::{ArrayId, RegionId, ScalarId, SiteId, Value};
+
+/// Scalar variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarDecl {
+    pub name: String,
+    /// Float or integer (B-values live in either).
+    pub is_float: bool,
+}
+
+/// Array declaration. Dimensions are expressions over scalar parameters,
+/// evaluated once at program start; storage is flattened row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub elem: ElemType,
+    pub dims: Vec<Expr>,
+}
+
+/// A function. Scalar parameters are passed by value into their global
+/// slots; array parameters are remapped (no recursion permitted).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    pub name: String,
+    pub scalar_params: Vec<ScalarId>,
+    pub array_params: Vec<ArrayId>,
+    pub body: Vec<Stmt>,
+}
+
+/// A whole directive-annotated program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    pub name: String,
+    pub scalars: Vec<ScalarDecl>,
+    pub arrays: Vec<ArrayDecl>,
+    pub funcs: Vec<Function>,
+    pub main: Vec<Stmt>,
+    /// Arrays whose final contents define program output (for validation).
+    pub outputs: Vec<ArrayId>,
+    /// Scalars whose final values define program output.
+    pub output_scalars: Vec<ScalarId>,
+    /// Number of memory/branch sites after [`Program::finalize`].
+    pub site_count: u32,
+    /// Number of parallel regions after [`Program::finalize`].
+    pub region_count: u32,
+}
+
+impl Program {
+    /// Assign dense [`SiteId`]s to every load/store/branch and dense
+    /// [`RegionId`]s to every parallel region, then validate array arities.
+    ///
+    /// Must be called (by the builder) before execution; transforms that
+    /// synthesize new accesses re-run it.
+    pub fn finalize(&mut self) {
+        let mut site = 0u32;
+        let mut region = 0u32;
+        let mut renumber = |stmts: &mut Vec<Stmt>| {
+            renumber_sites_from(stmts, &mut site);
+            visit_stmts_mut(stmts, &mut |s| {
+                if let Stmt::Parallel(r) = s {
+                    r.id = RegionId(region);
+                    region += 1;
+                }
+            });
+        };
+        let mut funcs = std::mem::take(&mut self.funcs);
+        for f in &mut funcs {
+            renumber(&mut f.body);
+        }
+        self.funcs = funcs;
+        let mut main = std::mem::take(&mut self.main);
+        renumber(&mut main);
+        self.main = main;
+        self.site_count = site;
+        self.region_count = region;
+        self.validate();
+    }
+
+    fn validate(&self) {
+        let arrays = &self.arrays;
+        let check = |stmts: &[Stmt]| {
+            crate::stmt::visit_stmts(stmts, &mut |s| {
+                if let Stmt::Store { array, index, .. } = s {
+                    assert_eq!(
+                        arrays[array.0 as usize].dims.len(),
+                        index.len(),
+                        "store arity mismatch on array {}",
+                        arrays[array.0 as usize].name
+                    );
+                }
+            });
+            crate::stmt::visit_exprs(stmts, &mut |e| {
+                if let Expr::Load { array, index, .. } = e {
+                    assert_eq!(
+                        arrays[array.0 as usize].dims.len(),
+                        index.len(),
+                        "load arity mismatch on array {}",
+                        arrays[array.0 as usize].name
+                    );
+                }
+            });
+        };
+        for f in &self.funcs {
+            check(&f.body);
+        }
+        check(&self.main);
+    }
+
+    /// All parallel regions of the program in id order (searches functions
+    /// and main).
+    pub fn regions(&self) -> Vec<&ParallelRegion> {
+        fn collect<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a ParallelRegion>) {
+            crate::stmt::visit_stmts(stmts, &mut |s| {
+                if let Stmt::Parallel(r) = s {
+                    out.push(r);
+                }
+            });
+        }
+        let mut out: Vec<&ParallelRegion> = Vec::new();
+        for f in &self.funcs {
+            collect(&f.body, &mut out);
+        }
+        collect(&self.main, &mut out);
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Add a fresh scalar slot (used by transforms) and return its id.
+    pub fn fresh_scalar(&mut self, name: &str, is_float: bool) -> ScalarId {
+        let id = ScalarId(self.scalars.len() as u32);
+        self.scalars.push(ScalarDecl { name: name.to_string(), is_float });
+        id
+    }
+
+    /// Look up a scalar by name (panics if absent; for tests/examples).
+    pub fn scalar_named(&self, name: &str) -> ScalarId {
+        ScalarId(
+            self.scalars
+                .iter()
+                .position(|s| s.name == name)
+                .unwrap_or_else(|| panic!("no scalar named {name}")) as u32,
+        )
+    }
+
+    /// Look up an array by name (panics if absent; for tests/examples).
+    pub fn array_named(&self, name: &str) -> ArrayId {
+        ArrayId(
+            self.arrays
+                .iter()
+                .position(|a| a.name == name)
+                .unwrap_or_else(|| panic!("no array named {name}")) as u32,
+        )
+    }
+
+    /// Name of an array (reporting).
+    pub fn array_name(&self, id: ArrayId) -> &str {
+        &self.arrays[id.0 as usize].name
+    }
+
+    /// Element type of an array.
+    pub fn array_elem(&self, id: ArrayId) -> ElemType {
+        self.arrays[id.0 as usize].elem
+    }
+}
+
+/// Renumber all load/store/branch sites in `stmts` starting from `*next`,
+/// updating `*next` past the last id used.
+pub fn renumber_sites_from(stmts: &mut [Stmt], next: &mut u32) {
+    visit_stmts_mut(stmts, &mut |s| {
+        match s {
+            Stmt::Store { site, .. } | Stmt::If { site, .. } => {
+                *site = SiteId(*next);
+                *next += 1;
+            }
+            _ => {}
+        }
+        for e in s.exprs_mut() {
+            e.visit_mut(&mut |e| {
+                if let Expr::Load { site, .. } = e {
+                    *site = SiteId(*next);
+                    *next += 1;
+                }
+            });
+        }
+    });
+}
+
+/// Renumber sites densely from zero; returns the site count. Used for
+/// stand-alone kernel bodies.
+pub fn renumber_sites(stmts: &mut [Stmt]) -> u32 {
+    let mut n = 0;
+    renumber_sites_from(stmts, &mut n);
+    n
+}
+
+/// Initial machine state for one run: scalar values and array contents.
+#[derive(Debug, Clone, Default)]
+pub struct DataSet {
+    pub scalars: Vec<(ScalarId, Value)>,
+    pub arrays: Vec<(ArrayId, Buffer)>,
+    /// Human-readable description of the problem size (for reports).
+    pub label: String,
+}
+
+/// Host memory image: one buffer per program array.
+#[derive(Debug, Clone)]
+pub struct HostData {
+    pub bufs: Vec<Buffer>,
+}
+
+impl HostData {
+    /// Materialize host memory for `prog` from `ds`: arrays present in the
+    /// dataset are copied in, the rest are zero-filled at their declared
+    /// sizes (dims evaluated against the dataset scalars).
+    pub fn materialize(prog: &Program, ds: &DataSet) -> HostData {
+        let mut scal: Vec<Value> = prog
+            .scalars
+            .iter()
+            .map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) })
+            .collect();
+        for (id, v) in &ds.scalars {
+            scal[id.0 as usize] = *v;
+        }
+        let mut bufs = Vec::with_capacity(prog.arrays.len());
+        for (i, a) in prog.arrays.iter().enumerate() {
+            let provided = ds.arrays.iter().find(|(id, _)| id.0 as usize == i);
+            if let Some((_, b)) = provided {
+                assert_eq!(b.elem, a.elem, "dataset element type mismatch for {}", a.name);
+                bufs.push(b.clone());
+            } else {
+                let len: usize = a.dims.iter().map(|d| eval_const(d, &scal)).product();
+                bufs.push(Buffer::zeroed(a.elem, len));
+            }
+        }
+        HostData { bufs }
+    }
+}
+
+/// Evaluate a dimension expression against initial scalar values. Supports
+/// the constant/linear forms dims actually use.
+pub fn eval_const(e: &Expr, scalars: &[Value]) -> usize {
+    use crate::expr::BinOp;
+    let v = match e {
+        Expr::I(x) => *x,
+        Expr::F(x) => *x as i64,
+        Expr::Var(s) => scalars[s.0 as usize].as_i(),
+        Expr::Bin(op, a, b) => {
+            let x = eval_const(a, scalars) as i64;
+            let y = eval_const(b, scalars) as i64;
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                _ => panic!("unsupported dim operator"),
+            }
+        }
+        _ => panic!("unsupported dim expression"),
+    };
+    assert!(v >= 0, "negative array dimension");
+    v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ic, ld, v};
+
+    fn tiny_program() -> Program {
+        let mut p = Program {
+            name: "tiny".into(),
+            scalars: vec![
+                ScalarDecl { name: "n".into(), is_float: false },
+                ScalarDecl { name: "i".into(), is_float: false },
+            ],
+            arrays: vec![ArrayDecl { name: "a".into(), elem: ElemType::F64, dims: vec![v(ScalarId(0))] }],
+            funcs: vec![],
+            main: vec![Stmt::For {
+                var: ScalarId(1),
+                lo: ic(0),
+                hi: v(ScalarId(0)),
+                step: ic(1),
+                body: vec![Stmt::Store {
+                    array: ArrayId(0),
+                    index: vec![v(ScalarId(1))],
+                    value: ld(ArrayId(0), vec![v(ScalarId(1))]) + 1.0,
+                    site: SiteId(u32::MAX),
+                }],
+                par: None,
+            }],
+            outputs: vec![ArrayId(0)],
+            output_scalars: vec![],
+            site_count: 0,
+            region_count: 0,
+        };
+        p.finalize();
+        p
+    }
+
+    #[test]
+    fn finalize_assigns_dense_sites() {
+        let p = tiny_program();
+        assert_eq!(p.site_count, 2); // one store + one load
+        let mut seen = vec![];
+        crate::stmt::visit_stmts(&p.main, &mut |s| {
+            if let Stmt::Store { site, .. } = s {
+                seen.push(site.0);
+            }
+        });
+        crate::stmt::visit_exprs(&p.main, &mut |e| {
+            if let Expr::Load { site, .. } = e {
+                seen.push(site.0);
+            }
+        });
+        seen.sort();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn materialize_sizes_arrays_from_scalars() {
+        let p = tiny_program();
+        let ds = DataSet { scalars: vec![(ScalarId(0), Value::I(16))], arrays: vec![], label: "t".into() };
+        let h = HostData::materialize(&p, &ds);
+        assert_eq!(h.bufs[0].len(), 16);
+    }
+
+    #[test]
+    fn materialize_uses_provided_buffers() {
+        let p = tiny_program();
+        let b = Buffer::from_f64(ElemType::F64, vec![5.0; 8]);
+        let ds = DataSet {
+            scalars: vec![(ScalarId(0), Value::I(8))],
+            arrays: vec![(ArrayId(0), b)],
+            label: "t".into(),
+        };
+        let h = HostData::materialize(&p, &ds);
+        assert_eq!(h.bufs[0].get_f(3), 5.0);
+    }
+
+    #[test]
+    fn eval_const_linear_forms() {
+        let scal = vec![Value::I(10)];
+        assert_eq!(eval_const(&(v(ScalarId(0)) + 2i64), &scal), 12);
+        assert_eq!(eval_const(&(v(ScalarId(0)) * v(ScalarId(0))), &scal), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn validate_catches_bad_arity() {
+        let mut p = tiny_program();
+        p.main.push(Stmt::Store {
+            array: ArrayId(0),
+            index: vec![ic(0), ic(0)],
+            value: ic(0).to_f(),
+            site: SiteId(u32::MAX),
+        });
+        p.finalize();
+    }
+
+    #[test]
+    fn fresh_scalar_extends_table() {
+        let mut p = tiny_program();
+        let id = p.fresh_scalar("tmp", true);
+        assert_eq!(id.0 as usize, p.scalars.len() - 1);
+        assert_eq!(p.scalar_named("tmp"), id);
+    }
+}

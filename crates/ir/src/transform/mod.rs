@@ -1,0 +1,346 @@
+//! Source-level transformations: the optimization repertoire the paper's
+//! compilers (and porters) apply.
+//!
+//! * [`inline_all`] — procedure inlining (what PGI/HMPP demand manually and
+//!   OpenMPC approximates with automatic procedure cloning);
+//! * [`interchange`] — *parallel loop-swap* (OpenMPC's coalescing fix);
+//! * [`collapse2`] — loop collapsing (OpenMPC's fix for CG; OpenMP
+//!   `collapse(2)` for HOTSPOT);
+//! * [`coarsen`] — thread coarsening / strip-mining (EP's fix for the
+//!   private-array memory overflow);
+//! * [`subst_arrays`] — array substitution used by inlining.
+
+use std::collections::HashMap;
+
+use crate::expr::Expr;
+use crate::program::Program;
+use crate::stmt::{visit_exprs_mut, visit_stmts_mut, ParInfo, Stmt};
+use crate::types::ArrayId;
+
+/// Replace array ids per `map` in a statement tree (loads, stores, clauses).
+pub fn subst_arrays(stmts: &mut [Stmt], map: &HashMap<ArrayId, ArrayId>) {
+    let res = |a: ArrayId| *map.get(&a).unwrap_or(&a);
+    visit_stmts_mut(stmts, &mut |s| match s {
+        Stmt::Store { array, .. } => *array = res(*array),
+        Stmt::Update { arrays, .. } => {
+            for a in arrays {
+                *a = res(*a);
+            }
+        }
+        Stmt::DataRegion { clauses, .. } => {
+            for list in [&mut clauses.copyin, &mut clauses.copyout, &mut clauses.copy, &mut clauses.create] {
+                for a in list {
+                    *a = res(*a);
+                }
+            }
+        }
+        Stmt::Call { array_args, .. } => {
+            for a in array_args {
+                *a = res(*a);
+            }
+        }
+        Stmt::Parallel(r) => {
+            for p in &mut r.private {
+                if let crate::types::VarRef::Array(a) = p {
+                    *a = res(*a);
+                }
+            }
+        }
+        Stmt::For { par: Some(pi), .. } => {
+            for p in &mut pi.private {
+                if let crate::types::VarRef::Array(a) = p {
+                    *a = res(*a);
+                }
+            }
+            for r in &mut pi.reductions {
+                if let crate::types::VarRef::Array(a) = &mut r.target {
+                    *a = res(*a);
+                }
+            }
+        }
+        _ => {}
+    });
+    visit_exprs_mut(stmts, &mut |e| {
+        if let Expr::Load { array, .. } = e {
+            *array = res(*array);
+        }
+    });
+}
+
+/// Inline every call in `main` (and transitively), producing a flat program.
+/// Scalar parameters become assignments; array parameters are substituted.
+/// Panics on recursion (depth > 16).
+pub fn inline_all(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    let mut main = std::mem::take(&mut out.main);
+    inline_stmts(&mut main, prog, 0);
+    out.main = main;
+    // The program is flat now; drop function bodies so regions (and sites)
+    // are counted once.
+    out.funcs.clear();
+    out.finalize();
+    out
+}
+
+fn inline_stmts(stmts: &mut Vec<Stmt>, prog: &Program, depth: usize) {
+    assert!(depth < 16, "inline depth exceeded (recursive call?)");
+    let mut i = 0;
+    while i < stmts.len() {
+        // Recurse into nested bodies first.
+        for b in stmts[i].bodies_mut() {
+            inline_stmts(b, prog, depth);
+        }
+        if let Stmt::Call { func, scalar_args, array_args } = &stmts[i] {
+            let f = &prog.funcs[func.0 as usize];
+            let mut replacement: Vec<Stmt> = Vec::with_capacity(f.scalar_params.len() + f.body.len());
+            for (p, a) in f.scalar_params.iter().zip(scalar_args) {
+                replacement.push(Stmt::Assign { var: *p, value: a.clone() });
+            }
+            let mut body = f.body.clone();
+            let map: HashMap<ArrayId, ArrayId> =
+                f.array_params.iter().copied().zip(array_args.iter().copied()).collect();
+            subst_arrays(&mut body, &map);
+            inline_stmts(&mut body, prog, depth + 1);
+            replacement.extend(body);
+            stmts.splice(i..=i, replacement.clone());
+            i += replacement.len();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Interchange a 2-deep perfect nest: `for v1 { for v2 { body } }` becomes
+/// `for v2 { for v1 { body } }`, moving the work-sharing annotation to the
+/// new outer loop. Returns `false` (leaving the nest untouched) if the shape
+/// doesn't match or the inner bounds depend on the outer variable.
+pub fn interchange(nest: &mut Stmt) -> bool {
+    let Stmt::For { var: v1, lo: lo1, hi: hi1, step: s1, body, par } = nest else {
+        return false;
+    };
+    if body.len() != 1 {
+        return false;
+    }
+    let Stmt::For { var: v2, lo: lo2, hi: hi2, step: s2, body: inner, par: par2 } = &mut body[0] else {
+        return false;
+    };
+    if lo2.uses_var(*v1) || hi2.uses_var(*v1) || s2.uses_var(*v1) {
+        return false;
+    }
+    let new_inner = Stmt::For {
+        var: *v1,
+        lo: lo1.clone(),
+        hi: hi1.clone(),
+        step: s1.clone(),
+        body: std::mem::take(inner),
+        par: par2.take(),
+    };
+    let swapped = Stmt::For {
+        var: *v2,
+        lo: lo2.clone(),
+        hi: hi2.clone(),
+        step: s2.clone(),
+        body: vec![new_inner],
+        par: par.take(),
+    };
+    *nest = swapped;
+    true
+}
+
+/// Collapse a 2-deep perfect nest `for v1 in l1..h1 { for v2 in l2..h2 {..} }`
+/// into a single loop over `k in 0..(n1*n2)` with
+/// `v1 = l1 + k / n2; v2 = l2 + k % n2`. Inner bounds must not depend on the
+/// outer variable. `k` is a fresh scalar allocated in `prog`. Returns whether
+/// the transform applied.
+pub fn collapse2(prog: &mut Program, nest: &mut Stmt) -> bool {
+    let Stmt::For { var: v1, lo: lo1, hi: hi1, step, body, par } = nest else {
+        return false;
+    };
+    if !matches!(step, Expr::I(1)) || body.len() != 1 {
+        return false;
+    }
+    let Stmt::For { var: v2, lo: lo2, hi: hi2, step: s2, body: inner, par: _ } = &mut body[0] else {
+        return false;
+    };
+    if !matches!(s2, Expr::I(1)) || lo2.uses_var(*v1) || hi2.uses_var(*v1) {
+        return false;
+    }
+    let k = prog.fresh_scalar("_collapse_k", false);
+    let n2 = hi2.clone() - lo2.clone();
+    let mut new_body = vec![
+        Stmt::Assign { var: *v1, value: lo1.clone() + Expr::Var(k) / n2.clone() },
+        Stmt::Assign { var: *v2, value: lo2.clone() + Expr::Var(k) % n2.clone() },
+    ];
+    new_body.append(inner);
+    let total = (hi1.clone() - lo1.clone()) * n2;
+    let par_info = par.take().or(Some(ParInfo::default()));
+    *nest = Stmt::For { var: k, lo: Expr::I(0), hi: total, step: Expr::I(1), body: new_body, par: par_info };
+    true
+}
+
+/// Thread-coarsen a work-sharing loop: `pfor v in 0..n` becomes
+/// `pfor t in 0..T { for v in t..n step T { body } }` (cyclic distribution,
+/// which preserves coalescing). Used by the EP ports to cap the number of
+/// threads so expanded private arrays fit in memory.
+pub fn coarsen(prog: &mut Program, nest: &mut Stmt, threads: Expr) -> bool {
+    let Stmt::For { var, lo, hi, step, body, par } = nest else {
+        return false;
+    };
+    if !matches!(step, Expr::I(1)) || !matches!(lo, Expr::I(0)) {
+        return false;
+    }
+    let t = prog.fresh_scalar("_coarse_t", false);
+    let inner = Stmt::For {
+        var: *var,
+        lo: Expr::Var(t),
+        hi: hi.clone(),
+        step: threads.clone(),
+        body: std::mem::take(body),
+        par: None,
+    };
+    let par_info = par.take().or(Some(ParInfo::default()));
+    *nest = Stmt::For { var: t, lo: Expr::I(0), hi: threads, step: Expr::I(1), body: vec![inner], par: par_info };
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::{ld, v};
+    use crate::types::ScalarId;
+    use crate::interp::cpu::run_cpu;
+    use crate::program::DataSet;
+    use crate::types::Value;
+    use acceval_sim::HostConfig;
+
+    /// Build a 2-D program, apply `f` to the nest inside the region, run on
+    /// CPU and return the output buffer.
+    fn run_variant(f: impl FnOnce(&mut Program)) -> Vec<f64> {
+        let mut pb = ProgramBuilder::new("t");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let j = pb.iscalar("j");
+        let a = pb.farray("a", vec![v(n), v(n)]);
+        pb.main(vec![parallel(
+            "r",
+            vec![pfor(
+                i,
+                0i64,
+                v(n),
+                vec![sfor(j, 0i64, v(n), vec![store(a, vec![v(i), v(j)], (v(i) * 100i64 + v(j)).to_f())])],
+            )],
+        )]);
+        let mut p = pb.build();
+        f(&mut p);
+        p.finalize();
+        let ds = DataSet { scalars: vec![(n, Value::I(8))], arrays: vec![], label: "t".into() };
+        let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        r.data.bufs[a.0 as usize].as_f64().to_vec()
+    }
+
+    fn nest_of(p: &mut Program) -> &mut Stmt {
+        let Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+        &mut r.body[0]
+    }
+
+    #[test]
+    fn interchange_preserves_semantics() {
+        let base = run_variant(|_| {});
+        let swapped = run_variant(|p| {
+            assert!(interchange(nest_of(p)));
+        });
+        assert_eq!(base, swapped);
+    }
+
+    #[test]
+    fn interchange_moves_par_annotation() {
+        let mut pb = ProgramBuilder::new("t");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let j = pb.iscalar("j");
+        let a = pb.farray("a", vec![v(n), v(n)]);
+        let mut nest = pfor(i, 0i64, v(n), vec![sfor(j, 0i64, v(n), vec![store(a, vec![v(i), v(j)], 0.0)])]);
+        assert!(interchange(&mut nest));
+        let Stmt::For { var, par, body, .. } = &nest else { panic!() };
+        assert_eq!(*var, j);
+        assert!(par.is_some());
+        let Stmt::For { var: iv, par: ip, .. } = &body[0] else { panic!() };
+        assert_eq!(*iv, i);
+        assert!(ip.is_none());
+    }
+
+    #[test]
+    fn interchange_rejects_triangular() {
+        let i = ScalarId(0);
+        let j = ScalarId(1);
+        let a = ArrayId(0);
+        let mut nest = pfor(i, 0i64, 8i64, vec![sfor(j, v(i), 8i64, vec![store(a, vec![v(j)], 0.0)])]);
+        assert!(!interchange(&mut nest));
+    }
+
+    #[test]
+    fn collapse_preserves_semantics() {
+        let base = run_variant(|_| {});
+        let collapsed = run_variant(|p| {
+            // take nest out to appease the borrow checker
+            let mut nest = {
+                let Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+                r.body.remove(0)
+            };
+            assert!(collapse2(p, &mut nest));
+            let Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+            r.body.push(nest);
+        });
+        assert_eq!(base, collapsed);
+    }
+
+    #[test]
+    fn coarsen_preserves_semantics() {
+        let base = run_variant(|_| {});
+        let coarse = run_variant(|p| {
+            let mut nest = {
+                let Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+                r.body.remove(0)
+            };
+            assert!(coarsen(p, &mut nest, Expr::I(3)));
+            let Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+            r.body.push(nest);
+        });
+        assert_eq!(base, coarse);
+    }
+
+    #[test]
+    fn inline_all_flattens_calls() {
+        let mut pb = ProgramBuilder::new("t");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let c = pb.fscalar("c");
+        let x = pb.farray("x", vec![v(n)]);
+        let fa = pb.farray("fa", vec![v(n)]);
+        let f = pb.func(
+            "scale",
+            vec![c],
+            vec![fa],
+            vec![parallel("scale", vec![pfor(i, 0i64, v(n), vec![store(fa, vec![v(i)], ld(fa, vec![v(i)]) * v(c))])])],
+        );
+        pb.main(vec![
+            sfor(i, 0i64, v(n), vec![store(x, vec![v(i)], 1.0)]),
+            call(f, vec![Expr::F(3.0)], vec![x]),
+        ]);
+        let p = pb.build();
+        let flat = inline_all(&p);
+        assert!(flat.main.iter().all(|s| !s.contains_call()));
+        assert_eq!(flat.region_count, 1);
+        // Region in the flat program references `x`, not the formal.
+        let regions = flat.regions();
+        let t = crate::analysis::arrays_touched(&flat, &regions[0].body);
+        assert!(t.writes.contains(&x));
+        assert!(!t.writes.contains(&fa));
+        // Semantics preserved.
+        let ds = DataSet { scalars: vec![(n, Value::I(5))], arrays: vec![], label: "t".into() };
+        let r1 = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+        let r2 = run_cpu(&flat, &ds, &HostConfig::xeon_x5660());
+        assert_eq!(r1.data.bufs[x.0 as usize].as_f64(), r2.data.bufs[x.0 as usize].as_f64());
+    }
+}

@@ -1,0 +1,187 @@
+//! Identifiers and runtime values for the directive IR.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a scalar variable slot in a [`crate::program::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ScalarId(pub u32);
+
+/// Index of an array declaration in a [`crate::program::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+/// Index of a function in a [`crate::program::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Identifier of an OpenMP parallel region, stable across porting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// Identifier of a static memory-access or branch site, assigned densely by
+/// [`crate::program::Program::finalize`]. The GPU executor keys its per-warp
+/// address traces by site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+/// A scalar or array variable reference (for clauses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarRef {
+    Scalar(ScalarId),
+    Array(ArrayId),
+}
+
+/// Runtime scalar value. All float arithmetic is f64; integer arithmetic is
+/// i64; comparisons yield `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    F(f64),
+    I(i64),
+    B(bool),
+}
+
+impl Value {
+    /// Numeric value as f64 (`B` maps to 0/1).
+    #[inline]
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::F(x) => x,
+            Value::I(x) => x as f64,
+            Value::B(b) => b as i64 as f64,
+        }
+    }
+
+    /// Numeric value as i64 (floats truncate toward zero, as in C casts).
+    #[inline]
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::F(x) => x as i64,
+            Value::I(x) => x,
+            Value::B(b) => b as i64,
+        }
+    }
+
+    /// Truthiness (C semantics: nonzero is true).
+    #[inline]
+    pub fn as_b(self) -> bool {
+        match self {
+            Value::F(x) => x != 0.0,
+            Value::I(x) => x != 0,
+            Value::B(b) => b,
+        }
+    }
+
+    /// Whether the value is floating point.
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, Value::F(_))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::F(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::I(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Self {
+        Value::B(x)
+    }
+}
+
+/// Reduction operators supported by the directive dialects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    Add,
+    Mul,
+    Max,
+    Min,
+    /// Logical OR (used e.g. for BFS's "frontier not empty" flag).
+    Or,
+    And,
+}
+
+impl ReduceOp {
+    /// The identity element, as a float (integer targets convert).
+    pub fn identity_f(self) -> f64 {
+        match self {
+            ReduceOp::Add | ReduceOp::Or => 0.0,
+            ReduceOp::Mul | ReduceOp::And => 1.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// The identity element for an integer target.
+    pub fn identity_i(self) -> i64 {
+        match self {
+            ReduceOp::Add | ReduceOp::Or => 0,
+            ReduceOp::Mul | ReduceOp::And => 1,
+            ReduceOp::Max => i64::MIN,
+            ReduceOp::Min => i64::MAX,
+        }
+    }
+
+    /// Combine two values under this operator.
+    pub fn combine(self, a: Value, b: Value) -> Value {
+        match (self, a, b) {
+            (ReduceOp::Add, Value::I(x), Value::I(y)) => Value::I(x + y),
+            (ReduceOp::Mul, Value::I(x), Value::I(y)) => Value::I(x * y),
+            (ReduceOp::Max, Value::I(x), Value::I(y)) => Value::I(x.max(y)),
+            (ReduceOp::Min, Value::I(x), Value::I(y)) => Value::I(x.min(y)),
+            (ReduceOp::Add, a, b) => Value::F(a.as_f() + b.as_f()),
+            (ReduceOp::Mul, a, b) => Value::F(a.as_f() * b.as_f()),
+            (ReduceOp::Max, a, b) => Value::F(a.as_f().max(b.as_f())),
+            (ReduceOp::Min, a, b) => Value::F(a.as_f().min(b.as_f())),
+            (ReduceOp::Or, a, b) => Value::B(a.as_b() || b.as_b()),
+            (ReduceOp::And, a, b) => Value::B(a.as_b() && b.as_b()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::F(2.9).as_i(), 2);
+        assert_eq!(Value::F(-2.9).as_i(), -2);
+        assert_eq!(Value::I(3).as_f(), 3.0);
+        assert!(Value::I(1).as_b());
+        assert!(!Value::F(0.0).as_b());
+        assert_eq!(Value::B(true).as_f(), 1.0);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(ReduceOp::Add.identity_f(), 0.0);
+        assert_eq!(ReduceOp::Mul.identity_i(), 1);
+        assert_eq!(ReduceOp::Max.identity_i(), i64::MIN);
+        assert!(ReduceOp::Min.identity_f().is_infinite());
+    }
+
+    #[test]
+    fn reduce_combines() {
+        assert_eq!(ReduceOp::Add.combine(Value::I(2), Value::I(3)), Value::I(5));
+        assert_eq!(ReduceOp::Max.combine(Value::F(2.0), Value::F(3.0)), Value::F(3.0));
+        assert_eq!(ReduceOp::Or.combine(Value::B(false), Value::I(7)), Value::B(true));
+        assert_eq!(ReduceOp::Min.combine(Value::I(-1), Value::I(4)), Value::I(-1));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for op in [ReduceOp::Add, ReduceOp::Mul, ReduceOp::Max, ReduceOp::Min] {
+            let x = Value::F(4.25);
+            let id = Value::F(op.identity_f());
+            assert_eq!(op.combine(id, x), x);
+        }
+    }
+}

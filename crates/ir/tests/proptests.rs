@@ -1,0 +1,254 @@
+//! Property-based tests for the IR: the interpreter against native Rust
+//! semantics, transformation semantics preservation, and GPU/CPU execution
+//! agreement on randomized programs.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v, BinOp, Expr};
+use acceval_ir::interp::cpu::run_cpu;
+use acceval_ir::interp::gpu::{env_from_dataset, launch, upload_all, DeviceState};
+use acceval_ir::interp::{eval_bin, eval_pure};
+use acceval_ir::kernel::{axis, KernelPlan};
+use acceval_ir::program::{DataSet, HostData, Program};
+use acceval_ir::transform::{coarsen, collapse2, interchange};
+use acceval_ir::types::{ArrayId, ScalarId, Value};
+use acceval_sim::{DeviceConfig, HostConfig};
+use proptest::prelude::*;
+
+// ---- expression semantics -------------------------------------------------
+
+proptest! {
+    /// Integer arithmetic in the evaluator matches native wrapping semantics.
+    #[test]
+    fn eval_bin_matches_native_ints(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        prop_assert_eq!(eval_bin(BinOp::Add, Value::I(a), Value::I(b)), Value::I(a.wrapping_add(b)));
+        prop_assert_eq!(eval_bin(BinOp::Mul, Value::I(a), Value::I(b)), Value::I(a.wrapping_mul(b)));
+        prop_assert_eq!(eval_bin(BinOp::Min, Value::I(a), Value::I(b)), Value::I(a.min(b)));
+        prop_assert_eq!(eval_bin(BinOp::Max, Value::I(a), Value::I(b)), Value::I(a.max(b)));
+        if b != 0 {
+            prop_assert_eq!(eval_bin(BinOp::Div, Value::I(a), Value::I(b)), Value::I(a / b));
+            prop_assert_eq!(eval_bin(BinOp::Rem, Value::I(a), Value::I(b)), Value::I(a % b));
+        }
+        prop_assert_eq!(eval_bin(BinOp::Lt, Value::I(a), Value::I(b)), Value::B(a < b));
+    }
+
+    /// Float arithmetic promotes and matches f64 semantics bit-for-bit.
+    #[test]
+    fn eval_bin_matches_native_floats(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert_eq!(eval_bin(BinOp::Add, Value::F(a), Value::F(b)), Value::F(a + b));
+        prop_assert_eq!(eval_bin(BinOp::Mul, Value::F(a), Value::I(3)), Value::F(a * 3.0));
+        prop_assert_eq!(eval_bin(BinOp::Sub, Value::I(2), Value::F(b)), Value::F(2.0 - b));
+    }
+
+    /// eval_pure of a random arithmetic expression tree equals a direct fold.
+    #[test]
+    fn eval_pure_random_trees(ops in prop::collection::vec((0u8..4, -50i64..50), 1..20), seed in -100i64..100) {
+        let mut e: Expr = Expr::I(seed);
+        let mut expect = seed;
+        for (op, c) in ops {
+            match op {
+                0 => { e = e + c; expect = expect.wrapping_add(c); }
+                1 => { e = e - c; expect = expect.wrapping_sub(c); }
+                2 => { e = e * c; expect = expect.wrapping_mul(c); }
+                _ => { e = e.max(c); expect = expect.max(c); }
+            }
+        }
+        prop_assert_eq!(eval_pure(&e, &[]).as_i(), expect);
+    }
+}
+
+// ---- transformation semantics ----------------------------------------------
+
+/// Build a little 2-D program whose nest body mixes reads/writes in a way
+/// parameterized by `kind`, run it on the CPU, and return the output buffer.
+fn run_nest(n: i64, kind: u8, xform: u8) -> Vec<f64> {
+    let mut pb = ProgramBuilder::new("p");
+    let nn = pb.iscalar("n");
+    let i = pb.iscalar("i");
+    let j = pb.iscalar("j");
+    let a = pb.farray("a", vec![v(nn), v(nn)]);
+    let b = pb.farray("b", vec![v(nn), v(nn)]);
+    let body = match kind % 3 {
+        0 => vec![store(b, vec![v(i), v(j)], (v(i) * 31i64 + v(j) * 7i64).to_f())],
+        1 => vec![store(b, vec![v(i), v(j)], ld(a, vec![v(i), v(j)]) * 2.0 + 1.0)],
+        _ => vec![store(b, vec![v(j), v(i)], ld(a, vec![v(i), v(j)]) - ld(a, vec![v(j), v(i)]))],
+    };
+    pb.main(vec![parallel("r", vec![pfor(i, 0i64, v(nn), vec![sfor(j, 0i64, v(nn), body)])])]);
+    let mut p = pb.build();
+    // apply the transform under test to the nest (3 = leave untouched)
+    let mut nest = {
+        let acceval_ir::stmt::Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+        r.body.remove(0)
+    };
+    match xform {
+        0 => assert!(interchange(&mut nest)),
+        1 => assert!(collapse2(&mut p, &mut nest)),
+        2 => assert!(coarsen(&mut p, &mut nest, Expr::I(3))),
+        _ => {}
+    }
+    {
+        let acceval_ir::stmt::Stmt::Parallel(r) = &mut p.main[0] else { panic!() };
+        r.body.push(nest);
+    }
+    p.finalize();
+    let ds = DataSet {
+        scalars: vec![(ScalarId(0), Value::I(n))],
+        arrays: vec![(
+            ArrayId(0),
+            acceval_sim::Buffer::from_f64(
+                acceval_sim::ElemType::F64,
+                (0..n * n).map(|k| (k % 17) as f64).collect(),
+            ),
+        )],
+        label: "t".into(),
+    };
+    let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
+    r.data.bufs[1].as_f64().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interchange, collapse and coarsen all preserve program semantics on
+    /// randomized dependence-free nest bodies.
+    #[test]
+    fn transforms_preserve_semantics(n in 3i64..9, kind in 0u8..2) {
+        let reference = run_nest(n, kind, 3); // untransformed
+        let swapped = run_nest(n, kind, 0);
+        let collapsed = run_nest(n, kind, 1);
+        let coarse = run_nest(n, kind, 2);
+        prop_assert_eq!(&reference, &swapped);
+        prop_assert_eq!(&reference, &collapsed);
+        prop_assert_eq!(&reference, &coarse);
+    }
+}
+
+// ---- GPU/CPU agreement ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A randomized elementwise kernel computes exactly what sequential
+    /// execution computes, for any block size and problem size.
+    #[test]
+    fn gpu_matches_cpu_elementwise(
+        n in 1i64..700,
+        block in prop::sample::select(vec![32u32, 64, 128, 256]),
+        c1 in -5i64..5,
+        c2 in 1i64..7,
+    ) {
+        let mut pb = ProgramBuilder::new("p");
+        let nn = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let x = pb.farray("x", vec![v(nn)]);
+        let y = pb.farray("y", vec![v(nn)]);
+        let body = vec![store(
+            y,
+            vec![v(i)],
+            (ld(x, vec![(v(i) * c2) % v(nn)]) + Expr::I(c1)) * 0.5,
+        )];
+        pb.main(vec![]);
+        let p = pb.build();
+        let ds = DataSet {
+            scalars: vec![(nn, Value::I(n))],
+            arrays: vec![(
+                x,
+                acceval_sim::Buffer::from_f64(acceval_sim::ElemType::F64, (0..n).map(|k| k as f64).collect()),
+            )],
+            label: "t".into(),
+        };
+        let mut k = KernelPlan::new("k", vec![axis(i, v(nn))], body);
+        k.block = (block, 1);
+        k.finalize();
+        let cfg = DeviceConfig::tesla_m2090();
+        let host = HostData::materialize(&p, &ds);
+        let mut dev = DeviceState::new(&p, &cfg);
+        upload_all(&p, &mut dev, &host);
+        let mut scal = env_from_dataset(&p, &ds);
+        let r = launch(&p, &k, &mut dev, &mut scal, &cfg);
+        prop_assert_eq!(r.active_threads, n as u64);
+        let yb = dev.bufs[y.0 as usize].as_ref().unwrap();
+        for idx in 0..n {
+            let want = (((idx * c2) % n) as f64 + c1 as f64) * 0.5;
+            prop_assert_eq!(yb.get_f(idx as usize), want, "idx {}", idx);
+        }
+    }
+
+    /// Scalar sum reductions on the GPU equal the serial sum for any block
+    /// size (deterministic combination order).
+    #[test]
+    fn gpu_reduction_deterministic(
+        n in 1i64..2000,
+        block in prop::sample::select(vec![32u32, 128, 256, 512]),
+    ) {
+        let mut pb = ProgramBuilder::new("p");
+        let nn = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let s = pb.fscalar("s");
+        let x = pb.farray("x", vec![v(nn)]);
+        pb.main(vec![]);
+        let p = pb.build();
+        let data: Vec<f64> = (0..n).map(|k| ((k * 37) % 101) as f64).collect();
+        let want: f64 = data.iter().sum();
+        let ds = DataSet {
+            scalars: vec![(nn, Value::I(n))],
+            arrays: vec![(x, acceval_sim::Buffer::from_f64(acceval_sim::ElemType::F64, data))],
+            label: "t".into(),
+        };
+        let mut k = KernelPlan::new("sum", vec![axis(i, v(nn))], vec![assign(s, v(s) + ld(x, vec![v(i)]))])
+            .with_reduction(acceval_ir::types::ReduceOp::Add, acceval_ir::types::VarRef::Scalar(s));
+        k.block = (block, 1);
+        k.finalize();
+        let cfg = DeviceConfig::tesla_m2090();
+        let host = HostData::materialize(&p, &ds);
+        let mut dev = DeviceState::new(&p, &cfg);
+        upload_all(&p, &mut dev, &host);
+        let mut scal = env_from_dataset(&p, &ds);
+        launch(&p, &k, &mut dev, &mut scal, &cfg);
+        let got = scal[s.0 as usize].as_f();
+        prop_assert!((got - want).abs() < 1e-9 * want.abs().max(1.0), "{} vs {}", got, want);
+        // determinism: run again, bit-identical
+        let mut dev2 = DeviceState::new(&p, &cfg);
+        upload_all(&p, &mut dev2, &host);
+        let mut scal2 = env_from_dataset(&p, &ds);
+        launch(&p, &k, &mut dev2, &mut scal2, &cfg);
+        prop_assert_eq!(got.to_bits(), scal2[s.0 as usize].as_f().to_bits());
+    }
+}
+
+// ---- program-level sanity ----------------------------------------------------
+
+/// A program built through the builder never has dangling site ids after
+/// finalize (all sites dense and within site_count).
+#[test]
+fn finalize_sites_are_dense() {
+    let progs: Vec<Program> = vec![
+        {
+            let mut pb = ProgramBuilder::new("a");
+            let n = pb.iscalar("n");
+            let i = pb.iscalar("i");
+            let x = pb.farray("x", vec![v(n)]);
+            pb.main(vec![parallel(
+                "r",
+                vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], ld(x, vec![v(i)]) + 1.0)])],
+            )]);
+            pb.build()
+        },
+    ];
+    for p in progs {
+        let mut seen = vec![];
+        acceval_ir::stmt::visit_stmts(&p.main, &mut |s| match s {
+            acceval_ir::stmt::Stmt::Store { site, .. } | acceval_ir::stmt::Stmt::If { site, .. } => {
+                seen.push(site.0)
+            }
+            _ => {}
+        });
+        acceval_ir::stmt::visit_exprs(&p.main, &mut |e| {
+            if let Expr::Load { site, .. } = e {
+                seen.push(site.0);
+            }
+        });
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..p.site_count).collect();
+        assert_eq!(seen, expect);
+    }
+}

@@ -1,0 +1,169 @@
+//! Table I: the feature matrix — what type of information each model's
+//! directives can provide, at which level of explicitness.
+
+use serde::{Deserialize, Serialize};
+
+/// Explicitness level of a feature in a model (Table I cell vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Directives exist to control the feature explicitly.
+    Explicit,
+    /// The compiler handles the feature implicitly.
+    Implicit,
+    /// Users can indirectly steer the compiler.
+    Indirect,
+    /// Implementation-dependent.
+    ImpDep,
+    /// Not applicable / not provided.
+    None,
+}
+
+impl Level {
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Explicit => "explicit",
+            Level::Implicit => "implicit",
+            Level::Indirect => "indirect",
+            Level::ImpDep => "imp-dep",
+            Level::None => "-",
+        }
+    }
+}
+
+/// A cell may list more than one level ("explicit implicit").
+pub type Levels = Vec<Level>;
+
+/// One model's Table I column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureRow {
+    /// "Code regions to be offloaded": `loops` or `structured blocks`.
+    pub offload_unit: &'static str,
+    /// "Loop mapping" levels of parallelism the directives can express.
+    pub loop_mapping: &'static str,
+    /// Data management: GPU memory allocation and free.
+    pub mem_alloc: Levels,
+    /// Data management: movement between CPU and GPU.
+    pub data_movement: Levels,
+    /// Compiler optimizations: loop transformations.
+    pub loop_transforms: Levels,
+    /// Compiler optimizations: data management optimizations.
+    pub data_opts: Levels,
+    /// GPU-specific: thread batching (grid/block configuration).
+    pub thread_batching: Levels,
+    /// GPU-specific: utilization of special memories.
+    pub special_memories: Levels,
+}
+
+/// The eight feature-row labels of Table I, in paper order.
+pub const FEATURE_LABELS: [&str; 8] = [
+    "Code regions to be offloaded",
+    "Loop mapping",
+    "GPU memory allocation and free",
+    "Data movement between CPU and GPU",
+    "Loop transformations",
+    "Data management optimizations",
+    "Thread batching",
+    "Utilization of special memories",
+];
+
+impl FeatureRow {
+    /// Render the row's cells in Table I order.
+    pub fn cells(&self) -> [String; 8] {
+        let fmt = |ls: &Levels| {
+            if ls.is_empty() {
+                "-".to_string()
+            } else {
+                ls.iter().map(|l| l.label()).collect::<Vec<_>>().join(" ")
+            }
+        };
+        [
+            self.offload_unit.to_string(),
+            self.loop_mapping.to_string(),
+            fmt(&self.mem_alloc),
+            fmt(&self.data_movement),
+            fmt(&self.loop_transforms),
+            fmt(&self.data_opts),
+            fmt(&self.thread_batching),
+            fmt(&self.special_memories),
+        ]
+    }
+
+    /// A coarse "abstraction score": fraction of data/optimization features
+    /// handled implicitly. R-Stream scores highest, hiCUDA lowest — the
+    /// ordering claim of §III.
+    pub fn abstraction_score(&self) -> f64 {
+        let groups = [
+            &self.mem_alloc,
+            &self.data_movement,
+            &self.loop_transforms,
+            &self.data_opts,
+            &self.thread_batching,
+            &self.special_memories,
+        ];
+        let mut score = 0.0;
+        for g in groups {
+            let s = g
+                .iter()
+                .map(|l| match l {
+                    Level::Implicit => 1.0,
+                    Level::ImpDep => 0.75,
+                    Level::Indirect => 0.5,
+                    Level::Explicit => 0.0,
+                    Level::None => 0.5,
+                })
+                .sum::<f64>()
+                / g.len().max(1) as f64;
+            score += s;
+        }
+        score / groups.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{model, ModelKind};
+
+    #[test]
+    fn rstream_most_abstract_hicuda_least() {
+        let scores: Vec<(ModelKind, f64)> = ModelKind::table1_models()
+            .into_iter()
+            .map(|k| (k, model(k).features().abstraction_score()))
+            .collect();
+        let rstream = scores.iter().find(|(k, _)| *k == ModelKind::RStream).unwrap().1;
+        let hicuda = scores.iter().find(|(k, _)| *k == ModelKind::HiCuda).unwrap().1;
+        for (k, s) in &scores {
+            if *k != ModelKind::RStream {
+                assert!(rstream >= *s, "R-Stream should offer the highest abstraction (vs {k:?})");
+            }
+            if *k != ModelKind::HiCuda {
+                assert!(hicuda <= *s, "hiCUDA should offer the lowest abstraction (vs {k:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_rows_render_eight_cells() {
+        for k in ModelKind::table1_models() {
+            let cells = model(k).features().cells();
+            assert_eq!(cells.len(), 8);
+            assert!(cells.iter().all(|c| !c.is_empty()));
+        }
+    }
+
+    #[test]
+    fn paper_cell_spotchecks() {
+        // Table I: PGI offloads loops; OpenMPC/hiCUDA offload structured blocks.
+        assert_eq!(model(ModelKind::PgiAccelerator).features().offload_unit, "loops");
+        assert_eq!(model(ModelKind::OpenMpc).features().offload_unit, "structured blocks");
+        assert_eq!(model(ModelKind::HiCuda).features().offload_unit, "structured blocks");
+        assert_eq!(model(ModelKind::RStream).features().offload_unit, "loops");
+        // hiCUDA is fully explicit for data management.
+        let h = model(ModelKind::HiCuda).features();
+        assert_eq!(h.mem_alloc, vec![Level::Explicit]);
+        assert_eq!(h.data_movement, vec![Level::Explicit]);
+        // R-Stream is implicit for data management.
+        let r = model(ModelKind::RStream).features();
+        assert_eq!(r.mem_alloc, vec![Level::Implicit]);
+    }
+}

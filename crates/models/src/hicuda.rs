@@ -1,0 +1,57 @@
+//! hiCUDA (Table I only in the paper's evaluation).
+//!
+//! The lowest-abstraction directive model: the programmer explicitly
+//! controls kernel boundaries, thread batching, data allocation/movement and
+//! special-memory placement. Nothing is automatic; everything is expressible.
+
+use acceval_ir::analysis::RegionFeatures;
+use acceval_ir::kernel::Expansion;
+
+use crate::features::{FeatureRow, Level};
+use crate::lower::{LoweringOptions, ScalarRedSource};
+use crate::pgi::common_loop_model_accepts;
+use crate::{DataPolicy, ModelCompiler, ModelKind, Unsupported};
+
+/// The hiCUDA model.
+pub struct HiCuda;
+
+impl ModelCompiler for HiCuda {
+    fn kind(&self) -> ModelKind {
+        ModelKind::HiCuda
+    }
+
+    fn features(&self) -> FeatureRow {
+        FeatureRow {
+            offload_unit: "structured blocks",
+            loop_mapping: "parallel",
+            mem_alloc: vec![Level::Explicit],
+            data_movement: vec![Level::Explicit],
+            loop_transforms: vec![Level::None],
+            data_opts: vec![Level::Implicit],
+            thread_batching: vec![Level::Explicit],
+            special_memories: vec![Level::Explicit],
+        }
+    }
+
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported> {
+        // Explicit model, but still no critical sections / array reductions.
+        common_loop_model_accepts(f, "hiCUDA")
+    }
+
+    fn lowering(&self) -> LoweringOptions {
+        LoweringOptions {
+            default_expansion: Expansion::RowWise,
+            scalar_reductions: ScalarRedSource::Declared,
+            array_reductions: false,
+            auto_loop_swap: false,
+            two_d_mapping: true,
+            auto_tile_2d: false,
+            auto_caching: false,
+            honor_hints: true,
+        }
+    }
+
+    fn data_policy(&self) -> DataPolicy {
+        DataPolicy::DataRegionScoped
+    }
+}

@@ -1,0 +1,65 @@
+//! HMPP Workbench (§III-C).
+//!
+//! Codelet-based model: offloaded code must be outlined into pure functions
+//! (manual restructuring cost); data sharing across codelets is managed via
+//! groups, `mirror`, and `advancedload`/`delegatedstore` directives (verbose
+//! but expressive); a rich directive set gives explicit control over loop
+//! transformations and CUDA-specific features, so ports can express the
+//! loop-swap/tiling/2-D mappings directly.
+
+use acceval_ir::analysis::RegionFeatures;
+use acceval_ir::kernel::Expansion;
+
+use crate::features::{FeatureRow, Level};
+use crate::lower::{LoweringOptions, ScalarRedSource};
+use crate::pgi::common_loop_model_accepts;
+use crate::{DataPolicy, ModelCompiler, ModelKind, Unsupported};
+
+/// The HMPP Workbench compiler (version 3.0.7 in the paper).
+pub struct Hmpp;
+
+impl ModelCompiler for Hmpp {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Hmpp
+    }
+
+    fn features(&self) -> FeatureRow {
+        FeatureRow {
+            offload_unit: "loops",
+            loop_mapping: "parallel",
+            mem_alloc: vec![Level::Explicit, Level::Implicit],
+            data_movement: vec![Level::Explicit, Level::Implicit],
+            loop_transforms: vec![Level::Explicit],
+            data_opts: vec![Level::Explicit, Level::Implicit],
+            thread_batching: vec![Level::Explicit, Level::Implicit],
+            special_memories: vec![Level::Explicit],
+        }
+    }
+
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported> {
+        // Codelets are pure functions over loops; the structural limits
+        // match the other industry loop models.
+        common_loop_model_accepts(f, "HMPP")
+    }
+
+    fn lowering(&self) -> LoweringOptions {
+        LoweringOptions {
+            default_expansion: Expansion::RowWise,
+            scalar_reductions: ScalarRedSource::Declared,
+            array_reductions: false,
+            auto_loop_swap: false,
+            two_d_mapping: true,
+            // HMPP does not auto-tile; its *directives* express tiling, so
+            // ports provide explicit hints instead.
+            auto_tile_2d: false,
+            auto_caching: false,
+            honor_hints: true,
+        }
+    }
+
+    fn data_policy(&self) -> DataPolicy {
+        // Codelet groups + advancedload/delegatedstore + mirror ≈ data
+        // regions (more verbose to write, same runtime effect).
+        DataPolicy::DataRegionScoped
+    }
+}

@@ -1,0 +1,221 @@
+//! # acceval-models
+//!
+//! The directive-based GPU programming models evaluated by Lee & Vetter
+//! (SC'12): PGI Accelerator, OpenACC (PGI implementation), HMPP, OpenMPC,
+//! R-Stream, and hiCUDA (feature-table only in the paper; compilable here).
+//!
+//! Each model implements [`ModelCompiler`]:
+//! * [`ModelCompiler::accepts`] — the applicability test against a region of
+//!   the *original OpenMP* program (the paper's Table II coverage);
+//! * [`ModelCompiler::lowering`] — the model's automatic compilation
+//!   behaviour (loop mapping, reduction handling, private-array expansion,
+//!   caching), applied to the *ported* program;
+//! * [`ModelCompiler::data_policy`] — how host<->device traffic is planned;
+//! * [`ModelCompiler::features`] — the Table I row.
+
+#![forbid(unsafe_code)]
+
+pub mod features;
+pub mod hicuda;
+pub mod hmpp;
+pub mod lower;
+pub mod openacc;
+pub mod openmpc;
+pub mod pgi;
+pub mod rstream;
+pub mod tuning;
+
+use acceval_ir::analysis::RegionFeatures;
+use serde::{Deserialize, Serialize};
+
+pub use features::{FeatureRow, Level};
+pub use lower::{lower_region, LoweringOptions, RegionHints};
+pub use tuning::TuningPoint;
+
+/// The evaluated models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    PgiAccelerator,
+    OpenAcc,
+    Hmpp,
+    OpenMpc,
+    RStream,
+    HiCuda,
+    /// Hand-written CUDA (the paper's performance upper bound; not a
+    /// directive model — no `accepts`/coverage entry).
+    ManualCuda,
+}
+
+impl ModelKind {
+    /// Display name as used in the paper's tables and figures.
+    pub fn display(&self) -> &'static str {
+        match self {
+            ModelKind::PgiAccelerator => "PGI Accelerator",
+            ModelKind::OpenAcc => "OpenACC",
+            ModelKind::Hmpp => "HMPP",
+            ModelKind::OpenMpc => "OpenMPC",
+            ModelKind::RStream => "R-Stream",
+            ModelKind::HiCuda => "hiCUDA",
+            ModelKind::ManualCuda => "Hand-Written CUDA",
+        }
+    }
+
+    /// The five directive models of Table II, in paper order.
+    pub fn coverage_models() -> [ModelKind; 5] {
+        [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp, ModelKind::OpenMpc, ModelKind::RStream]
+    }
+
+    /// The models plotted in Figure 1, in paper order (R-Stream excluded
+    /// for low coverage, exactly as the paper does).
+    pub fn figure1_models() -> [ModelKind; 5] {
+        [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp, ModelKind::OpenMpc, ModelKind::ManualCuda]
+    }
+
+    /// The six models of Table I, in paper column order.
+    pub fn table1_models() -> [ModelKind; 6] {
+        [
+            ModelKind::PgiAccelerator,
+            ModelKind::OpenAcc,
+            ModelKind::Hmpp,
+            ModelKind::OpenMpc,
+            ModelKind::HiCuda,
+            ModelKind::RStream,
+        ]
+    }
+}
+
+/// Why a model cannot translate a region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Unsupported {
+    pub reason: String,
+}
+
+impl Unsupported {
+    pub fn new(reason: impl Into<String>) -> Self {
+        Unsupported { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported: {}", self.reason)
+    }
+}
+
+/// How a model plans host<->device data traffic (executed by the runtime in
+/// `acceval`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPolicy {
+    /// Naive: copy the read set in and the write set out around *every*
+    /// region instance (what untuned, data-clause-free ports do).
+    PerRegion,
+    /// Honor `DataRegion` statements: clause transfers at the boundaries and
+    /// residency inside; naive outside any data region. (PGI Accelerator /
+    /// OpenACC `data`, HMPP codelet groups with `advancedload` /
+    /// `delegatedstore` + `mirror`.)
+    DataRegionScoped,
+    /// Whole-program, lazy, context-sensitive transfers: move data only when
+    /// the other side actually touches it (OpenMPC's automatic
+    /// interprocedural optimization; also what hand-written CUDA does).
+    Automatic,
+}
+
+/// A directive-based GPU programming model.
+pub trait ModelCompiler: Sync {
+    fn kind(&self) -> ModelKind;
+
+    /// Table I row for this model.
+    fn features(&self) -> FeatureRow;
+
+    /// Applicability test against a region of the original OpenMP program.
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported>;
+
+    /// The model's automatic lowering behaviour.
+    fn lowering(&self) -> LoweringOptions;
+
+    /// Transfer planning policy.
+    fn data_policy(&self) -> DataPolicy;
+
+    /// Tuning space explored for the Figure 1 variation band.
+    fn tuning_space(&self) -> Vec<TuningPoint> {
+        tuning::default_space(self.kind())
+    }
+}
+
+/// Instantiate a model by kind. (`ManualCuda` has no compiler — hand-written
+/// plans come from the benchmarks.)
+pub fn model(kind: ModelKind) -> Box<dyn ModelCompiler> {
+    match kind {
+        ModelKind::PgiAccelerator => Box::new(pgi::PgiAccelerator),
+        ModelKind::OpenAcc => Box::new(openacc::OpenAcc),
+        ModelKind::Hmpp => Box::new(hmpp::Hmpp),
+        ModelKind::OpenMpc => Box::new(openmpc::OpenMpc),
+        ModelKind::RStream => Box::new(rstream::RStream),
+        ModelKind::HiCuda => Box::new(hicuda::HiCuda),
+        ModelKind::ManualCuda => panic!("ManualCuda is not a directive compiler"),
+    }
+}
+
+/// A single code change made while porting a benchmark to a model, with its
+/// line cost (the paper's code-size-increase accounting).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortChange {
+    pub kind: ChangeKind,
+    pub lines: u32,
+    pub note: String,
+}
+
+impl PortChange {
+    pub fn new(kind: ChangeKind, lines: u32, note: impl Into<String>) -> Self {
+        PortChange { kind, lines, note: note.into() }
+    }
+}
+
+/// Categories of porting work the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// Directives inserted (compute/data/loop clauses).
+    Directive,
+    /// Outlining code into codelets (HMPP) or functions (R-Stream masking).
+    Outline,
+    /// Manual inlining to satisfy lexical-scope rules.
+    Inline,
+    /// Decomposing an array reduction into scalar reductions (EP on PGI &c).
+    DecomposeReduction,
+    /// Strip-mining / thread coarsening to cap private-array memory.
+    StripMine,
+    /// Manual loop interchange in the input code.
+    LoopSwap,
+    /// Memory-layout change in the input (FT transpose, CFD packing).
+    LayoutChange,
+    /// Dummy affine functions summarizing irregular code (R-Stream).
+    DummyAffine,
+    /// Restructuring parallel regions (splitting, converting to loops).
+    RegionRestructure,
+    /// Rewriting reductions into a recognizable form (KMEANS on OpenMPC).
+    ReductionRewrite,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_factory_matches_kind() {
+        for k in ModelKind::table1_models() {
+            assert_eq!(model(k).kind(), k);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn manual_cuda_has_no_compiler() {
+        let _ = model(ModelKind::ManualCuda);
+    }
+
+    #[test]
+    fn figure1_excludes_rstream() {
+        assert!(!ModelKind::figure1_models().contains(&ModelKind::RStream));
+        assert!(ModelKind::figure1_models().contains(&ModelKind::ManualCuda));
+    }
+}

@@ -1,0 +1,61 @@
+//! OpenACC, PGI implementation (§III-B).
+//!
+//! Inherits the PGI Accelerator model (data/compute regions, implicit
+//! optimization) and adds: the `kernels`/`parallel` constructs,
+//! gang/worker/vector three-level mapping, an explicit scalar `reduction`
+//! clause, and richer cross-procedure data clauses. Array reductions remain
+//! unsupported, and data clauses require contiguous memory.
+
+use acceval_ir::analysis::RegionFeatures;
+use acceval_ir::kernel::Expansion;
+
+use crate::features::{FeatureRow, Level};
+use crate::lower::{LoweringOptions, ScalarRedSource};
+use crate::pgi::common_loop_model_accepts;
+use crate::{DataPolicy, ModelCompiler, ModelKind, Unsupported};
+
+/// The OpenACC model (PGI 12.6 implementation, as the paper tested).
+pub struct OpenAcc;
+
+impl ModelCompiler for OpenAcc {
+    fn kind(&self) -> ModelKind {
+        ModelKind::OpenAcc
+    }
+
+    fn features(&self) -> FeatureRow {
+        FeatureRow {
+            offload_unit: "structured blocks",
+            loop_mapping: "parallel vector",
+            mem_alloc: vec![Level::Explicit, Level::Implicit],
+            data_movement: vec![Level::Explicit, Level::Implicit],
+            loop_transforms: vec![Level::ImpDep],
+            data_opts: vec![Level::ImpDep],
+            thread_batching: vec![Level::Indirect, Level::Implicit],
+            special_memories: vec![Level::Indirect, Level::ImpDep],
+        }
+    }
+
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported> {
+        // The tested OpenACC implementation is built on the PGI Accelerator
+        // compiler and has the same structural limits.
+        common_loop_model_accepts(f, "OpenACC")
+    }
+
+    fn lowering(&self) -> LoweringOptions {
+        LoweringOptions {
+            default_expansion: Expansion::RowWise,
+            // explicit reduction clause (scalar only)
+            scalar_reductions: ScalarRedSource::Both,
+            array_reductions: false,
+            auto_loop_swap: false,
+            two_d_mapping: true,
+            auto_tile_2d: true,
+            auto_caching: false,
+            honor_hints: false,
+        }
+    }
+
+    fn data_policy(&self) -> DataPolicy {
+        DataPolicy::DataRegionScoped
+    }
+}

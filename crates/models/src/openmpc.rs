@@ -1,0 +1,72 @@
+//! OpenMPC (§III-D).
+//!
+//! OpenMP extended for CUDA: accepts OpenMP parallel regions as-is (regions
+//! are split at synchronization points; work-sharing loops become kernels,
+//! the rest runs on the host); supports scalar *and* array reductions
+//! (recognizing OpenMP critical-section patterns); performs parallel
+//! loop-swap and loop collapsing automatically; expands private arrays
+//! column-wise (Matrix Transpose); places read-only irregular data in
+//! texture memory and small read-only data in constant memory; and
+//! optimizes data transfers interprocedurally with procedure cloning.
+
+use acceval_ir::analysis::RegionFeatures;
+use acceval_ir::kernel::Expansion;
+
+use crate::features::{FeatureRow, Level};
+use crate::lower::{LoweringOptions, ScalarRedSource};
+use crate::{DataPolicy, ModelCompiler, ModelKind, Unsupported};
+
+/// The OpenMPC compiler (version 0.31 in the paper).
+pub struct OpenMpc;
+
+impl ModelCompiler for OpenMpc {
+    fn kind(&self) -> ModelKind {
+        ModelKind::OpenMpc
+    }
+
+    fn features(&self) -> FeatureRow {
+        FeatureRow {
+            offload_unit: "structured blocks",
+            loop_mapping: "parallel",
+            mem_alloc: vec![Level::Explicit, Level::Implicit],
+            data_movement: vec![Level::Explicit, Level::Implicit],
+            loop_transforms: vec![Level::Explicit],
+            data_opts: vec![Level::Explicit, Level::Implicit],
+            thread_batching: vec![Level::Explicit, Level::Implicit],
+            special_memories: vec![Level::Explicit, Level::Implicit],
+        }
+    }
+
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported> {
+        if f.worksharing_loops == 0 {
+            return Err(Unsupported::new("OpenMPC: no work-sharing constructs; region stays on host"));
+        }
+        if f.has_critical && !f.critical_is_array_reduction {
+            return Err(Unsupported::new(
+                "OpenMPC: critical sections are accepted only when they are reduction patterns",
+            ));
+        }
+        // Structured blocks, function calls (procedure cloning), barriers
+        // (region splitting) are all fine.
+        Ok(())
+    }
+
+    fn lowering(&self) -> LoweringOptions {
+        LoweringOptions {
+            default_expansion: Expansion::ColumnWise,
+            scalar_reductions: ScalarRedSource::Both,
+            array_reductions: true,
+            auto_loop_swap: true,
+            // OpenMPC partitions 1-D (it lacks multi-dimensional
+            // partitioning; HOTSPOT uses `collapse` to similar effect).
+            two_d_mapping: false,
+            auto_tile_2d: false,
+            auto_caching: true,
+            honor_hints: false,
+        }
+    }
+
+    fn data_policy(&self) -> DataPolicy {
+        DataPolicy::Automatic
+    }
+}

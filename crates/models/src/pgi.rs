@@ -1,0 +1,88 @@
+//! PGI Accelerator (§III-A).
+//!
+//! High-level, loop-oriented model: compute regions must be loops; data
+//! regions must lexically contain their compute regions; scalar reductions
+//! are detected implicitly (no reduction clause); array reductions and
+//! critical sections are not supported; function calls must be inlinable;
+//! private arrays are expanded row-wise; 2-D nests are mapped to 2-D grids
+//! and tiled into shared memory automatically.
+
+use acceval_ir::analysis::RegionFeatures;
+use acceval_ir::kernel::Expansion;
+
+use crate::features::{FeatureRow, Level};
+use crate::lower::{LoweringOptions, ScalarRedSource};
+use crate::{DataPolicy, ModelCompiler, ModelKind, Unsupported};
+
+/// The PGI Accelerator compiler (version 12.6 in the paper).
+pub struct PgiAccelerator;
+
+impl ModelCompiler for PgiAccelerator {
+    fn kind(&self) -> ModelKind {
+        ModelKind::PgiAccelerator
+    }
+
+    fn features(&self) -> FeatureRow {
+        FeatureRow {
+            offload_unit: "loops",
+            loop_mapping: "parallel vector",
+            mem_alloc: vec![Level::Explicit, Level::Implicit],
+            data_movement: vec![Level::Explicit, Level::Implicit],
+            loop_transforms: vec![Level::Implicit],
+            data_opts: vec![Level::Explicit, Level::Implicit],
+            thread_batching: vec![Level::Indirect, Level::Implicit],
+            special_memories: vec![Level::Indirect, Level::Implicit],
+        }
+    }
+
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported> {
+        common_loop_model_accepts(f, "PGI Accelerator")
+    }
+
+    fn lowering(&self) -> LoweringOptions {
+        LoweringOptions {
+            default_expansion: Expansion::RowWise,
+            scalar_reductions: ScalarRedSource::Detected,
+            array_reductions: false,
+            auto_loop_swap: false,
+            two_d_mapping: true,
+            auto_tile_2d: true,
+            auto_caching: false,
+            honor_hints: false,
+        }
+    }
+
+    fn data_policy(&self) -> DataPolicy {
+        DataPolicy::DataRegionScoped
+    }
+}
+
+/// The acceptance rule shared by the loop-oriented industry models
+/// (PGI Accelerator, OpenACC, HMPP, hiCUDA): work-sharing loops only, no
+/// critical sections or array reductions, no calls, limited nesting.
+pub fn common_loop_model_accepts(f: &RegionFeatures, who: &str) -> Result<(), Unsupported> {
+    if f.worksharing_loops == 0 {
+        return Err(Unsupported::new(format!("{who}: region has no parallel loops")));
+    }
+    if f.has_nonloop_statements {
+        return Err(Unsupported::new(format!(
+            "{who}: cannot parallelize general structured blocks (code outside work-sharing loops)"
+        )));
+    }
+    if f.has_critical {
+        return Err(Unsupported::new(format!("{who}: critical sections are not supported")));
+    }
+    if !f.declared_array_reductions.is_empty() || !f.detected_array_reductions.is_empty() {
+        return Err(Unsupported::new(format!("{who}: only scalar reductions are handled")));
+    }
+    if f.has_calls {
+        return Err(Unsupported::new(format!("{who}: function calls in compute regions must be inlined")));
+    }
+    if f.has_while {
+        return Err(Unsupported::new(format!("{who}: dynamic loop bounds (while) not mappable")));
+    }
+    if f.max_nest_depth > 4 {
+        return Err(Unsupported::new(format!("{who}: nested-loop depth exceeds implementation limit")));
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! R-Stream (§III-E).
+//!
+//! Polyhedral, architecture-independent model: the user only tags mappable
+//! functions; parallelization, loop transformation, data movement and
+//! special-memory management are fully automatic. The price is coverage: it
+//! accepts only *extended static control programs* — affine loop bounds and
+//! subscripts, data-independent control flow — and the tested 3.2RC1 lacks
+//! the blackboxing feature that would mask irregular code.
+
+use acceval_ir::analysis::RegionFeatures;
+use acceval_ir::kernel::Expansion;
+
+use crate::features::{FeatureRow, Level};
+use crate::lower::{LoweringOptions, ScalarRedSource};
+use crate::{DataPolicy, ModelCompiler, ModelKind, Unsupported};
+
+/// The R-Stream compiler (version 3.2RC1 in the paper).
+pub struct RStream;
+
+impl ModelCompiler for RStream {
+    fn kind(&self) -> ModelKind {
+        ModelKind::RStream
+    }
+
+    fn features(&self) -> FeatureRow {
+        FeatureRow {
+            offload_unit: "loops",
+            loop_mapping: "parallel",
+            mem_alloc: vec![Level::Implicit],
+            data_movement: vec![Level::Implicit],
+            loop_transforms: vec![Level::Implicit],
+            data_opts: vec![Level::Implicit],
+            thread_batching: vec![Level::Explicit, Level::Implicit],
+            special_memories: vec![Level::Implicit],
+        }
+    }
+
+    fn accepts(&self, f: &RegionFeatures) -> Result<(), Unsupported> {
+        if f.worksharing_loops == 0 {
+            return Err(Unsupported::new("R-Stream: no loops to map"));
+        }
+        if f.has_critical || f.has_while || f.has_barrier {
+            return Err(Unsupported::new("R-Stream: dynamic control/synchronization is not static control"));
+        }
+        if f.has_calls {
+            return Err(Unsupported::new("R-Stream: calls inside mappable regions (blackboxing unsupported)"));
+        }
+        if !f.declared_scalar_reductions.is_empty()
+            || !f.detected_scalar_reductions.is_empty()
+            || !f.declared_array_reductions.is_empty()
+            || !f.detected_array_reductions.is_empty()
+        {
+            return Err(Unsupported::new(
+                "R-Stream: reduction recurrence (loop-carried scalar dependence) prevents polyhedral parallelization",
+            ));
+        }
+        if !f.static_affine {
+            return Err(Unsupported::new(
+                "R-Stream: region is not an extended static control program (non-affine bounds/subscripts)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn lowering(&self) -> LoweringOptions {
+        LoweringOptions {
+            default_expansion: Expansion::ColumnWise,
+            scalar_reductions: ScalarRedSource::Detected,
+            array_reductions: false,
+            auto_loop_swap: true,
+            two_d_mapping: true,
+            auto_tile_2d: true,
+            auto_caching: false,
+            honor_hints: false,
+        }
+    }
+
+    fn data_policy(&self) -> DataPolicy {
+        // Transfers are optimized automatically, but only within one
+        // mappable function; across regions it behaves per-region.
+        DataPolicy::PerRegion
+    }
+}

@@ -1,0 +1,122 @@
+//! Tuning points: the knob settings explored for Figure 1's "performance
+//! variation by tuning" band.
+//!
+//! Every model exposes thread-batching control at least indirectly (Table I),
+//! so block shape is always tunable. The other knobs reflect what each
+//! model's directives can express: OpenMPC exposes caching and loop-swap
+//! toggles; PGI/OpenACC only steer the compiler indirectly; HMPP can express
+//! loop transforms explicitly; the manual-transpose knob models applying the
+//! Matrix Transpose technique in the *input* code of any model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelKind;
+
+/// One point in a model's tuning space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningPoint {
+    pub block_x: u32,
+    pub block_y: u32,
+    /// Override the model's loop-swap decision (`None` = model default).
+    pub loop_swap: Option<bool>,
+    /// Apply the Matrix Transpose (column-wise private-array expansion) in
+    /// the input code, regardless of the model's native expansion.
+    pub transpose_expansion: bool,
+    /// Allow special-memory placements (texture/constant/shared hints).
+    pub caching: bool,
+    /// Allow shared-memory tiling.
+    pub tiling: bool,
+}
+
+impl Default for TuningPoint {
+    fn default() -> Self {
+        TuningPoint {
+            block_x: 256,
+            block_y: 1,
+            loop_swap: None,
+            transpose_expansion: false,
+            caching: true,
+            tiling: true,
+        }
+    }
+}
+
+impl TuningPoint {
+    /// The model's default point (what the Figure 1 bars use). The manual
+    /// Matrix-Transpose input change is *not* part of any model's default —
+    /// it appears in the tuning band instead, matching the paper's "if the
+    /// technique is manually applied, they also perform similarly".
+    pub fn best_for(kind: ModelKind) -> TuningPoint {
+        let _ = kind;
+        TuningPoint::default()
+    }
+
+    /// Threads per block.
+    pub fn threads(&self) -> u32 {
+        self.block_x * self.block_y
+    }
+}
+
+/// The tuning space explored for a model (first point = the default/best).
+pub fn default_space(kind: ModelKind) -> Vec<TuningPoint> {
+    let best = TuningPoint::best_for(kind);
+    let mut pts = vec![best];
+    // Block-size sweep (all models can batch threads at least indirectly).
+    for bs in [64u32, 128, 512] {
+        pts.push(TuningPoint { block_x: bs, ..best });
+    }
+    // Untuned variants: no caching / no tiling / no manual transpose.
+    pts.push(TuningPoint { caching: false, ..best });
+    pts.push(TuningPoint { tiling: false, ..best });
+    match kind {
+        ModelKind::PgiAccelerator | ModelKind::OpenAcc | ModelKind::Hmpp => {
+            // Input-level variants the paper explored: applying the Matrix
+            // Transpose manually, or undoing the manual loop-swap.
+            pts.push(TuningPoint { transpose_expansion: true, ..best });
+            pts.push(TuningPoint { loop_swap: Some(true), ..best });
+        }
+        ModelKind::OpenMpc => {
+            // Explicit loop-transform control: force the swap both ways.
+            pts.push(TuningPoint { loop_swap: Some(false), ..best });
+            pts.push(TuningPoint { loop_swap: Some(true), ..best });
+        }
+        ModelKind::ManualCuda => {
+            // Hand-written code is already at its best point.
+            pts.truncate(1);
+        }
+        _ => {}
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_point_is_best() {
+        for k in ModelKind::table1_models() {
+            let space = default_space(k);
+            assert_eq!(space[0], TuningPoint::best_for(k));
+            assert!(!space.is_empty());
+        }
+    }
+
+    #[test]
+    fn manual_has_single_point() {
+        assert_eq!(default_space(ModelKind::ManualCuda).len(), 1);
+    }
+
+    #[test]
+    fn openmpc_space_has_swap_toggles() {
+        let s = default_space(ModelKind::OpenMpc);
+        assert!(s.iter().any(|p| p.loop_swap == Some(false)));
+        assert!(s.iter().any(|p| p.loop_swap == Some(true)));
+    }
+
+    #[test]
+    fn threads_multiplies_dims() {
+        let p = TuningPoint { block_x: 16, block_y: 16, ..Default::default() };
+        assert_eq!(p.threads(), 256);
+    }
+}

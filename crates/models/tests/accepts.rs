@@ -1,0 +1,183 @@
+//! Table-driven tests of each model's applicability rules (the machinery
+//! behind Table II), against synthesized region shapes.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v, Expr};
+use acceval_ir::analysis::region_features;
+use acceval_ir::program::Program;
+use acceval_ir::stmt::{ParallelRegion, Stmt};
+use acceval_ir::types::{ArrayId, ReduceOp, RegionId, ScalarId};
+use acceval_models::{model, ModelKind};
+
+fn prog() -> Program {
+    let mut pb = ProgramBuilder::new("t");
+    let _n = pb.iscalar("n");
+    let _i = pb.iscalar("i");
+    let _j = pb.iscalar("j");
+    let _s = pb.fscalar("s");
+    let _a = pb.farray("a", vec![v(ScalarId(0))]);
+    let _idx = pb.iarray("idx", vec![v(ScalarId(0))]);
+    pb.main(vec![]);
+    pb.build()
+}
+
+fn region(body: Vec<Stmt>) -> ParallelRegion {
+    ParallelRegion { id: RegionId(0), label: "t".into(), body, private: vec![] }
+}
+
+fn verdicts(r: &ParallelRegion) -> Vec<(ModelKind, bool)> {
+    let p = prog();
+    let f = region_features(&p, r);
+    ModelKind::coverage_models().into_iter().map(|k| (k, model(k).accepts(&f).is_ok())).collect()
+}
+
+fn accepted(r: &ParallelRegion, k: ModelKind) -> bool {
+    verdicts(r).into_iter().find(|(m, _)| *m == k).unwrap().1
+}
+
+const N: ScalarId = ScalarId(0);
+const I: ScalarId = ScalarId(1);
+const J: ScalarId = ScalarId(2);
+const S: ScalarId = ScalarId(3);
+const A: ArrayId = ArrayId(0);
+const IDX: ArrayId = ArrayId(1);
+
+#[test]
+fn plain_affine_loop_accepted_by_all() {
+    let r = region(vec![pfor(I, 0i64, v(N), vec![store(A, vec![v(I)], 1.0)])]);
+    for (k, ok) in verdicts(&r) {
+        assert!(ok, "{k:?} should accept a plain affine loop");
+    }
+}
+
+#[test]
+fn indirect_loop_rejected_only_by_rstream() {
+    let r = region(vec![pfor(I, 0i64, v(N), vec![store(A, vec![ld(IDX, vec![v(I)])], 1.0)])]);
+    for (k, ok) in verdicts(&r) {
+        assert_eq!(ok, k != ModelKind::RStream, "{k:?}");
+    }
+}
+
+#[test]
+fn scalar_reduction_rejected_only_by_rstream() {
+    let r = region(vec![pfor_with(
+        I,
+        0i64,
+        v(N),
+        vec![assign(S, v(S) + ld(A, vec![v(I)]))],
+        acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, S)], ..Default::default() },
+    )]);
+    for (k, ok) in verdicts(&r) {
+        assert_eq!(ok, k != ModelKind::RStream, "{k:?}");
+    }
+}
+
+#[test]
+fn critical_array_reduction_only_openmpc() {
+    let r = region(vec![pfor(
+        I,
+        0i64,
+        v(N),
+        vec![critical(vec![store(A, vec![v(I) % 8i64], ld(A, vec![v(I) % 8i64]) + 1.0)])],
+    )]);
+    for (k, ok) in verdicts(&r) {
+        assert_eq!(ok, k == ModelKind::OpenMpc, "{k:?}");
+    }
+}
+
+#[test]
+fn non_reduction_critical_rejected_by_all() {
+    let r = region(vec![pfor(I, 0i64, v(N), vec![critical(vec![store(A, vec![Expr::I(0)], v(I).to_f())])])]);
+    for (k, ok) in verdicts(&r) {
+        assert!(!ok, "{k:?} must reject a non-reduction critical section");
+    }
+}
+
+#[test]
+fn structured_block_code_only_openmpc() {
+    // statements outside any work-sharing loop (redundant per-thread code)
+    let r = region(vec![
+        assign(S, 0.0),
+        pfor(I, 0i64, v(N), vec![store(A, vec![v(I)], v(S))]),
+    ]);
+    assert!(accepted(&r, ModelKind::OpenMpc));
+    for k in [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp] {
+        assert!(!accepted(&r, k), "{k:?} cannot parallelize general structured blocks");
+    }
+}
+
+#[test]
+fn calls_in_region_only_openmpc() {
+    // a call statement inside the region body
+    let mut pb = ProgramBuilder::new("c");
+    let n = pb.iscalar("n");
+    let i = pb.iscalar("i");
+    let a = pb.farray("a", vec![v(n)]);
+    let f = pb.func("leaf", vec![], vec![], vec![store(a, vec![Expr::I(0)], 1.0)]);
+    pb.main(vec![parallel(
+        "r",
+        vec![pfor(i, 0i64, v(n), vec![call(f, vec![], vec![])])],
+    )]);
+    let p = pb.build();
+    let feats = region_features(&p, p.regions()[0]);
+    assert!(model(ModelKind::OpenMpc).accepts(&feats).is_ok(), "procedure cloning handles calls");
+    assert!(model(ModelKind::PgiAccelerator).accepts(&feats).is_err());
+    assert!(model(ModelKind::RStream).accepts(&feats).is_err());
+}
+
+#[test]
+fn while_loop_region_rejected_by_loop_models() {
+    let r = region(vec![
+        pfor(I, 0i64, v(N), vec![store(A, vec![v(I)], 0.0)]),
+        wloop(v(J).lt(3i64), vec![assign(J, v(J) + 1i64)]),
+    ]);
+    for k in [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp, ModelKind::RStream] {
+        assert!(!accepted(&r, k), "{k:?}");
+    }
+}
+
+#[test]
+fn deep_nest_hits_implementation_limit() {
+    // depth-5 nest exceeds the loop models' documented nesting limit
+    let k2 = ScalarId(2);
+    let deep = pfor(
+        I,
+        0i64,
+        v(N),
+        vec![sfor(
+            J,
+            0i64,
+            4i64,
+            vec![sfor(
+                k2,
+                0i64,
+                4i64,
+                vec![sfor(
+                    ScalarId(1),
+                    0i64,
+                    2i64,
+                    vec![sfor(ScalarId(2), 0i64, 2i64, vec![store(A, vec![v(I)], 1.0)])],
+                )],
+            )],
+        )],
+    );
+    let r = region(vec![deep]);
+    assert!(!accepted(&r, ModelKind::PgiAccelerator));
+    assert!(accepted(&r, ModelKind::OpenMpc));
+}
+
+#[test]
+fn rejection_reasons_are_informative() {
+    let r = region(vec![pfor(
+        I,
+        0i64,
+        v(N),
+        vec![critical(vec![store(A, vec![Expr::I(0)], v(I).to_f())])],
+    )]);
+    let p = prog();
+    let f = region_features(&p, &r);
+    let err = model(ModelKind::PgiAccelerator).accepts(&f).unwrap_err();
+    assert!(err.reason.contains("critical"), "{}", err.reason);
+    let err = model(ModelKind::RStream).accepts(&f).unwrap_err();
+    assert!(err.reason.to_lowercase().contains("static control") || err.reason.contains("reduction"), "{}", err.reason);
+}

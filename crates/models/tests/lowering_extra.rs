@@ -1,0 +1,173 @@
+//! Additional lowering-path coverage: declared array-reduction clauses
+//! (the OpenMPC extension), constant-memory auto-placement, hint-driven
+//! block selection, and tuning-knob interactions.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::kernel::MemSpace;
+use acceval_ir::program::Program;
+use acceval_ir::stmt::{ParallelRegion, ParInfo};
+use acceval_ir::types::{ReduceOp, RegionId, Value};
+use acceval_models::lower::{lower_region, manual_lowering, RegionHints};
+use acceval_models::{model, ModelCompiler, ModelKind, TuningPoint};
+
+fn prog_with_hist() -> Program {
+    let mut pb = ProgramBuilder::new("p");
+    let n = pb.iscalar("n");
+    let i = pb.iscalar("i");
+    let x = pb.farray("x", vec![v(n)]);
+    let hist = pb.farray("hist", vec![8i64.into()]);
+    let small = pb.farray("small", vec![16i64.into()]);
+    let _ = (i, x, hist, small);
+    pb.main(vec![]);
+    pb.build()
+}
+
+fn env(p: &Program) -> Vec<Value> {
+    let mut e: Vec<Value> = p.scalars.iter().map(|_| Value::I(1)).collect();
+    e[p.scalar_named("n").0 as usize] = Value::I(4096);
+    e
+}
+
+#[test]
+fn declared_array_reduction_clause_openmpc_only() {
+    let p = prog_with_hist();
+    let (n, i, x, hist) =
+        (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("hist"));
+    let r = ParallelRegion {
+        id: RegionId(0),
+        label: "hist".into(),
+        body: vec![pfor_with(
+            i,
+            0i64,
+            v(n),
+            vec![store(
+                hist,
+                vec![ld(x, vec![v(i)]).to_i() % 8i64],
+                ld(hist, vec![ld(x, vec![v(i)]).to_i() % 8i64]) + 1.0,
+            )],
+            ParInfo { reductions: vec![red_array(ReduceOp::Add, hist)], ..Default::default() },
+        )],
+        private: vec![],
+    };
+    let e = env(&p);
+    // OpenMPC: accepted, hist privatized + reduced.
+    let mut p2 = p.clone();
+    let ks = lower_region(
+        &mut p2,
+        &r,
+        &model(ModelKind::OpenMpc).lowering(),
+        &RegionHints::default(),
+        &TuningPoint::default(),
+        &e,
+    )
+    .expect("OpenMPC handles array reduction clauses");
+    assert!(ks[0].reductions.iter().any(|t| matches!(t.target, acceval_ir::types::VarRef::Array(a) if a == hist)));
+    assert!(ks[0].expansion_of(hist).is_some());
+    // PGI: rejected.
+    let mut p3 = p.clone();
+    let err = lower_region(
+        &mut p3,
+        &r,
+        &model(ModelKind::PgiAccelerator).lowering(),
+        &RegionHints::default(),
+        &TuningPoint::default(),
+        &e,
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn small_readonly_array_goes_to_constant_memory() {
+    let p = prog_with_hist();
+    let (n, i, x, small) =
+        (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("small"));
+    let r = ParallelRegion {
+        id: RegionId(0),
+        label: "scale".into(),
+        body: vec![pfor(
+            i,
+            0i64,
+            v(n),
+            vec![store(x, vec![v(i)], ld(x, vec![v(i)]) * ld(small, vec![v(i) % 16i64]))],
+        )],
+        private: vec![],
+    };
+    let e = env(&p);
+    let mut p2 = p.clone();
+    let ks = lower_region(
+        &mut p2,
+        &r,
+        &model(ModelKind::OpenMpc).lowering(),
+        &RegionHints::default(),
+        &TuningPoint::default(),
+        &e,
+    )
+    .unwrap();
+    assert_eq!(ks[0].space_of(small), MemSpace::Constant, "16-element read-only table fits constant memory");
+    // with caching disabled, it stays global
+    let mut p3 = p.clone();
+    let ks = lower_region(
+        &mut p3,
+        &r,
+        &model(ModelKind::OpenMpc).lowering(),
+        &RegionHints::default(),
+        &TuningPoint { caching: false, ..Default::default() },
+        &e,
+    )
+    .unwrap();
+    assert_eq!(ks[0].space_of(small), MemSpace::Global);
+}
+
+#[test]
+fn manual_lowering_honors_block_and_partials_hints() {
+    let p = prog_with_hist();
+    let (n, i, x, hist) =
+        (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("hist"));
+    let r = ParallelRegion {
+        id: RegionId(0),
+        label: "hist".into(),
+        body: vec![pfor_with(
+            i,
+            0i64,
+            v(n),
+            vec![store(hist, vec![v(i) % 8i64], ld(hist, vec![v(i) % 8i64]) + ld(x, vec![v(i)]))],
+            ParInfo { reductions: vec![red_array(ReduceOp::Add, hist)], ..Default::default() },
+        )],
+        private: vec![],
+    };
+    let hints = RegionHints { block: Some((96, 1)), partials_in_shared: true, ..Default::default() };
+    let e = env(&p);
+    let mut p2 = p.clone();
+    let ks = lower_region(&mut p2, &r, &manual_lowering(), &hints, &TuningPoint::default(), &e).unwrap();
+    assert_eq!(ks[0].block, (96, 1));
+    assert!(matches!(
+        ks[0].reduce_strategy,
+        acceval_ir::kernel::ReduceStrategy::TwoLevelTree { partials_in_shared: true }
+    ));
+}
+
+#[test]
+fn tuning_space_points_all_lower_successfully() {
+    // every point of every model's space must produce a valid plan on a
+    // plain loop (no panics, no rejections)
+    let p = prog_with_hist();
+    let (n, i, x) = (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"));
+    let r = ParallelRegion {
+        id: RegionId(0),
+        label: "plain".into(),
+        body: vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], ld(x, vec![v(i)]) + 1.0)])],
+        private: vec![],
+    };
+    let e = env(&p);
+    for kind in ModelKind::coverage_models() {
+        let m = model(kind);
+        for pt in m.tuning_space() {
+            let mut p2 = p.clone();
+            let ks = lower_region(&mut p2, &r, &m.lowering(), &RegionHints::default(), &pt, &e)
+                .unwrap_or_else(|err| panic!("{kind:?} {pt:?}: {err}"));
+            assert_eq!(ks.len(), 1);
+            assert!(ks[0].threads_per_block() >= 32);
+        }
+    }
+}

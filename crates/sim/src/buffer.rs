@@ -1,0 +1,241 @@
+//! Typed linear buffers shared by the host and device models.
+//!
+//! Functional state is held as `f64` or `i64` vectors regardless of the
+//! declared element type; the element type only affects the *traffic model*
+//! (bytes moved per access/transfer). This keeps numerics simple and exact
+//! while letting `float` benchmarks enjoy half the memory traffic of
+//! `double` ones, as on real hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of an array. Determines bytes-per-element for the traffic
+/// model; values are computed in f64/i64 regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemType {
+    /// 32-bit float (4-byte traffic).
+    F32,
+    /// 64-bit float (8-byte traffic).
+    F64,
+    /// 32-bit integer (4-byte traffic).
+    I32,
+    /// 64-bit integer (8-byte traffic).
+    I64,
+}
+
+impl ElemType {
+    /// Bytes occupied by one element in memory.
+    #[inline]
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            ElemType::F32 | ElemType::I32 => 4,
+            ElemType::F64 | ElemType::I64 => 8,
+        }
+    }
+
+    /// Whether the element is a floating-point type.
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, ElemType::F32 | ElemType::F64)
+    }
+}
+
+/// Storage payload: floats or integers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Floating-point storage.
+    F(Vec<f64>),
+    /// Integer storage.
+    I(Vec<i64>),
+}
+
+impl Payload {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::F(v) => v.len(),
+            Payload::I(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A linear buffer with a declared element type.
+///
+/// Multi-dimensional arrays are stored flattened row-major; the IR layer is
+/// responsible for index linearisation (and for modelling layout changes such
+/// as transposition, which alter the addresses the timing model sees).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Buffer {
+    /// Declared element type (drives bytes-per-element in the traffic model).
+    pub elem: ElemType,
+    /// Functional contents.
+    pub data: Payload,
+}
+
+impl Buffer {
+    /// A zero-filled buffer of `len` elements.
+    pub fn zeroed(elem: ElemType, len: usize) -> Self {
+        let data = if elem.is_float() { Payload::F(vec![0.0; len]) } else { Payload::I(vec![0; len]) };
+        Buffer { elem, data }
+    }
+
+    /// Build from f64 values (elem must be a float type).
+    pub fn from_f64(elem: ElemType, v: Vec<f64>) -> Self {
+        assert!(elem.is_float(), "from_f64 requires a float element type");
+        Buffer { elem, data: Payload::F(v) }
+    }
+
+    /// Build from i64 values (elem must be an integer type).
+    pub fn from_i64(elem: ElemType, v: Vec<i64>) -> Self {
+        assert!(!elem.is_float(), "from_i64 requires an integer element type");
+        Buffer { elem, data: Payload::I(v) }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes (for the transfer model).
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.len() as u64 * self.elem.size_bytes() as u64
+    }
+
+    /// Read element `i` as f64 (integers are converted).
+    #[inline]
+    pub fn get_f(&self, i: usize) -> f64 {
+        match &self.data {
+            Payload::F(v) => v[i],
+            Payload::I(v) => v[i] as f64,
+        }
+    }
+
+    /// Read element `i` as i64 (floats are truncated).
+    #[inline]
+    pub fn get_i(&self, i: usize) -> i64 {
+        match &self.data {
+            Payload::F(v) => v[i] as i64,
+            Payload::I(v) => v[i],
+        }
+    }
+
+    /// Write element `i` from an f64 value.
+    #[inline]
+    pub fn set_f(&mut self, i: usize, x: f64) {
+        match &mut self.data {
+            Payload::F(v) => v[i] = x,
+            Payload::I(v) => v[i] = x as i64,
+        }
+    }
+
+    /// Write element `i` from an i64 value.
+    #[inline]
+    pub fn set_i(&mut self, i: usize, x: i64) {
+        match &mut self.data {
+            Payload::F(v) => v[i] = x as f64,
+            Payload::I(v) => v[i] = x,
+        }
+    }
+
+    /// Byte address of element `i` within this buffer (base 0).
+    #[inline]
+    pub fn elem_addr(&self, i: usize) -> u64 {
+        i as u64 * self.elem.size_bytes() as u64
+    }
+
+    /// View as f64 slice (float buffers only).
+    pub fn as_f64(&self) -> &[f64] {
+        match &self.data {
+            Payload::F(v) => v,
+            Payload::I(_) => panic!("buffer holds integers"),
+        }
+    }
+
+    /// View as i64 slice (integer buffers only).
+    pub fn as_i64(&self) -> &[i64] {
+        match &self.data {
+            Payload::I(v) => v,
+            Payload::F(_) => panic!("buffer holds floats"),
+        }
+    }
+
+    /// Maximum absolute difference against another float buffer.
+    pub fn max_abs_diff(&self, other: &Buffer) -> f64 {
+        match (&self.data, &other.data) {
+            (Payload::F(a), Payload::F(b)) => {
+                assert_eq!(a.len(), b.len(), "length mismatch");
+                a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+            }
+            (Payload::I(a), Payload::I(b)) => {
+                assert_eq!(a.len(), b.len(), "length mismatch");
+                a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).fold(0.0, f64::max)
+            }
+            _ => panic!("payload kind mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(ElemType::F32.size_bytes(), 4);
+        assert_eq!(ElemType::F64.size_bytes(), 8);
+        assert_eq!(ElemType::I32.size_bytes(), 4);
+        assert_eq!(ElemType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn zeroed_and_roundtrip() {
+        let mut b = Buffer::zeroed(ElemType::F32, 8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.size_bytes(), 32);
+        b.set_f(3, 2.5);
+        assert_eq!(b.get_f(3), 2.5);
+        assert_eq!(b.get_i(3), 2);
+    }
+
+    #[test]
+    fn integer_buffer_conversions() {
+        let mut b = Buffer::zeroed(ElemType::I32, 4);
+        b.set_f(0, 7.9);
+        assert_eq!(b.get_i(0), 7);
+        b.set_i(1, -3);
+        assert_eq!(b.get_f(1), -3.0);
+    }
+
+    #[test]
+    fn addresses_scale_with_elem_size() {
+        let b4 = Buffer::zeroed(ElemType::F32, 4);
+        let b8 = Buffer::zeroed(ElemType::F64, 4);
+        assert_eq!(b4.elem_addr(3), 12);
+        assert_eq!(b8.elem_addr(3), 24);
+    }
+
+    #[test]
+    fn max_abs_diff_float() {
+        let a = Buffer::from_f64(ElemType::F64, vec![1.0, 2.0, 3.0]);
+        let b = Buffer::from_f64(ElemType::F64, vec![1.0, 2.5, 3.0]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_f64_rejects_int_type() {
+        let _ = Buffer::from_f64(ElemType::I32, vec![1.0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Warp-level memory coalescing and shared-memory bank-conflict analysis.
+//!
+//! The functional executor records, for every static access site, the byte
+//! address each lane of a warp touches at each dynamic occurrence of that
+//! site. Lanes of a warp execute in lockstep, so the k-th occurrence in each
+//! lane belongs to the same warp-wide memory instruction; the number of
+//! global-memory transactions that instruction needs is the number of
+//! distinct `segment_bytes`-sized segments its lane addresses fall in
+//! (Fermi: 128-byte segments). A fully coalesced unit-stride access by 32
+//! lanes of 4-byte words costs 1 transaction; a stride-N access costs up to
+//! 32.
+
+/// Count distinct segments touched by a set of byte addresses.
+///
+/// `addrs` need not be sorted; duplicates are free. This is the per-warp,
+/// per-instruction transaction count.
+pub fn segments_touched(addrs: &mut [u64], segment_bytes: u32) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    let seg = segment_bytes as u64;
+    debug_assert!(seg.is_power_of_two());
+    for a in addrs.iter_mut() {
+        *a /= seg;
+    }
+    addrs.sort_unstable();
+    let mut n = 1u32;
+    for w in addrs.windows(2) {
+        if w[0] != w[1] {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Shared-memory bank-conflict cost of one warp access: the number of
+/// serialized shared-memory cycles ("slots").
+///
+/// Words are `word_bytes` wide and interleaved across `banks` banks. Lanes
+/// reading the *same word* broadcast (cost shared); lanes hitting different
+/// words in the same bank serialize. The returned slot count is the maximum
+/// number of distinct words mapped to any one bank (minimum 1 for a
+/// non-empty access).
+pub fn bank_conflict_slots(addrs: &[u64], banks: u32, word_bytes: u32) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    let mut words: Vec<u64> = addrs.iter().map(|a| a / word_bytes as u64).collect();
+    words.sort_unstable();
+    words.dedup();
+    let mut per_bank = vec![0u32; banks as usize];
+    for w in words {
+        per_bank[(w % banks as u64) as usize] += 1;
+    }
+    per_bank.into_iter().max().unwrap_or(0).max(1)
+}
+
+/// Accumulates one warp's lane address streams for a single access site and
+/// reduces them to transaction / request / slot counts.
+///
+/// Lane streams are aligned by occurrence index: `lane_addrs[l][k]` is the
+/// address lane `l` produced at the k-th execution of the site. Lanes that
+/// diverged and skipped an occurrence simply have shorter streams; this
+/// "compacted" alignment slightly *under*-estimates divergence cost, which
+/// the compute model compensates for separately.
+#[derive(Debug)]
+pub struct SiteWarpTrace {
+    lane_addrs: Vec<Vec<u64>>,
+}
+
+/// Summary of one (site, warp) pair after reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessSummary {
+    /// Warp-wide memory instructions issued (max occurrence count).
+    pub requests: u64,
+    /// Global-memory transactions (segments) those requests needed.
+    pub transactions: u64,
+    /// Total lane-level accesses (for bytes-moved accounting).
+    pub lane_accesses: u64,
+}
+
+/// Summary of one (site, warp) pair treated as shared-memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedSummary {
+    /// Serialized shared-memory slots consumed (>= requests when conflicted).
+    pub slots: u64,
+    /// Warp-wide shared accesses issued.
+    pub requests: u64,
+}
+
+impl SiteWarpTrace {
+    /// Empty trace for a warp of `warp_size` lanes.
+    pub fn new(warp_size: u32) -> Self {
+        SiteWarpTrace { lane_addrs: vec![Vec::new(); warp_size as usize] }
+    }
+
+    /// Record that `lane` touched byte address `addr` at its next occurrence.
+    #[inline]
+    pub fn record(&mut self, lane: u32, addr: u64) {
+        self.lane_addrs[lane as usize].push(addr);
+    }
+
+    /// True if no lane recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.lane_addrs.iter().all(|v| v.is_empty())
+    }
+
+    /// Reduce to global-memory transaction counts.
+    pub fn reduce_global(&self, segment_bytes: u32) -> AccessSummary {
+        let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
+        let mut out = AccessSummary::default();
+        let mut row: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        for k in 0..max_len {
+            row.clear();
+            for lane in &self.lane_addrs {
+                if let Some(&a) = lane.get(k) {
+                    row.push(a);
+                }
+            }
+            out.requests += 1;
+            out.lane_accesses += row.len() as u64;
+            out.transactions += segments_touched(&mut row, segment_bytes) as u64;
+        }
+        out
+    }
+
+    /// Invoke `f` once per occurrence row with the participating lanes'
+    /// addresses (used for texture-cache simulation).
+    pub fn for_each_row(&self, mut f: impl FnMut(&[u64])) {
+        let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
+        let mut row: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        for k in 0..max_len {
+            row.clear();
+            for lane in &self.lane_addrs {
+                if let Some(&a) = lane.get(k) {
+                    row.push(a);
+                }
+            }
+            f(&row);
+        }
+    }
+
+    /// Interpret recorded values as branch outcomes (0/1) and count the
+    /// occurrence rows where lanes of the warp disagreed — i.e. divergent
+    /// branch instances.
+    pub fn reduce_divergent_rows(&self) -> u64 {
+        let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
+        let mut divergent = 0u64;
+        for k in 0..max_len {
+            let mut saw0 = false;
+            let mut saw1 = false;
+            for lane in &self.lane_addrs {
+                match lane.get(k) {
+                    Some(0) => saw0 = true,
+                    Some(_) => saw1 = true,
+                    None => {}
+                }
+            }
+            if saw0 && saw1 {
+                divergent += 1;
+            }
+        }
+        divergent
+    }
+
+    /// Reduce to shared-memory slot counts.
+    pub fn reduce_shared(&self, banks: u32, word_bytes: u32) -> SharedSummary {
+        let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
+        let mut out = SharedSummary::default();
+        let mut row: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        for k in 0..max_len {
+            row.clear();
+            for lane in &self.lane_addrs {
+                if let Some(&a) = lane.get(k) {
+                    row.push(a);
+                }
+            }
+            out.requests += 1;
+            out.slots += bank_conflict_slots(&row, banks, word_bytes) as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_from_rows(rows: &[Vec<u64>]) -> SiteWarpTrace {
+        // rows[k][lane]
+        let lanes = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut t = SiteWarpTrace::new(lanes as u32);
+        for row in rows {
+            for (lane, &a) in row.iter().enumerate() {
+                t.record(lane as u32, a);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn unit_stride_f32_is_one_transaction() {
+        // 32 lanes, 4-byte elements, consecutive: all in one 128 B segment.
+        let row: Vec<u64> = (0..32u64).map(|l| l * 4).collect();
+        let t = trace_from_rows(&[row]);
+        let s = t.reduce_global(128);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.transactions, 1);
+        assert_eq!(s.lane_accesses, 32);
+    }
+
+    #[test]
+    fn unit_stride_f64_is_two_transactions() {
+        let row: Vec<u64> = (0..32u64).map(|l| l * 8).collect();
+        let s = trace_from_rows(&[row]).reduce_global(128);
+        assert_eq!(s.transactions, 2);
+    }
+
+    #[test]
+    fn large_stride_is_fully_uncoalesced() {
+        // Stride of 1 KiB: every lane in its own segment.
+        let row: Vec<u64> = (0..32u64).map(|l| l * 1024).collect();
+        let s = trace_from_rows(&[row]).reduce_global(128);
+        assert_eq!(s.transactions, 32);
+    }
+
+    #[test]
+    fn broadcast_same_address_is_one_transaction() {
+        let row: Vec<u64> = vec![4096; 32];
+        let s = trace_from_rows(&[row]).reduce_global(128);
+        assert_eq!(s.transactions, 1);
+    }
+
+    #[test]
+    fn occurrences_accumulate() {
+        let r0: Vec<u64> = (0..32u64).map(|l| l * 4).collect();
+        let r1: Vec<u64> = (0..32u64).map(|l| 4096 + l * 512).collect();
+        let s = trace_from_rows(&[r0, r1]).reduce_global(128);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.transactions, 1 + 32);
+    }
+
+    #[test]
+    fn divergent_lanes_compact() {
+        // Only 8 lanes participate: addresses spread across 2 segments.
+        let row: Vec<u64> = (0..8u64).map(|l| l * 32).collect();
+        let s = trace_from_rows(&[row]).reduce_global(128);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.lane_accesses, 8);
+    }
+
+    #[test]
+    fn bank_conflicts_unit_stride_free() {
+        let row: Vec<u64> = (0..32u64).map(|l| l * 4).collect();
+        assert_eq!(bank_conflict_slots(&row, 32, 4), 1);
+    }
+
+    #[test]
+    fn bank_conflicts_stride_two_doubles() {
+        let row: Vec<u64> = (0..32u64).map(|l| l * 8).collect();
+        // stride 2 words across 32 banks: 2-way conflict.
+        assert_eq!(bank_conflict_slots(&row, 32, 4), 2);
+    }
+
+    #[test]
+    fn bank_conflicts_same_word_broadcast() {
+        let row: Vec<u64> = vec![64; 32];
+        assert_eq!(bank_conflict_slots(&row, 32, 4), 1);
+    }
+
+    #[test]
+    fn bank_conflicts_stride_32_serializes() {
+        let row: Vec<u64> = (0..32u64).map(|l| l * 32 * 4).collect();
+        assert_eq!(bank_conflict_slots(&row, 32, 4), 32);
+    }
+
+    #[test]
+    fn segments_touched_handles_empty() {
+        assert_eq!(segments_touched(&mut [], 128), 0);
+    }
+}

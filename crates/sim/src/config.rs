@@ -1,0 +1,367 @@
+//! Machine descriptions for the simulated GPU device and host CPU.
+//!
+//! The default presets model the evaluation platform of Lee & Vetter (SC'12):
+//! an NVIDIA Tesla M2090 (Fermi GF110: 16 SMs x 32 cores, 1.3 GHz, 6 GB GDDR5
+//! at 177 GB/s) hosted by an Intel Xeon X5660-class CPU at 2.8 GHz, connected
+//! by PCIe 2.0.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of the simulated CUDA device.
+///
+/// All latencies and throughputs are expressed in device cycles or
+/// bytes-per-cycle so the timing model is clock-independent; [`DeviceConfig::clock_ghz`]
+/// converts cycles to seconds at the end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Scalar cores per SM (Fermi: 32).
+    pub cores_per_sm: u32,
+    /// SIMT width; threads per warp.
+    pub warp_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_bw_gbs: f64,
+    /// Global-memory load-to-use latency in cycles.
+    pub global_latency_cycles: u64,
+    /// Size of a global-memory transaction segment in bytes (Fermi: 128).
+    pub segment_bytes: u32,
+    /// Number of shared-memory banks per SM.
+    pub shared_banks: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_per_sm: u32,
+    /// Register file entries (32-bit) per SM.
+    pub regs_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block accepted by the launch validator.
+    pub max_threads_per_block: u32,
+    /// Fixed kernel-launch overhead in microseconds (driver + dispatch).
+    pub launch_overhead_us: f64,
+    /// Cost in cycles of one atomic RMW that hits no contention.
+    pub atomic_base_cycles: u64,
+    /// Constant-cache capacity per SM in bytes (broadcast reads are ~free on hit).
+    pub const_cache_bytes: u32,
+    /// Texture-cache capacity per SM in bytes.
+    pub tex_cache_bytes: u32,
+    /// Texture cache line size in bytes.
+    pub tex_line_bytes: u32,
+}
+
+impl DeviceConfig {
+    /// NVIDIA Tesla M2090 (the paper's platform).
+    pub fn tesla_m2090() -> Self {
+        DeviceConfig {
+            name: "Tesla M2090".into(),
+            num_sms: 16,
+            cores_per_sm: 32,
+            warp_size: 32,
+            clock_ghz: 1.3,
+            dram_bw_gbs: 177.0,
+            global_latency_cycles: 600,
+            segment_bytes: 128,
+            shared_banks: 32,
+            shared_per_sm: 48 * 1024,
+            regs_per_sm: 32768,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            launch_overhead_us: 5.0,
+            atomic_base_cycles: 120,
+            const_cache_bytes: 8 * 1024,
+            tex_cache_bytes: 12 * 1024,
+            tex_line_bytes: 32,
+        }
+    }
+
+    /// Older Tesla C1060-class device (GT200), useful for sensitivity studies:
+    /// fewer resident warps and no L1-era coalescing relaxations are modelled
+    /// beyond a smaller segment.
+    pub fn tesla_c1060() -> Self {
+        DeviceConfig {
+            name: "Tesla C1060".into(),
+            num_sms: 30,
+            cores_per_sm: 8,
+            warp_size: 32,
+            clock_ghz: 1.296,
+            dram_bw_gbs: 102.0,
+            global_latency_cycles: 550,
+            segment_bytes: 64,
+            shared_banks: 16,
+            shared_per_sm: 16 * 1024,
+            regs_per_sm: 16384,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            launch_overhead_us: 7.0,
+            atomic_base_cycles: 200,
+            const_cache_bytes: 8 * 1024,
+            tex_cache_bytes: 8 * 1024,
+            tex_line_bytes: 32,
+        }
+    }
+
+    /// DRAM bandwidth expressed in bytes per device cycle.
+    #[inline]
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_gbs / self.clock_ghz
+    }
+
+    /// Total scalar cores on the device.
+    #[inline]
+    pub fn total_cores(&self) -> u32 {
+        self.num_sms * self.cores_per_sm
+    }
+
+    /// Convert device cycles to seconds.
+    #[inline]
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Warp-instruction issue throughput per SM per cycle.
+    ///
+    /// A Fermi SM with 32 cores retires one full 32-lane warp instruction per
+    /// cycle; a GT200 SM with 8 cores needs 4 cycles per warp instruction.
+    #[inline]
+    pub fn warp_insts_per_sm_cycle(&self) -> f64 {
+        self.cores_per_sm as f64 / self.warp_size as f64
+    }
+
+    /// Number of warps a thread block of `threads` threads occupies.
+    #[inline]
+    pub fn warps_per_block(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+
+    /// Resident warps per SM for a kernel with the given per-block resource
+    /// footprint, i.e. the classic CUDA occupancy calculation.
+    pub fn occupancy(&self, threads_per_block: u32, shared_per_block: u32, regs_per_thread: u32) -> Occupancy {
+        let threads_per_block = threads_per_block.max(1);
+        let warps_per_block = self.warps_per_block(threads_per_block);
+        let by_warps = self.max_warps_per_sm / warps_per_block.max(1);
+        let by_blocks = self.max_blocks_per_sm;
+        let by_shared = if shared_per_block == 0 {
+            u32::MAX
+        } else {
+            self.shared_per_sm / shared_per_block
+        };
+        let regs_per_block = regs_per_thread.max(1) * threads_per_block;
+        let by_regs = if regs_per_block == 0 { u32::MAX } else { self.regs_per_sm / regs_per_block };
+        let blocks = by_warps.min(by_blocks).min(by_shared).min(by_regs);
+        let resident_warps = blocks * warps_per_block;
+        Occupancy {
+            blocks_per_sm: blocks,
+            resident_warps_per_sm: resident_warps,
+            fraction: resident_warps as f64 / self.max_warps_per_sm as f64,
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::tesla_m2090()
+    }
+}
+
+/// Result of the occupancy calculation for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Thread blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub resident_warps_per_sm: u32,
+    /// `resident_warps / max_warps`.
+    pub fraction: f64,
+}
+
+/// Description of the host CPU used for the sequential baseline and for the
+/// host portions of the GPU versions.
+///
+/// The cost model is a 2-wide in-order approximation of an out-of-order
+/// Westmere core: ALU ops retire at `ipc` per cycle and memory operations pay
+/// *effective* (overlap-discounted) latencies determined by a two-level cache
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per cycle for non-memory ops.
+    pub ipc: f64,
+    /// L1D capacity in bytes.
+    pub l1_bytes: u32,
+    /// L1D associativity.
+    pub l1_ways: u32,
+    /// Effective L1 hit cost in cycles.
+    pub l1_hit_cycles: f64,
+    /// L2 capacity in bytes (per-core slice; we model a unified L2+L3 stand-in).
+    pub l2_bytes: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Effective L2 hit cost in cycles.
+    pub l2_hit_cycles: f64,
+    /// Effective DRAM cost in cycles (discounted for out-of-order overlap
+    /// and hardware prefetch on sequential streams).
+    pub mem_cycles: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl HostConfig {
+    /// Intel Xeon X5660-class host (Keeneland node), GCC -O3 single thread.
+    pub fn xeon_x5660() -> Self {
+        HostConfig {
+            name: "Xeon X5660".into(),
+            clock_ghz: 2.8,
+            ipc: 2.0,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_hit_cycles: 1.0,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 16,
+            l2_hit_cycles: 11.0,
+            mem_cycles: 70.0,
+            line_bytes: 64,
+        }
+    }
+
+    /// Convert host cycles to seconds.
+    #[inline]
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        Self::xeon_x5660()
+    }
+}
+
+/// The PCIe link between host and device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Sustained bandwidth in GB/s (PCIe 2.0 x16 with pinned memory ~6 GB/s;
+    /// pageable is lower — the paper's codes use ordinary allocations).
+    pub bw_gbs: f64,
+    /// Per-transfer fixed latency in microseconds (driver + DMA setup).
+    pub latency_us: f64,
+}
+
+impl LinkConfig {
+    /// PCIe 2.0 x16 with pageable host memory (the paper's era).
+    pub fn pcie2_x16() -> Self {
+        LinkConfig { bw_gbs: 4.0, latency_us: 10.0 }
+    }
+
+    /// Seconds to move `bytes` in one transfer.
+    #[inline]
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bw_gbs * 1e9)
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::pcie2_x16()
+    }
+}
+
+/// Complete machine: host + device + link.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// The CPU side.
+    pub host: HostConfig,
+    /// The GPU side.
+    pub device: DeviceConfig,
+    /// The PCIe link between them.
+    pub link: LinkConfig,
+}
+
+impl MachineConfig {
+    /// The paper's Keeneland node: X5660 host + M2090 device + PCIe 2.0.
+    pub fn keeneland_node() -> Self {
+        MachineConfig {
+            host: HostConfig::xeon_x5660(),
+            device: DeviceConfig::tesla_m2090(),
+            link: LinkConfig::pcie2_x16(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2090_has_512_cores() {
+        let d = DeviceConfig::tesla_m2090();
+        assert_eq!(d.total_cores(), 512);
+    }
+
+    #[test]
+    fn occupancy_limited_by_warps() {
+        let d = DeviceConfig::tesla_m2090();
+        // 256-thread blocks = 8 warps; 48/8 = 6 blocks but block limit is 8.
+        let o = d.occupancy(256, 0, 16);
+        assert_eq!(o.blocks_per_sm, 6);
+        assert_eq!(o.resident_warps_per_sm, 48);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared() {
+        let d = DeviceConfig::tesla_m2090();
+        // 24 KB shared per block -> 2 blocks per SM.
+        let o = d.occupancy(128, 24 * 1024, 16);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.resident_warps_per_sm, 8);
+    }
+
+    #[test]
+    fn occupancy_limited_by_regs() {
+        let d = DeviceConfig::tesla_m2090();
+        // 63 regs/thread * 512 threads = 32256 regs -> 1 block.
+        let o = d.occupancy(512, 0, 63);
+        assert_eq!(o.blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn occupancy_small_blocks_hit_block_limit() {
+        let d = DeviceConfig::tesla_m2090();
+        // 32-thread blocks: warp limit allows 48 but block limit caps at 8.
+        let o = d.occupancy(32, 0, 16);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.resident_warps_per_sm, 8);
+    }
+
+    #[test]
+    fn cycle_time_roundtrip() {
+        let d = DeviceConfig::tesla_m2090();
+        let s = d.cycles_to_secs(1.3e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_cost_has_latency_floor() {
+        let l = LinkConfig::pcie2_x16();
+        let t0 = l.transfer_secs(0);
+        assert!((t0 - 10e-6).abs() < 1e-12);
+        let t1 = l.transfer_secs(4_000_000_000);
+        assert!(t1 > 0.9 && t1 < 1.2);
+    }
+
+    #[test]
+    fn warp_inst_throughput() {
+        assert!((DeviceConfig::tesla_m2090().warp_insts_per_sm_cycle() - 1.0).abs() < 1e-12);
+        assert!((DeviceConfig::tesla_c1060().warp_insts_per_sm_cycle() - 0.25).abs() < 1e-12);
+    }
+}

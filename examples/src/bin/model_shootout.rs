@@ -1,0 +1,66 @@
+//! Model shootout: run one benchmark through every programming model,
+//! print the acceptance verdicts (coverage), port costs, and speedups.
+//!
+//! ```text
+//! cargo run -p acceval-examples --release --bin model_shootout -- CG
+//! ```
+
+use acceval::benchmarks::{benchmark_named, ledger_lines, Scale};
+use acceval::ir::analysis::region_features;
+use acceval::models::{model, ModelKind};
+use acceval::sim::MachineConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "CG".to_string());
+    let bench = benchmark_named(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(2);
+    });
+    let spec = bench.spec();
+    println!("{} — {} ({} LoC OpenMP original)\n", spec.name, spec.domain, spec.base_loc);
+
+    // Coverage: which regions does each directive model accept?
+    let orig = bench.original();
+    let regions = orig.regions();
+    println!("{} parallel regions:", regions.len());
+    for kind in ModelKind::coverage_models() {
+        let m = model(kind);
+        let mut ok = 0;
+        let mut reasons = vec![];
+        for r in &regions {
+            match m.accepts(&region_features(&orig, r)) {
+                Ok(()) => ok += 1,
+                Err(e) => reasons.push(format!("{}: {}", r.label, e.reason)),
+            }
+        }
+        println!("  {:16} {:>2}/{}", kind.display(), ok, regions.len());
+        for why in reasons.iter().take(3) {
+            println!("        rejected {why}");
+        }
+    }
+
+    // Ports + speedups.
+    let cfg = MachineConfig::keeneland_node();
+    let ds = bench.dataset(Scale::Test);
+    let oracle = acceval::run_baseline(bench.as_ref(), &ds, &cfg);
+    println!("\nCPU baseline {:.3} ms ({})\n", oracle.secs * 1e3, ds.label);
+    println!("{:18} {:>10} {:>10} {:>9} {:>9} {:>11}", "model", "port(+LoC)", "time(ms)", "speedup", "kernels", "PCIe(KiB)");
+    for kind in ModelKind::figure1_models() {
+        let port = bench.port(kind);
+        let added = ledger_lines(&port.changes);
+        let run = acceval::run_model(bench.as_ref(), kind, &ds, &cfg, &oracle, None);
+        let s = &run.summary;
+        println!(
+            "{:18} {:>10} {:>10.3} {:>8.2}x {:>9} {:>11.0}",
+            kind.display(),
+            added,
+            run.secs * 1e3,
+            run.speedup,
+            s.kernels_launched,
+            (s.h2d_bytes + s.d2h_bytes) as f64 / 1024.0
+        );
+        if let Err(e) = &run.valid {
+            println!("   !! INVALID: {e}");
+        }
+    }
+}

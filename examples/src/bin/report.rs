@@ -1,0 +1,69 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p acceval-examples --release --bin report -- table1
+//! cargo run -p acceval-examples --release --bin report -- table2
+//! cargo run -p acceval-examples --release --bin report -- figure1 [--test-scale] [--no-tuning] [--csv] [--json] [--device-c1060] [bench...]
+//! cargo run -p acceval-examples --release --bin report -- all
+//! ```
+
+use acceval::benchmarks::Scale;
+use acceval::codesize::codesize_table;
+use acceval::coverage::coverage_table;
+use acceval::figures::{figure1, figure1_subset};
+use acceval::report::{figure1_csv, render_figure1, render_table2};
+use acceval::sim::MachineConfig;
+use acceval::tables::render_table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let test_scale = args.iter().any(|a| a == "--test-scale");
+    let no_tuning = args.iter().any(|a| a == "--no-tuning");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json = args.iter().any(|a| a == "--json");
+    let benches: Vec<&str> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let mut cfg = MachineConfig::keeneland_node();
+    if args.iter().any(|a| a == "--device-c1060") {
+        // Performance-portability study (paper SVI): same ports, previous
+        // GPU generation (GT200-class: 64-byte segments, fewer resident
+        // warps, slower atomics).
+        cfg.device = acceval::sim::DeviceConfig::tesla_c1060();
+    }
+    let scale = if test_scale { Scale::Test } else { Scale::Paper };
+
+    if cmd == "table1" || cmd == "all" {
+        println!("{}", render_table1());
+    }
+    if cmd == "table2" || cmd == "all" {
+        println!("{}", render_table2(&coverage_table(), &codesize_table()));
+    }
+    if cmd == "figure1" || cmd == "all" {
+        let fig = if benches.is_empty() {
+            figure1(&cfg, scale, !no_tuning)
+        } else {
+            figure1_subset(&benches, &cfg, scale, !no_tuning)
+        };
+        if csv {
+            println!("{}", figure1_csv(&fig));
+        } else if json {
+            println!("{}", serde_json_string(&fig));
+        } else {
+            println!("{}", render_figure1(&fig));
+        }
+    }
+    if !["table1", "table2", "figure1", "all"].contains(&cmd) {
+        eprintln!("unknown command {cmd}; use table1 | table2 | figure1 | all");
+        std::process::exit(2);
+    }
+}
+
+fn serde_json_string(fig: &acceval::figures::Figure1) -> String {
+    acceval::figures_json(fig)
+}

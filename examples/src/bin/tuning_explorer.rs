@@ -1,0 +1,76 @@
+//! Tuning explorer: sweep a model's tuning space on one benchmark —
+//! Figure 1's "performance variation by tuning", magnified.
+//!
+//! ```text
+//! cargo run -p acceval-examples --release --bin tuning_explorer -- EP OpenMPC
+//! ```
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::models::{model, ModelKind, TuningPoint};
+use acceval::sim::MachineConfig;
+
+fn parse_model(s: &str) -> ModelKind {
+    match s.to_ascii_lowercase().as_str() {
+        "pgi" | "pgiaccelerator" => ModelKind::PgiAccelerator,
+        "openacc" | "acc" => ModelKind::OpenAcc,
+        "hmpp" => ModelKind::Hmpp,
+        "openmpc" | "mpc" => ModelKind::OpenMpc,
+        "hicuda" => ModelKind::HiCuda,
+        other => {
+            eprintln!("unknown model {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = benchmark_named(args.first().map(String::as_str).unwrap_or("EP")).expect("benchmark");
+    let kind = parse_model(args.get(1).map(String::as_str).unwrap_or("OpenMPC"));
+
+    let cfg = MachineConfig::keeneland_node();
+    let ds = bench.dataset(Scale::Test);
+    let oracle = acceval::run_baseline(bench.as_ref(), &ds, &cfg);
+    println!("{} under {} — CPU baseline {:.3} ms", bench.spec().name, kind.display(), oracle.secs * 1e3);
+    println!(
+        "\n{:>7} {:>6} {:>10} {:>9} {:>8} {:>8} | {:>10} {:>9}",
+        "block", "swap", "transpose", "caching", "tiling", "", "time(ms)", "speedup"
+    );
+
+    // The model's own space, plus a denser block sweep.
+    let mut points = model(kind).tuning_space();
+    for bs in [32u32, 96, 192, 384, 768] {
+        points.push(TuningPoint { block_x: bs, ..points[0] });
+    }
+    let mut best: Option<(f64, TuningPoint)> = None;
+    let mut worst: Option<(f64, TuningPoint)> = None;
+    for pt in points {
+        let run = acceval::run_model(bench.as_ref(), kind, &ds, &cfg, &oracle, Some(&pt));
+        let ok = run.valid.is_ok();
+        println!(
+            "{:>4}x{:<2} {:>6} {:>10} {:>9} {:>8} {:>8} | {:>10.3} {:>8.2}x{}",
+            pt.block_x,
+            pt.block_y,
+            pt.loop_swap.map(|b| if b { "on" } else { "off" }).unwrap_or("auto"),
+            pt.transpose_expansion,
+            pt.caching,
+            pt.tiling,
+            "",
+            run.secs * 1e3,
+            run.speedup,
+            if ok { "" } else { "  (INVALID)" }
+        );
+        if ok {
+            if best.as_ref().map(|(s, _)| run.speedup > *s).unwrap_or(true) {
+                best = Some((run.speedup, pt));
+            }
+            if worst.as_ref().map(|(s, _)| run.speedup < *s).unwrap_or(true) {
+                worst = Some((run.speedup, pt));
+            }
+        }
+    }
+    let (hi, hp) = best.expect("at least one valid point");
+    let (lo, _) = worst.expect("at least one valid point");
+    println!("\ntuning variation: {lo:.2}x .. {hi:.2}x  ({:.1}x swing)", hi / lo);
+    println!("best point: block {}x{}, swap {:?}, transpose {}", hp.block_x, hp.block_y, hp.loop_swap, hp.transpose_expansion);
+}

@@ -1,0 +1,2 @@
+//! Example binaries live in `src/bin/`. Run e.g.
+//! `cargo run -p acceval-examples --bin quickstart --release`.

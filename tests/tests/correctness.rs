@@ -1,0 +1,44 @@
+//! End-to-end correctness: every benchmark, under every Figure 1 model,
+//! must produce outputs matching the sequential CPU oracle.
+
+use acceval::benchmarks::{all_benchmarks, Scale};
+use acceval::models::ModelKind;
+use acceval::sim::MachineConfig;
+
+#[test]
+fn all_benchmarks_all_models_match_oracle() {
+    let cfg = MachineConfig::keeneland_node();
+    let mut failures = vec![];
+    for b in all_benchmarks() {
+        let ds = b.dataset(Scale::Test);
+        let oracle = acceval::run_baseline(b.as_ref(), &ds, &cfg);
+        for kind in ModelKind::figure1_models() {
+            let run = acceval::run_model(b.as_ref(), kind, &ds, &cfg, &oracle, None);
+            if let Err(e) = &run.valid {
+                failures.push(format!("{} x {:?}: {e}", b.spec().name, kind));
+            }
+            if run.unsupported_regions > 0 {
+                failures.push(format!(
+                    "{} x {:?}: {} regions stayed on host",
+                    b.spec().name,
+                    kind,
+                    run.unsupported_regions
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn gpu_versions_have_nonzero_time_and_traffic() {
+    let cfg = MachineConfig::keeneland_node();
+    for b in all_benchmarks() {
+        let ds = b.dataset(Scale::Test);
+        let oracle = acceval::run_baseline(b.as_ref(), &ds, &cfg);
+        let run = acceval::run_model(b.as_ref(), ModelKind::OpenMpc, &ds, &cfg, &oracle, None);
+        assert!(run.secs > 0.0, "{}", b.spec().name);
+        assert!(run.summary.kernels_launched > 0, "{}", b.spec().name);
+        assert!(run.summary.useful_bytes > 0, "{}: kernels moved no data", b.spec().name);
+    }
+}

@@ -1,0 +1,100 @@
+//! Port sanity across the whole suite: every model's ported input program
+//! must be semantically equivalent to the original OpenMP program when run
+//! sequentially (ports restructure code, they must not change results), and
+//! every port's change ledger must be consistent.
+
+use acceval::benchmarks::{all_benchmarks, ledger_lines, Scale};
+use acceval::ir::interp::cpu::run_cpu;
+use acceval::ir::pretty;
+use acceval::models::ModelKind;
+use acceval::sim::MachineConfig;
+
+#[test]
+fn ported_programs_are_sequentially_equivalent() {
+    let cfg = MachineConfig::keeneland_node();
+    let mut failures = vec![];
+    for b in all_benchmarks() {
+        let spec = b.spec();
+        let ds = b.dataset(Scale::Test);
+        let orig = b.original();
+        let oracle = run_cpu(&orig, &ds, &cfg.host);
+        for kind in [
+            ModelKind::PgiAccelerator,
+            ModelKind::OpenAcc,
+            ModelKind::Hmpp,
+            ModelKind::OpenMpc,
+            ModelKind::RStream,
+            ModelKind::ManualCuda,
+        ] {
+            let port = b.port(kind);
+            let run = run_cpu(&port.program, &ds, &cfg.host);
+            // arrays by name
+            for out in &orig.outputs {
+                let name = orig.array_name(*out);
+                let pid = port.program.array_named(name);
+                let d = oracle.data.bufs[out.0 as usize].max_abs_diff(&run.data.bufs[pid.0 as usize]);
+                let scale = (0..oracle.data.bufs[out.0 as usize].len())
+                    .map(|i| oracle.data.bufs[out.0 as usize].get_f(i).abs())
+                    .fold(1.0f64, f64::max);
+                if d > spec.tolerance.max(1e-9) * scale {
+                    failures.push(format!("{} x {kind:?}: {name} diff {d:.3e}", spec.name));
+                }
+            }
+            for s in &orig.output_scalars {
+                let name = &orig.scalars[s.0 as usize].name;
+                let pid = port.program.scalar_named(name);
+                let a = oracle.scalars[s.0 as usize].as_f();
+                let c = run.scalars[pid.0 as usize].as_f();
+                if (a - c).abs() > spec.tolerance.max(1e-9) * a.abs().max(1.0) {
+                    failures.push(format!("{} x {kind:?}: scalar {name} {a} vs {c}", spec.name));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn ledgers_are_populated_for_directive_models() {
+    for b in all_benchmarks() {
+        for kind in ModelKind::coverage_models() {
+            let port = b.port(kind);
+            assert!(
+                ledger_lines(&port.changes) > 0,
+                "{} x {kind:?}: a directive port always costs some lines",
+                b.spec().name
+            );
+            for c in &port.changes {
+                assert!(!c.note.is_empty());
+            }
+        }
+        // hand-written CUDA is a rewrite, not a port: zero directive lines.
+        let manual = b.port(ModelKind::ManualCuda);
+        assert_eq!(ledger_lines(&manual.changes), 0, "{}", b.spec().name);
+    }
+}
+
+#[test]
+fn every_original_pretty_prints() {
+    for b in all_benchmarks() {
+        let p = b.original();
+        let txt = pretty::program(&p);
+        assert!(txt.contains("#pragma omp parallel"), "{}", b.spec().name);
+        for r in p.regions() {
+            assert!(txt.contains(&r.label), "{}: missing region label {}", b.spec().name, r.label);
+        }
+    }
+}
+
+#[test]
+fn datasets_are_deterministic() {
+    for b in all_benchmarks() {
+        let a = b.dataset(Scale::Test);
+        let c = b.dataset(Scale::Test);
+        assert_eq!(a.scalars.len(), c.scalars.len());
+        for ((ia, ba), (ic, bc)) in a.arrays.iter().zip(&c.arrays) {
+            assert_eq!(ia, ic);
+            assert_eq!(ba.max_abs_diff(bc), 0.0, "{}", b.spec().name);
+        }
+    }
+}
