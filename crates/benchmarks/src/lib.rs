@@ -57,7 +57,7 @@ pub struct BenchSpec {
 }
 
 /// Problem scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Small inputs for unit/integration tests (debug builds).
     Test,

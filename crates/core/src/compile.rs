@@ -3,20 +3,22 @@
 //! cannot translate it).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use acceval_ir::interp::gpu::env_from_dataset;
 use acceval_ir::kernel::KernelPlan;
 use acceval_ir::program::{DataSet, Program};
 use acceval_ir::types::Value;
-use acceval_models::lower::{lower_region, manual_lowering, RegionHints};
+use acceval_models::lower::{lower_region, manual_lowering, retarget_block_geometry, RegionHints};
 use acceval_models::{model, DataPolicy, ModelKind, TuningPoint, Unsupported};
 
 use acceval_benchmarks::Port;
 
 /// A ported program compiled for execution.
+#[derive(Clone)]
 pub struct CompiledProgram {
-    /// The program the runtime walks.
-    pub program: Program,
+    /// The program the runtime walks (shared: geometry retargets reuse it).
+    pub program: Arc<Program>,
     /// Kernel plans per region id (absent = region runs on the host).
     pub kernels: HashMap<u32, Vec<KernelPlan>>,
     /// Regions the model could not translate, with reasons.
@@ -69,7 +71,21 @@ pub fn compile_port(
     }
     // lower_region may have added fresh scalars (collapse); renumber.
     program.finalize();
-    CompiledProgram { program, kernels, unsupported, policy, kind }
+    CompiledProgram { program: Arc::new(program), kernels, unsupported, policy, kind }
+}
+
+impl CompiledProgram {
+    /// This compilation re-pointed at a different launch geometry, without
+    /// re-lowering. Only sound for a `tuning` point whose
+    /// [`TuningPoint::lowering_basis`] matches the point this program was
+    /// compiled at — the geometry-independent knobs must agree.
+    pub fn with_geometry(&self, tuning: &TuningPoint) -> CompiledProgram {
+        let mut out = self.clone();
+        for plans in out.kernels.values_mut() {
+            retarget_block_geometry(plans, tuning);
+        }
+        out
+    }
 }
 
 #[cfg(test)]

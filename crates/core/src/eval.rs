@@ -8,11 +8,11 @@
 use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::{run_cpu, CpuRun};
 use acceval_ir::program::DataSet;
-use acceval_models::{model, ModelKind, TuningPoint};
+use acceval_models::{ModelKind, TuningPoint};
 use acceval_sim::{MachineConfig, Summary};
 use serde::Serialize;
 
-use crate::compile::compile_port;
+use crate::compile::{compile_port, CompiledProgram};
 use crate::runtime::run_gpu_program;
 
 /// One GPU-version run.
@@ -90,6 +90,39 @@ fn validate(
     Ok(())
 }
 
+/// Run an already-compiled GPU version and score it against the oracle.
+///
+/// This is the single execution path every consumer (sweep, `run_model`,
+/// benches) funnels through. A simulated time that is zero, negative, or
+/// non-finite cannot yield a meaningful speedup; it is surfaced as a
+/// validation error instead of an infinite/NaN ratio.
+pub fn run_compiled(
+    bench: &dyn Benchmark,
+    compiled: &CompiledProgram,
+    ds: &DataSet,
+    cfg: &MachineConfig,
+    oracle: &CpuRun,
+) -> ModelRun {
+    let run = run_gpu_program(compiled, ds, cfg);
+    let mut valid = validate(bench, oracle, &run, compiled);
+    let speedup = if run.secs.is_finite() && run.secs > 0.0 {
+        oracle.secs / run.secs
+    } else {
+        if valid.is_ok() {
+            valid = Err(format!("non-physical simulated time: {} s", run.secs));
+        }
+        0.0
+    };
+    ModelRun {
+        model: compiled.kind,
+        secs: run.secs,
+        speedup,
+        summary: run.timeline.summary(),
+        valid,
+        unsupported_regions: compiled.unsupported.len(),
+    }
+}
+
 /// Run one model's port at one tuning point.
 pub fn run_model(
     bench: &dyn Benchmark,
@@ -101,56 +134,23 @@ pub fn run_model(
 ) -> ModelRun {
     let port = bench.port(kind);
     let compiled = compile_port(&port, kind, ds, tuning);
-    let run = run_gpu_program(&compiled, ds, cfg);
-    let valid = validate(bench, oracle, &run, &compiled);
-    ModelRun {
-        model: kind,
-        secs: run.secs,
-        speedup: oracle.secs / run.secs,
-        summary: run.timeline.summary(),
-        valid,
-        unsupported_regions: compiled.unsupported.len(),
-    }
+    run_compiled(bench, &compiled, ds, cfg, oracle)
 }
 
 /// Evaluate one benchmark across the Figure 1 models.
 ///
 /// With `with_tuning`, every model's tuning space is swept to produce the
-/// "performance variation by tuning" band.
+/// "performance variation by tuning" band. This runs a single-benchmark
+/// [`crate::sweep`], so it shares the sweep's oracle and compile caches and
+/// its parallel work-stealing execution.
 pub fn evaluate_benchmark(
     bench: &dyn Benchmark,
     cfg: &MachineConfig,
     scale: Scale,
     with_tuning: bool,
 ) -> BenchResult {
-    let ds = bench.dataset(scale);
-    let oracle = run_baseline(bench, &ds, cfg);
-    let mut runs = Vec::new();
-    let mut bands = Vec::new();
-    for kind in ModelKind::figure1_models() {
-        let default_run = run_model(bench, kind, &ds, cfg, &oracle, None);
-        if with_tuning && kind != ModelKind::ManualCuda {
-            let space = model(kind).tuning_space();
-            let mut lo = default_run.speedup;
-            let mut hi = default_run.speedup;
-            for pt in space.iter().skip(1) {
-                let r = run_model(bench, kind, &ds, cfg, &oracle, Some(pt));
-                if r.valid.is_ok() {
-                    lo = lo.min(r.speedup);
-                    hi = hi.max(r.speedup);
-                }
-            }
-            bands.push((kind, lo, hi));
-        }
-        runs.push(default_run);
-    }
-    BenchResult {
-        name: bench.spec().name.to_string(),
-        dataset: ds.label.clone(),
-        cpu_secs: oracle.secs,
-        runs,
-        tuning_bands: bands,
-    }
+    let manifest = crate::sweep::run_sweep(&[bench], cfg, scale, with_tuning);
+    crate::sweep::bench_results(&manifest).pop().expect("one benchmark in, one result out")
 }
 
 #[cfg(test)]

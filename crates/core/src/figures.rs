@@ -1,13 +1,17 @@
 //! Figure 1: speedups of GPU programs translated by the directive compilers,
 //! over serial CPU, per benchmark — plus the tuning-variation band.
+//!
+//! Both entry points run the flat work-stealing [`crate::sweep`]: one task
+//! per (benchmark × model × tuning-point), oracle and compile results
+//! memoized, records collected in task order so output is deterministic.
 
-use acceval_benchmarks::{all_benchmarks, Scale};
+use acceval_benchmarks::{all_benchmarks, Benchmark, Scale};
 use acceval_models::ModelKind;
 use acceval_sim::MachineConfig;
-use rayon::prelude::*;
 use serde::Serialize;
 
-use crate::eval::{evaluate_benchmark, BenchResult};
+use crate::eval::BenchResult;
+use crate::sweep::{bench_results, run_sweep, SweepManifest};
 
 /// The whole figure: one [`BenchResult`] per benchmark, paper order.
 #[derive(Debug, Clone, Serialize)]
@@ -15,26 +19,61 @@ pub struct Figure1 {
     pub results: Vec<BenchResult>,
 }
 
-/// Compute Figure 1. Benchmarks are evaluated in parallel (each evaluation
-/// is an independent simulation).
+/// Compute Figure 1 through the flat sweep (all benchmarks, paper order).
 pub fn figure1(cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> Figure1 {
-    let benches = all_benchmarks();
-    let results: Vec<BenchResult> = benches
-        .par_iter()
-        .map(|b| evaluate_benchmark(b.as_ref(), cfg, scale, with_tuning))
-        .collect();
-    Figure1 { results }
+    figure1_with_manifest(cfg, scale, with_tuning).0
 }
 
-/// Compute Figure 1 for a subset of benchmarks by name.
-pub fn figure1_subset(names: &[&str], cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> Figure1 {
+/// Compute Figure 1 and keep the sweep manifest (per-task records, timing
+/// report) alongside the figure.
+pub fn figure1_with_manifest(cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> (Figure1, SweepManifest) {
     let benches = all_benchmarks();
-    let results: Vec<BenchResult> = benches
-        .par_iter()
-        .filter(|b| names.iter().any(|n| n.eq_ignore_ascii_case(b.spec().name)))
-        .map(|b| evaluate_benchmark(b.as_ref(), cfg, scale, with_tuning))
+    let refs: Vec<&dyn Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    let manifest = run_sweep(&refs, cfg, scale, with_tuning);
+    (Figure1 { results: bench_results(&manifest) }, manifest)
+}
+
+/// Compute Figure 1 for a subset of benchmarks by (case-insensitive) name.
+///
+/// Unknown names are an error listing every unmatched name — they are never
+/// silently dropped.
+pub fn figure1_subset(
+    names: &[&str],
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_tuning: bool,
+) -> Result<Figure1, String> {
+    figure1_subset_with_manifest(names, cfg, scale, with_tuning).map(|(fig, _)| fig)
+}
+
+/// [`figure1_subset`], keeping the sweep manifest.
+pub fn figure1_subset_with_manifest(
+    names: &[&str],
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_tuning: bool,
+) -> Result<(Figure1, SweepManifest), String> {
+    let benches = all_benchmarks();
+    let unknown: Vec<&str> = names
+        .iter()
+        .copied()
+        .filter(|n| !benches.iter().any(|b| b.spec().name.eq_ignore_ascii_case(n)))
         .collect();
-    Figure1 { results }
+    if !unknown.is_empty() {
+        let known: Vec<&str> = benches.iter().map(|b| b.spec().name).collect();
+        return Err(format!(
+            "unknown benchmark name(s): {}; known benchmarks: {}",
+            unknown.join(", "),
+            known.join(", ")
+        ));
+    }
+    let selected: Vec<&dyn Benchmark> = benches
+        .iter()
+        .filter(|b| names.iter().any(|n| n.eq_ignore_ascii_case(b.spec().name)))
+        .map(|b| b.as_ref())
+        .collect();
+    let manifest = run_sweep(&selected, cfg, scale, with_tuning);
+    Ok((Figure1 { results: bench_results(&manifest) }, manifest))
 }
 
 impl Figure1 {

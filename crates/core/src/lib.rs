@@ -11,6 +11,8 @@
 //!   with residency tracking;
 //! * [`eval`] — speedups over the sequential CPU baseline, with output
 //!   validation against the oracle;
+//! * [`sweep`] — the flat work-stealing (benchmark × model × tuning-point)
+//!   sweep with memoized oracles/compiles and the JSON sweep manifest;
 //! * [`coverage`] / [`codesize`] — Table II; [`tables`] — Table I;
 //! * [`figures`] — Figure 1 series incl. tuning-variation bands;
 //! * [`report`] — ASCII/CSV/JSON renderers.
@@ -42,12 +44,14 @@ pub mod eval;
 pub mod figures;
 pub mod report;
 pub mod runtime;
+pub mod sweep;
 pub mod tables;
 
 pub use compile::{compile_port, CompiledProgram};
 pub use coverage::{coverage_table, CoverageRow};
-pub use eval::{evaluate_benchmark, run_baseline, run_model, BenchResult, ModelRun};
+pub use eval::{evaluate_benchmark, run_baseline, run_compiled, run_model, BenchResult, ModelRun};
 pub use runtime::{run_gpu_program, GpuRun};
+pub use sweep::{run_sweep, RunRecord, SweepManifest};
 
 // Re-export the full stack so downstream users need only this crate.
 pub use acceval_benchmarks as benchmarks;

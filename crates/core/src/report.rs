@@ -7,6 +7,7 @@ use acceval_models::ModelKind;
 use crate::codesize::CodeSizeRow;
 use crate::coverage::CoverageRow;
 use crate::figures::Figure1;
+use crate::sweep::SweepManifest;
 
 /// Render Table II (coverage + code-size increase).
 pub fn render_table2(cov: &[CoverageRow], size: &[CodeSizeRow]) -> String {
@@ -85,6 +86,38 @@ pub fn render_figure1_bars(fig: &Figure1) -> String {
             let chars = ((s.log10() + 1.0) / 0.25).round().max(0.0) as usize;
             let _ = writeln!(out, "  {:5} {}| {:.2}x", short(run.model), "#".repeat(chars), run.speedup);
         }
+    }
+    out
+}
+
+/// Render the sweep manifest's timing report: totals, parallel efficiency,
+/// the slowest tasks, and per-group wall-clock breakdowns.
+pub fn render_sweep_summary(m: &SweepManifest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep: {} tasks ({} scale, tuning {}) on {} worker(s) in {:.2}s wall",
+        m.tasks,
+        m.scale,
+        if m.with_tuning { "on" } else { "off" },
+        m.workers,
+        m.wall_secs
+    );
+    let _ = writeln!(
+        out,
+        "  serial-equivalent {:.2}s (oracles {:.2}s) | critical path {:.2}s | efficiency {:.0}%",
+        m.task_wall_secs,
+        m.oracle_wall_secs,
+        m.critical_path_secs,
+        m.parallel_efficiency * 100.0
+    );
+    out.push_str("  slowest tasks:\n");
+    for s in &m.slowest_tasks {
+        let _ = writeln!(out, "    #{:<4} {:10} {:18} {:.3}s", s.task, s.benchmark, format!("{:?}", s.model), s.wall_secs);
+    }
+    out.push_str("  wall seconds by model:\n");
+    for g in &m.by_model {
+        let _ = writeln!(out, "    {:18} {:4} tasks  {:.3}s", g.name, g.tasks, g.wall_secs);
     }
     out
 }

@@ -1,0 +1,485 @@
+//! The flat work-stealing evaluation sweep behind Figure 1.
+//!
+//! Every (benchmark × model × tuning-point) combination is one independent
+//! task. Tasks are enumerated up front and run through rayon; the CPU
+//! oracle is computed once per (benchmark, scale) behind a memoizing cache,
+//! and compilation is memoized on the tuning point's *lowering basis* (the
+//! point with launch geometry normalized away — see
+//! [`TuningPoint::lowering_basis`]), so points that only change launch
+//! geometry re-point the cached kernels instead of re-lowering the IR.
+//!
+//! Results are deterministic and bit-identical regardless of scheduling:
+//! records are collected keyed by task index, caches are keyed by value (not
+//! arrival order), and the geometry retarget is a pure function of the
+//! tuning point.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use acceval_benchmarks::{Benchmark, Scale};
+use acceval_ir::interp::cpu::CpuRun;
+use acceval_ir::program::DataSet;
+use acceval_models::{model, ModelKind, TuningPoint};
+use acceval_sim::{MachineConfig, Summary};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::compile::{compile_port, CompiledProgram};
+use crate::eval::{run_compiled, BenchResult, ModelRun};
+
+// ---------------------------------------------------------------------------
+// Memoizing caches (process-global, shared with tests and benches).
+// ---------------------------------------------------------------------------
+
+/// A once-per-key memo table: the map lock is only held to look up or insert
+/// the per-key cell, so concurrent tasks computing *different* keys never
+/// serialize, while concurrent requests for the *same* key compute it once.
+struct Memo<K, V> {
+    map: OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> Memo<K, V> {
+    const fn new() -> Self {
+        Memo { map: OnceLock::new() }
+    }
+
+    fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut m = self.map.get_or_init(|| Mutex::new(HashMap::new())).lock();
+            Arc::clone(m.entry(key).or_default())
+        };
+        cell.get_or_init(f).clone()
+    }
+}
+
+/// A memoized CPU-oracle run, with the wall-clock cost of computing it.
+pub struct OracleEntry {
+    pub run: CpuRun,
+    /// Wall seconds spent simulating the baseline (0-cost for cache hits).
+    pub wall_secs: f64,
+}
+
+type DatasetKey = (String, Scale);
+/// Oracle results depend on the host model, so the key carries its
+/// fingerprint alongside benchmark and scale.
+type OracleKey = (String, Scale, String);
+/// Compiles depend on the dataset (profitability env), the model, and the
+/// tuning point's lowering basis — *not* on its launch geometry.
+type CompileKey = (String, ModelKind, Scale, TuningPoint);
+
+static DATASETS: Memo<DatasetKey, Arc<DataSet>> = Memo::new();
+static ORACLES: Memo<OracleKey, Arc<OracleEntry>> = Memo::new();
+static COMPILES: Memo<CompileKey, Arc<CompiledProgram>> = Memo::new();
+
+/// The memoized dataset for a benchmark at a scale.
+pub fn cached_dataset(bench: &dyn Benchmark, scale: Scale) -> Arc<DataSet> {
+    DATASETS.get_or_compute((bench.spec().name.to_string(), scale), || Arc::new(bench.dataset(scale)))
+}
+
+/// The memoized sequential CPU oracle for a benchmark at a scale. Computed
+/// once per (benchmark, scale, host model) no matter how many sweep tasks,
+/// tests, or benches request it.
+pub fn cached_oracle(bench: &dyn Benchmark, scale: Scale, cfg: &MachineConfig) -> Arc<OracleEntry> {
+    let key = (bench.spec().name.to_string(), scale, format!("{:?}", cfg.host));
+    ORACLES.get_or_compute(key, || {
+        let ds = cached_dataset(bench, scale);
+        let t0 = Instant::now();
+        let run = crate::eval::run_baseline(bench, &ds, cfg);
+        Arc::new(OracleEntry { run, wall_secs: t0.elapsed().as_secs_f64() })
+    })
+}
+
+/// The memoized compile of a benchmark's port, re-pointed at `tuning`'s
+/// launch geometry. Tuning points sharing a lowering basis share one
+/// `compile_port` invocation; the cache is keyed by value, so the compiled
+/// artifact is identical no matter which task populated it.
+pub fn cached_compile(
+    bench: &dyn Benchmark,
+    kind: ModelKind,
+    scale: Scale,
+    tuning: Option<&TuningPoint>,
+) -> CompiledProgram {
+    let pt = tuning.copied().unwrap_or_else(|| TuningPoint::best_for(kind));
+    let basis = pt.lowering_basis();
+    let base = COMPILES.get_or_compute((bench.spec().name.to_string(), kind, scale, basis), || {
+        let ds = cached_dataset(bench, scale);
+        Arc::new(compile_port(&bench.port(kind), kind, &ds, Some(&basis)))
+    });
+    base.with_geometry(&pt)
+}
+
+// ---------------------------------------------------------------------------
+// Task enumeration.
+// ---------------------------------------------------------------------------
+
+/// One unit of sweep work: a benchmark run under a model at one tuning
+/// point (`None` = the model's default point, the Figure 1 bar).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepTask {
+    pub benchmark: String,
+    pub model: ModelKind,
+    pub tuning: Option<TuningPoint>,
+}
+
+/// Enumerate the full (benchmark × model × tuning-point) task list.
+///
+/// The default point is always present (as `tuning: None`); with
+/// `with_tuning`, every *distinct* point of the model's tuning space is
+/// added. Points are deduplicated by value — no assumption is made about
+/// where the default sits in the space or whether the space repeats itself.
+pub fn enumerate_tasks(benches: &[&dyn Benchmark], with_tuning: bool) -> Vec<SweepTask> {
+    let mut tasks = Vec::new();
+    for b in benches {
+        let name = b.spec().name;
+        for kind in ModelKind::figure1_models() {
+            tasks.push(SweepTask { benchmark: name.to_string(), model: kind, tuning: None });
+            if with_tuning && kind != ModelKind::ManualCuda {
+                let mut seen = vec![TuningPoint::best_for(kind)];
+                for pt in model(kind).tuning_space() {
+                    if !seen.contains(&pt) {
+                        seen.push(pt);
+                        tasks.push(SweepTask { benchmark: name.to_string(), model: kind, tuning: Some(pt) });
+                    }
+                }
+            }
+        }
+    }
+    tasks
+}
+
+// ---------------------------------------------------------------------------
+// Records and the sweep manifest.
+// ---------------------------------------------------------------------------
+
+/// The structured result of one sweep task.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Index into the enumerated task list (records stay in this order no
+    /// matter how the scheduler interleaved them).
+    pub task: usize,
+    pub benchmark: String,
+    pub model: ModelKind,
+    /// The tuning point run (`None` = the model's default point).
+    pub tuning: Option<TuningPoint>,
+    pub default_point: bool,
+    /// Simulated GPU-version seconds.
+    pub secs: f64,
+    /// Oracle seconds over simulated seconds (0 when invalid).
+    pub speedup: f64,
+    /// `Ok` if outputs matched the oracle within tolerance.
+    pub valid: Result<(), String>,
+    /// Device-stats summary of the simulated timeline.
+    pub summary: Summary,
+    pub unsupported_regions: usize,
+    /// Wall-clock seconds this task spent simulating (harness time, not
+    /// simulated time; nondeterministic and excluded from figure output).
+    pub wall_secs: f64,
+}
+
+/// The oracle cost entry of the manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleRecord {
+    pub benchmark: String,
+    pub dataset: String,
+    /// Simulated sequential CPU seconds (the Figure 1 denominator).
+    pub cpu_secs: f64,
+    /// Wall seconds spent computing it (0 when served from the cache).
+    pub wall_secs: f64,
+}
+
+/// Wall-clock totals for a group of tasks (per benchmark or per model).
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupTotals {
+    pub name: String,
+    pub tasks: usize,
+    pub wall_secs: f64,
+    /// Simulated GPU seconds summed over the group.
+    pub sim_secs: f64,
+    pub kernel_secs: f64,
+    pub transfer_secs: f64,
+    pub kernels_launched: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+}
+
+/// One entry of the slowest-task report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlowTask {
+    pub task: usize,
+    pub benchmark: String,
+    pub model: ModelKind,
+    pub wall_secs: f64,
+}
+
+/// Everything a sweep produced: per-task records plus a timing/accounting
+/// report. Written next to `results/figure1.csv` as the sweep manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepManifest {
+    pub scale: String,
+    pub with_tuning: bool,
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    pub tasks: usize,
+    /// Wall seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// Sum of per-task wall seconds (the serial-equivalent cost).
+    pub task_wall_secs: f64,
+    /// Wall seconds spent computing oracles (once per benchmark).
+    pub oracle_wall_secs: f64,
+    /// The longest oracle-then-slowest-task chain: no schedule can finish
+    /// the sweep faster than this.
+    pub critical_path_secs: f64,
+    /// task_wall_secs / (wall_secs * workers); 1.0 = perfect scaling.
+    pub parallel_efficiency: f64,
+    pub oracles: Vec<OracleRecord>,
+    pub records: Vec<RunRecord>,
+    pub by_benchmark: Vec<GroupTotals>,
+    pub by_model: Vec<GroupTotals>,
+    /// The five slowest tasks by wall clock.
+    pub slowest_tasks: Vec<SlowTask>,
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+fn run_task(bench: &dyn Benchmark, task: &SweepTask, index: usize, cfg: &MachineConfig, scale: Scale) -> RunRecord {
+    let t0 = Instant::now();
+    let ds = cached_dataset(bench, scale);
+    let oracle = cached_oracle(bench, scale, cfg);
+    let compiled = cached_compile(bench, task.model, scale, task.tuning.as_ref());
+    let r = run_compiled(bench, &compiled, &ds, cfg, &oracle.run);
+    RunRecord {
+        task: index,
+        benchmark: task.benchmark.clone(),
+        model: task.model,
+        tuning: task.tuning,
+        default_point: task.tuning.is_none(),
+        secs: r.secs,
+        speedup: r.speedup,
+        valid: r.valid,
+        summary: r.summary,
+        unsupported_regions: r.unsupported_regions,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run the flat sweep over `benches` and assemble the manifest.
+///
+/// Tasks execute in parallel via work stealing; the record list is ordered
+/// by task index, so the figure-relevant output is bit-identical regardless
+/// of scheduling.
+pub fn run_sweep(benches: &[&dyn Benchmark], cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> SweepManifest {
+    let t0 = Instant::now();
+    let tasks = enumerate_tasks(benches, with_tuning);
+    let by_name: HashMap<&str, &dyn Benchmark> = benches.iter().map(|b| (b.spec().name, *b)).collect();
+
+    let indexed: Vec<(usize, &SweepTask)> = tasks.iter().enumerate().collect();
+    let records: Vec<RunRecord> = indexed
+        .par_iter()
+        .map(|(i, t)| run_task(by_name[t.benchmark.as_str()], t, *i, cfg, scale))
+        .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    // Oracle accounting (all cache hits at this point).
+    let oracles: Vec<OracleRecord> = benches
+        .iter()
+        .map(|b| {
+            let e = cached_oracle(*b, scale, cfg);
+            OracleRecord {
+                benchmark: b.spec().name.to_string(),
+                dataset: cached_dataset(*b, scale).label.clone(),
+                cpu_secs: e.run.secs,
+                wall_secs: e.wall_secs,
+            }
+        })
+        .collect();
+
+    let group = |sel: &dyn Fn(&RunRecord) -> bool, name: String| {
+        let mut g = GroupTotals {
+            name,
+            tasks: 0,
+            wall_secs: 0.0,
+            sim_secs: 0.0,
+            kernel_secs: 0.0,
+            transfer_secs: 0.0,
+            kernels_launched: 0,
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+        };
+        for r in records.iter().filter(|r| sel(r)) {
+            g.tasks += 1;
+            g.wall_secs += r.wall_secs;
+            g.sim_secs += r.secs;
+            g.kernel_secs += r.summary.kernel_secs;
+            g.transfer_secs += r.summary.transfer_secs;
+            g.kernels_launched += r.summary.kernels_launched;
+            g.h2d_bytes += r.summary.h2d_bytes;
+            g.d2h_bytes += r.summary.d2h_bytes;
+        }
+        g
+    };
+    let by_benchmark: Vec<GroupTotals> =
+        benches.iter().map(|b| group(&|r| r.benchmark == b.spec().name, b.spec().name.to_string())).collect();
+    let by_model: Vec<GroupTotals> =
+        ModelKind::figure1_models().iter().map(|k| group(&|r| r.model == *k, k.display().to_string())).collect();
+
+    let mut slowest: Vec<&RunRecord> = records.iter().collect();
+    slowest.sort_by(|a, b| b.wall_secs.partial_cmp(&a.wall_secs).unwrap_or(std::cmp::Ordering::Equal));
+    let slowest_tasks: Vec<SlowTask> = slowest
+        .iter()
+        .take(5)
+        .map(|r| SlowTask { task: r.task, benchmark: r.benchmark.clone(), model: r.model, wall_secs: r.wall_secs })
+        .collect();
+
+    let task_wall_secs: f64 = records.iter().map(|r| r.wall_secs).sum();
+    let oracle_wall_secs: f64 = oracles.iter().map(|o| o.wall_secs).sum();
+    let critical_path_secs = oracles
+        .iter()
+        .map(|o| {
+            let slowest_task = records
+                .iter()
+                .filter(|r| r.benchmark == o.benchmark)
+                .map(|r| r.wall_secs)
+                .fold(0.0f64, f64::max);
+            o.wall_secs + slowest_task
+        })
+        .fold(0.0f64, f64::max);
+    let workers = rayon::current_num_threads().max(1);
+    let parallel_efficiency =
+        if wall_secs > 0.0 { (task_wall_secs / (wall_secs * workers as f64)).min(1.0) } else { 1.0 };
+
+    SweepManifest {
+        scale: format!("{scale:?}"),
+        with_tuning,
+        workers,
+        tasks: tasks.len(),
+        wall_secs,
+        task_wall_secs,
+        oracle_wall_secs,
+        critical_path_secs,
+        parallel_efficiency,
+        oracles,
+        records,
+        by_benchmark,
+        by_model,
+        slowest_tasks,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation back into the Figure 1 shapes.
+// ---------------------------------------------------------------------------
+
+/// Fold a manifest's flat records into per-benchmark [`BenchResult`]s
+/// (benchmarks in manifest/oracle order, models in Figure 1 order).
+///
+/// Tuning bands cover every *valid* run of a model — default point
+/// included — and are omitted entirely when no run of the model validated,
+/// so an invalid run can never seed (or silently widen) a band.
+pub fn bench_results(manifest: &SweepManifest) -> Vec<BenchResult> {
+    manifest
+        .oracles
+        .iter()
+        .map(|o| {
+            let recs: Vec<&RunRecord> = manifest.records.iter().filter(|r| r.benchmark == o.benchmark).collect();
+            let mut runs = Vec::new();
+            let mut bands = Vec::new();
+            for kind in ModelKind::figure1_models() {
+                if let Some(d) = recs.iter().find(|r| r.model == kind && r.default_point) {
+                    runs.push(ModelRun {
+                        model: kind,
+                        secs: d.secs,
+                        speedup: d.speedup,
+                        summary: d.summary,
+                        valid: d.valid.clone(),
+                        unsupported_regions: d.unsupported_regions,
+                    });
+                }
+                let of_kind: Vec<&&RunRecord> = recs.iter().filter(|r| r.model == kind).collect();
+                if of_kind.iter().any(|r| !r.default_point) {
+                    let valid: Vec<f64> =
+                        of_kind.iter().filter(|r| r.valid.is_ok()).map(|r| r.speedup).collect();
+                    if !valid.is_empty() {
+                        let lo = valid.iter().copied().fold(f64::INFINITY, f64::min);
+                        let hi = valid.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                        bands.push((kind, lo, hi));
+                    }
+                }
+            }
+            BenchResult {
+                name: o.benchmark.clone(),
+                dataset: o.dataset.clone(),
+                cpu_secs: o.cpu_secs,
+                runs,
+                tuning_bands: bands,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_enumeration_dedupes_and_orders() {
+        let b = acceval_benchmarks::jacobi::Jacobi;
+        let benches: [&dyn Benchmark; 1] = [&b];
+        let tasks = enumerate_tasks(&benches, true);
+        // One default task per Figure-1 model, plus distinct tuning points
+        // for every model but ManualCuda.
+        let defaults = tasks.iter().filter(|t| t.tuning.is_none()).count();
+        assert_eq!(defaults, ModelKind::figure1_models().len());
+        assert!(!tasks
+            .iter()
+            .any(|t| t.model == ModelKind::ManualCuda && t.tuning.is_some()));
+        // No tuning task duplicates the default point or another task.
+        for t in tasks.iter().filter(|t| t.tuning.is_some()) {
+            assert_ne!(t.tuning.unwrap(), TuningPoint::best_for(t.model));
+        }
+        for (i, a) in tasks.iter().enumerate() {
+            for b in &tasks[i + 1..] {
+                assert!(
+                    a.benchmark != b.benchmark || a.model != b.model || a.tuning != b.tuning,
+                    "duplicate task {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_cache_computes_once() {
+        let cfg = MachineConfig::keeneland_node();
+        let b = acceval_benchmarks::jacobi::Jacobi;
+        let first = cached_oracle(&b, Scale::Test, &cfg);
+        let second = cached_oracle(&b, Scale::Test, &cfg);
+        assert!(Arc::ptr_eq(&first, &second), "repeated requests must share one CpuRun");
+        assert_eq!(first.run.secs.to_bits(), second.run.secs.to_bits());
+    }
+
+    #[test]
+    fn geometry_retarget_matches_direct_compile() {
+        // The memoized compile (canonical basis + retarget) must reproduce
+        // the direct compile of every tuning point bit-for-bit.
+        let b = acceval_benchmarks::jacobi::Jacobi;
+        let ds = cached_dataset(&b, Scale::Test);
+        for kind in ModelKind::figure1_models() {
+            let mut points = vec![None];
+            if kind != ModelKind::ManualCuda {
+                points.extend(model(kind).tuning_space().into_iter().map(Some));
+            }
+            for pt in points {
+                let direct = compile_port(&b.port(kind), kind, &ds, pt.as_ref());
+                let cached = cached_compile(&b, kind, Scale::Test, pt.as_ref());
+                assert_eq!(direct.kernels.len(), cached.kernels.len());
+                for (region, plans) in &direct.kernels {
+                    assert_eq!(plans, &cached.kernels[region], "{kind:?} {pt:?} region {region}");
+                }
+            }
+        }
+    }
+}

@@ -110,6 +110,14 @@ pub struct KernelPlan {
     pub shared_bytes_per_block: u32,
     /// Dense site count of `body` after [`KernelPlan::finalize`].
     pub site_count: u32,
+    /// Whether `block` was derived from the tuning point's launch geometry
+    /// (1-D mapping with no explicit block hint). Such plans can be
+    /// re-pointed at a different geometry without re-lowering.
+    pub block_from_tuning: bool,
+    /// Element size (bytes) of a hint-placed shared tile whose per-block
+    /// footprint was derived from the tuning block geometry; `None` when
+    /// `shared_bytes_per_block` is geometry-independent.
+    pub tuned_shared_elem: Option<u32>,
 }
 
 impl KernelPlan {
@@ -128,6 +136,8 @@ impl KernelPlan {
             regs_per_thread: 20,
             shared_bytes_per_block: 0,
             site_count: 0,
+            block_from_tuning: false,
+            tuned_shared_elem: None,
         }
     }
 

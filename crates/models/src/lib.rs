@@ -29,7 +29,7 @@ use acceval_ir::analysis::RegionFeatures;
 use serde::{Deserialize, Serialize};
 
 pub use features::{FeatureRow, Level};
-pub use lower::{lower_region, LoweringOptions, RegionHints};
+pub use lower::{lower_region, retarget_block_geometry, LoweringOptions, RegionHints};
 pub use tuning::TuningPoint;
 
 /// The evaluated models.

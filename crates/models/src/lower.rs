@@ -291,22 +291,32 @@ fn lower_loop(
         }
     }
     // Shared tiling from explicit hints also reserves space.
+    let mut tuned_shared_elem = None;
     for (a, sp) in &placement {
         if let MemSpace::SharedTiled { .. } = sp {
             if shared_bytes == 0 {
-                let (bx, by) = hints.block.unwrap_or((tuning.block_x, tuning.block_y));
-                shared_bytes += (bx + 2) * (by + 2) * prog.array_elem(*a).size_bytes();
+                let elem = prog.array_elem(*a).size_bytes();
+                let (bx, by) = match hints.block {
+                    Some(b) => b,
+                    None => {
+                        // Footprint depends on the tuning geometry: record
+                        // provenance so a geometry retarget can recompute it.
+                        tuned_shared_elem = Some(elem);
+                        (tuning.block_x, tuning.block_y)
+                    }
+                };
+                shared_bytes += (bx + 2) * (by + 2) * elem;
             }
         }
     }
 
     // 8. Block shape.
-    let block = if let (true, Some(b)) = (opts.honor_hints, hints.block) {
-        b
+    let (block, block_from_tuning) = if let (true, Some(b)) = (opts.honor_hints, hints.block) {
+        (b, false)
     } else if axes.len() == 2 {
-        (16, 16)
+        ((16, 16), false)
     } else {
-        (tuning.block_x * tuning.block_y.max(1), 1)
+        ((tuning.block_x * tuning.block_y.max(1), 1), true)
     };
 
     // 9. Register estimate: base + per assigned scalar.
@@ -320,6 +330,8 @@ fn lower_loop(
 
     let mut plan = KernelPlan::new(name, axes, body);
     plan.block = block;
+    plan.block_from_tuning = block_from_tuning;
+    plan.tuned_shared_elem = tuned_shared_elem;
     plan.regs_per_thread = regs;
     plan.shared_bytes_per_block = plan.shared_bytes_per_block.max(shared_bytes);
     for (op, t) in reductions {
@@ -336,6 +348,29 @@ fn lower_loop(
     }
     plan.finalize();
     Ok(plan)
+}
+
+/// Re-point compiled kernels at a different launch geometry without
+/// re-lowering.
+///
+/// Sound because the tuning point's block geometry enters lowering in
+/// exactly two places, both recorded as provenance by [`lower_region`]:
+/// the 1-D unhinted block shape (`block_from_tuning`) and the footprint of
+/// a hint-placed shared tile (`tuned_shared_elem`). Every *other* tuning
+/// knob (`loop_swap`, `transpose_expansion`, `caching`, `tiling`) changes
+/// the lowering itself and therefore must be part of any compile-cache key
+/// (see [`TuningPoint::lowering_basis`]).
+pub fn retarget_block_geometry(kernels: &mut [KernelPlan], tuning: &TuningPoint) {
+    for k in kernels {
+        if k.block_from_tuning {
+            k.block = (tuning.block_x * tuning.block_y.max(1), 1);
+        }
+        if let Some(elem) = k.tuned_shared_elem {
+            // The recorded provenance guarantees the whole footprint was one
+            // geometry-derived tile term; recompute it wholesale.
+            k.shared_bytes_per_block = (tuning.block_x + 2) * (tuning.block_y + 2) * elem;
+        }
+    }
 }
 
 fn mk_axis(var: ScalarId, lo: &Expr, hi: &Expr, step: &Expr) -> ParAxis {

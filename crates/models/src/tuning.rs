@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::ModelKind;
 
 /// One point in a model's tuning space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TuningPoint {
     pub block_x: u32,
     pub block_y: u32,
@@ -54,6 +54,20 @@ impl TuningPoint {
     /// Threads per block.
     pub fn threads(&self) -> u32 {
         self.block_x * self.block_y
+    }
+
+    /// The lowering-relevant projection of this point: launch geometry
+    /// normalized to the default block shape.
+    ///
+    /// Block geometry enters lowering only through recorded provenance
+    /// ([`acceval_ir::kernel::KernelPlan::block_from_tuning`] and
+    /// `tuned_shared_elem`), so two points with equal bases produce the same
+    /// compiled program up to a geometry retarget
+    /// ([`crate::lower::retarget_block_geometry`]). Compile caches key on
+    /// this.
+    pub fn lowering_basis(&self) -> TuningPoint {
+        let d = TuningPoint::default();
+        TuningPoint { block_x: d.block_x, block_y: d.block_y, ..*self }
     }
 }
 

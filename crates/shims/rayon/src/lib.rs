@@ -1,0 +1,220 @@
+//! Offline stand-in for `rayon`, scoped to what the workspace uses:
+//! `slice.par_iter()` / `vec.into_par_iter()` with `map`/`filter`/`collect`.
+//!
+//! Execution model: the base items are materialized up front; a pool of
+//! `available_parallelism()` scoped threads pulls item *indices* from a
+//! shared atomic counter (work stealing at item granularity) and each
+//! item's result is stored back at its index. Collection is therefore
+//! **order-preserving and deterministic** regardless of which thread ran
+//! which item — the property the sweep layer's bit-identical-output
+//! guarantee rests on.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `.par_iter()` — borrowing parallel iteration (items are `&T`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// `.into_par_iter()` — owning parallel iteration.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// Run `f` over `0..n` on the thread pool, returning results in index order.
+fn run_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots.into_inner().unwrap().into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// Borrowing base iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    pub fn map<R, G>(self, g: G) -> ParChain<'a, T, R, impl Fn(&'a T) -> Option<R> + Sync>
+    where
+        R: Send,
+        G: Fn(&'a T) -> R + Sync,
+    {
+        ParChain { items: self.items, f: move |b: &'a T| Some(g(b)), _m: PhantomData }
+    }
+
+    pub fn filter<P>(self, p: P) -> ParChain<'a, T, &'a T, impl Fn(&'a T) -> Option<&'a T> + Sync>
+    where
+        P: Fn(&&'a T) -> bool + Sync,
+    {
+        ParChain {
+            items: self.items,
+            f: move |b: &'a T| if p(&b) { Some(b) } else { None },
+            _m: PhantomData,
+        }
+    }
+
+    pub fn collect<C: FromIterator<&'a T>>(self) -> C
+    where
+        T: Send + Sync,
+    {
+        self.map(|t| t).collect()
+    }
+}
+
+/// Owning base iterator; items are moved into the closure chain.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParVec<T> {
+    pub fn map<R, G>(self, g: G) -> OwnedChain<T, R, impl Fn(T) -> Option<R> + Sync>
+    where
+        R: Send,
+        G: Fn(T) -> R + Sync,
+    {
+        OwnedChain { items: self.items, f: move |b: T| Some(g(b)), _m: PhantomData }
+    }
+}
+
+/// A borrowed base with a composed `map`/`filter` pipeline.
+pub struct ParChain<'a, B, I, F: Fn(&'a B) -> Option<I>> {
+    items: &'a [B],
+    f: F,
+    _m: PhantomData<I>,
+}
+
+impl<'a, B, I, F> ParChain<'a, B, I, F>
+where
+    B: Sync,
+    I: Send,
+    F: Fn(&'a B) -> Option<I> + Sync,
+{
+    pub fn map<R, G>(self, g: G) -> ParChain<'a, B, R, impl Fn(&'a B) -> Option<R> + Sync>
+    where
+        R: Send,
+        G: Fn(I) -> R + Sync,
+    {
+        let f = self.f;
+        ParChain { items: self.items, f: move |b| f(b).map(&g), _m: PhantomData }
+    }
+
+    pub fn filter<P>(self, p: P) -> ParChain<'a, B, I, impl Fn(&'a B) -> Option<I> + Sync>
+    where
+        P: Fn(&I) -> bool + Sync,
+    {
+        let f = self.f;
+        ParChain { items: self.items, f: move |b| f(b).filter(|i| p(i)), _m: PhantomData }
+    }
+
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        let f = &self.f;
+        run_indexed(self.items.len(), |i| f(&self.items[i])).into_iter().flatten().collect()
+    }
+}
+
+/// An owned base with a composed pipeline. Items are cloned out of the
+/// base vector at execution time (the base must be `Clone` to distribute
+/// owned items across threads without unsafe slot extraction).
+pub struct OwnedChain<B, I, F: Fn(B) -> Option<I>> {
+    items: Vec<B>,
+    f: F,
+    _m: PhantomData<I>,
+}
+
+impl<B, I, F> OwnedChain<B, I, F>
+where
+    B: Send + Sync + Clone,
+    I: Send,
+    F: Fn(B) -> Option<I> + Sync,
+{
+    pub fn map<R, G>(self, g: G) -> OwnedChain<B, R, impl Fn(B) -> Option<R> + Sync>
+    where
+        R: Send,
+        G: Fn(I) -> R + Sync,
+    {
+        let f = self.f;
+        OwnedChain { items: self.items, f: move |b| f(b).map(&g), _m: PhantomData }
+    }
+
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        let f = &self.f;
+        let items = &self.items;
+        run_indexed(items.len(), |i| f(items[i].clone())).into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v.par_iter().filter(|x| **x % 2 == 0).map(|x| x + 1).collect();
+        assert_eq!(out, (0..100).filter(|x| x % 2 == 0).map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owned_map() {
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x + 5).collect();
+        assert_eq!(out, (5..69).collect::<Vec<_>>());
+    }
+}

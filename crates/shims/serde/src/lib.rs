@@ -1,0 +1,164 @@
+//! Offline stand-in for `serde`, providing exactly the surface this
+//! workspace uses: `#[derive(Serialize, Deserialize)]`, the `Serialize`
+//! trait as a bound, and enough std impls to serialize the report
+//! structures. Serialization goes through a JSON value tree ([`Json`])
+//! that `serde_json` renders; the external-tagging conventions match
+//! real serde (unit variants as strings, newtype variants as
+//! single-entry objects, `Result` as `{"Ok": ..}`/`{"Err": ..}`).
+//!
+//! The container image has no crates.io access, so the real crates can
+//! never resolve; these shims keep the workspace self-contained.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the serialization data model of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer (kept separate so u64 > i64::MAX survives).
+    U(u64),
+    F(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (field declaration order).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Types that can render themselves into the [`Json`] data model.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`. No deserializer
+/// exists in the workspace; the derive keeps type definitions unchanged.
+pub trait Deserialize {}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+impl Deserialize for f64 {}
+impl Deserialize for f32 {}
+impl Deserialize for bool {}
+impl Deserialize for String {}
+impl Deserialize for () {}
+
+// ---- std container impls ---------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_json(&self) -> Json {
+        match self {
+            Ok(v) => Json::Obj(vec![("Ok".to_string(), v.to_json())]),
+            Err(e) => Json::Obj(vec![("Err".to_string(), e.to_json())]),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize + ?Sized> Deserialize for Box<T> {}

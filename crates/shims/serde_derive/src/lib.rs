@@ -1,0 +1,247 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! serde shim. The registry is unreachable in this container, so there is
+//! no `syn`/`quote`; instead the derive input is parsed directly off the
+//! `proc_macro` token stream. Supported shapes are exactly what the
+//! workspace defines: non-generic named structs, tuple structs, and enums
+//! with unit/tuple/named variants (no `#[serde(...)]` attributes).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip outer attributes (`#[..]`, incl. expanded doc comments) and a
+/// visibility qualifier (`pub`, `pub(..)`).
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [..] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim derive: expected struct/enum, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim derive: expected item name, got {t:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derive on {name})");
+    }
+    let kind = match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(&g))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(&g))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(&g))
+        }
+        (kw, t) => panic!("serde shim derive: unsupported item shape {kw} {t:?}"),
+    };
+    Item { name, kind }
+}
+
+/// Field names of a `{ .. }` field list, skipping attributes, visibility,
+/// and each field's type (tracking `<..>` depth so commas inside generic
+/// arguments don't split fields).
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(TokenTree::Ident(id)) = it.next() else { break };
+        fields.push(id.to_string());
+        let mut depth = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `( .. )` tuple field list.
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut any = false;
+    for tt in g.stream() {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(TokenTree::Ident(id)) = it.next() else { break };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(vg);
+                it.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(vg);
+                it.next();
+                Shape::Named(f)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name: id.to_string(), shape });
+        // Skip to the next comma (consumes explicit discriminants, if any).
+        for tt in it.by_ref() {
+            if matches!(tt, TokenTree::Punct(ref p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Json::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Json::Obj(vec![{}])", entries.join(", "))
+        }
+        // Newtype structs serialize transparently, like serde.
+        Kind::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            format!("::serde::Json::Arr(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| gen_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{ {body} }}\n}}"
+    )
+}
+
+fn gen_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("{enum_name}::{vn} => ::serde::Json::Str(\"{vn}\".to_string()),")
+        }
+        Shape::Tuple(1) => format!(
+            "{enum_name}::{vn}(f0) => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), \
+             ::serde::Serialize::to_json(f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let elems: Vec<String> =
+                binds.iter().map(|b| format!("::serde::Serialize::to_json({b})")).collect();
+            format!(
+                "{enum_name}::{vn}({}) => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), \
+                 ::serde::Json::Arr(vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"))
+                .collect();
+            format!(
+                "{enum_name}::{vn} {{ {binds} }} => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), \
+                 ::serde::Json::Obj(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}

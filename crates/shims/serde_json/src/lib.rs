@@ -1,0 +1,152 @@
+//! Offline stand-in for `serde_json`: compact and pretty printers over the
+//! serde shim's [`Json`] value tree. Follows serde_json conventions where
+//! they are observable: 2-space pretty indentation, non-finite floats
+//! rendered as `null`, integral floats keeping a `.0`, `\uXXXX` escapes
+//! for control characters.
+
+use serde::{Json, Serialize};
+use std::fmt;
+
+/// Serialization error. The shim's tree rendering is total, so this is
+/// never actually produced; it exists so call sites keep serde_json's
+/// `Result` signature.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_json(v: &Json, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::I(i) => out.push_str(&i.to_string()),
+        Json::U(u) => out.push_str(&u.to_string()),
+        Json::F(f) => write_f64(*f, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => write_seq(items.iter(), items.len(), '[', ']', indent, level, out, |item, out, lvl| {
+            write_json(item, indent, lvl, out)
+        }),
+        Json::Obj(entries) => {
+            write_seq(entries.iter(), entries.len(), '{', '}', indent, level, out, |(k, val), out, lvl| {
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(val, indent, lvl, out);
+            })
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<T>(
+    items: impl Iterator<Item = T>,
+    len: usize,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e16 {
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_nested() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::I(1), Json::F(2.5)])),
+            ("b".into(), Json::Str("x\"y".into())),
+        ]);
+        struct W(Json);
+        impl Serialize for W {
+            fn to_json(&self) -> Json {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&W(v)).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    2.5\n  ],\n  \"b\": \"x\\\"y\"\n}");
+    }
+
+    #[test]
+    fn floats_follow_serde_json() {
+        struct W(f64);
+        impl Serialize for W {
+            fn to_json(&self) -> Json {
+                Json::F(self.0)
+            }
+        }
+        assert_eq!(to_string(&W(1.0)).unwrap(), "1.0");
+        assert_eq!(to_string(&W(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&W(0.1)).unwrap(), "0.1");
+    }
+}

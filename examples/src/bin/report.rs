@@ -10,10 +10,13 @@
 use acceval::benchmarks::Scale;
 use acceval::codesize::codesize_table;
 use acceval::coverage::coverage_table;
-use acceval::figures::{figure1, figure1_subset};
-use acceval::report::{figure1_csv, render_figure1, render_table2};
+use acceval::figures::{figure1_subset_with_manifest, figure1_with_manifest};
+use acceval::report::{figure1_csv, render_figure1, render_sweep_summary, render_table2};
 use acceval::sim::MachineConfig;
 use acceval::tables::render_table1;
+
+/// Where the sweep manifest lands, next to `results/figure1.csv`.
+const MANIFEST_PATH: &str = "results/figure1_sweep.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,10 +48,16 @@ fn main() {
         println!("{}", render_table2(&coverage_table(), &codesize_table()));
     }
     if cmd == "figure1" || cmd == "all" {
-        let fig = if benches.is_empty() {
-            figure1(&cfg, scale, !no_tuning)
+        let (fig, manifest) = if benches.is_empty() {
+            figure1_with_manifest(&cfg, scale, !no_tuning)
         } else {
-            figure1_subset(&benches, &cfg, scale, !no_tuning)
+            match figure1_subset_with_manifest(&benches, &cfg, scale, !no_tuning) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
         };
         if csv {
             println!("{}", figure1_csv(&fig));
@@ -56,6 +65,12 @@ fn main() {
             println!("{}", serde_json_string(&fig));
         } else {
             println!("{}", render_figure1(&fig));
+        }
+        match std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write(MANIFEST_PATH, acceval::figures_json(&manifest)))
+        {
+            Ok(()) => eprintln!("{}wrote {MANIFEST_PATH}", render_sweep_summary(&manifest)),
+            Err(e) => eprintln!("warning: could not write {MANIFEST_PATH}: {e}"),
         }
     }
     if !["table1", "table2", "figure1", "all"].contains(&cmd) {

@@ -1,0 +1,120 @@
+//! The flat evaluation sweep: determinism under parallel scheduling, cache
+//! behaviour, the sweep manifest, and exact agreement with the serial
+//! single-run path.
+
+use std::sync::Arc;
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::figures::{figure1, figure1_subset};
+use acceval::models::{model, ModelKind};
+use acceval::sim::MachineConfig;
+use acceval::sweep::{cached_compile, cached_oracle, run_sweep};
+
+/// Two full parallel figure1 sweeps (tuning on) must serialize to identical
+/// JSON: records are collected by task index and every cache is keyed by
+/// value, so rayon's scheduling cannot leak into the output.
+#[test]
+fn figure1_with_tuning_is_deterministic() {
+    let cfg = MachineConfig::keeneland_node();
+    let first = acceval::figures_json(&figure1(&cfg, Scale::Test, true));
+    let second = acceval::figures_json(&figure1(&cfg, Scale::Test, true));
+    assert_eq!(first, second, "figure1 output must be bit-identical across parallel runs");
+}
+
+/// Repeated oracle requests for the same (benchmark, scale, host) must be
+/// served from one memoized CpuRun.
+#[test]
+fn oracle_cache_serves_one_cpu_run() {
+    let cfg = MachineConfig::keeneland_node();
+    let bench = benchmark_named("spmul").expect("spmul exists");
+    let a = cached_oracle(bench.as_ref(), Scale::Test, &cfg);
+    let b = cached_oracle(bench.as_ref(), Scale::Test, &cfg);
+    assert!(Arc::ptr_eq(&a, &b), "same key must return the same cached oracle");
+}
+
+/// Unknown names passed to figure1_subset are an error listing every
+/// unmatched name, not a silent drop.
+#[test]
+fn figure1_subset_rejects_unknown_names() {
+    let cfg = MachineConfig::keeneland_node();
+    let err = figure1_subset(&["jacobi", "nosuch", "alsonot"], &cfg, Scale::Test, false)
+        .expect_err("unknown names must not be dropped silently");
+    assert!(err.contains("nosuch"), "error must name the unmatched benchmark: {err}");
+    assert!(err.contains("alsonot"), "error must list every unmatched name: {err}");
+    // Matching stays case-insensitive for known names.
+    let fig = figure1_subset(&["JACOBI"], &cfg, Scale::Test, false).expect("known name, any case");
+    assert_eq!(fig.results.len(), 1);
+    assert_eq!(fig.results[0].name, "JACOBI");
+}
+
+/// The sweep (memoized oracle + geometry-retargeted compile cache) must
+/// reproduce the serial run_model path bit-for-bit at every tuning point.
+#[test]
+fn sweep_matches_serial_run_model_bit_for_bit() {
+    let cfg = MachineConfig::keeneland_node();
+    for name in ["jacobi", "ep"] {
+        let bench = benchmark_named(name).expect("benchmark exists");
+        let b = bench.as_ref();
+        let ds = b.dataset(Scale::Test);
+        let oracle = acceval::run_baseline(b, &ds, &cfg);
+        let manifest = run_sweep(&[b], &cfg, Scale::Test, true);
+        for rec in &manifest.records {
+            let serial = acceval::run_model(b, rec.model, &ds, &cfg, &oracle, rec.tuning.as_ref());
+            assert_eq!(
+                serial.secs.to_bits(),
+                rec.secs.to_bits(),
+                "{name}/{:?}/{:?}: simulated secs must match the serial path exactly",
+                rec.model,
+                rec.tuning
+            );
+            assert_eq!(serial.speedup.to_bits(), rec.speedup.to_bits(), "{name}/{:?}", rec.model);
+            assert_eq!(serial.valid, rec.valid, "{name}/{:?}", rec.model);
+        }
+    }
+}
+
+/// Geometry-only tuning points share one lowering: the compile cache must
+/// hand back the same underlying Program allocation for block-size variants.
+#[test]
+fn geometry_variants_share_one_lowering() {
+    let bench = benchmark_named("jacobi").expect("jacobi exists");
+    let b = bench.as_ref();
+    let kind = ModelKind::OpenMpc;
+    let space = model(kind).tuning_space();
+    let default = cached_compile(b, kind, Scale::Test, None);
+    let mut shared = 0;
+    for pt in &space {
+        let c = cached_compile(b, kind, Scale::Test, Some(pt));
+        if Arc::ptr_eq(&default.program, &c.program) {
+            shared += 1;
+        }
+    }
+    // The block-size sweep (64/128/512) differs from the default only in
+    // geometry, so at least those must re-use the default's lowering.
+    assert!(shared >= 3, "expected block-size variants to share the cached lowering, got {shared}");
+}
+
+/// The manifest accounts for every task and carries the timing report.
+#[test]
+fn sweep_manifest_is_complete() {
+    let cfg = MachineConfig::keeneland_node();
+    let bench = benchmark_named("jacobi").expect("jacobi exists");
+    let manifest = run_sweep(&[bench.as_ref()], &cfg, Scale::Test, true);
+    assert_eq!(manifest.records.len(), manifest.tasks);
+    assert_eq!(manifest.oracles.len(), 1);
+    assert!(manifest.with_tuning);
+    assert!(manifest.workers >= 1);
+    // Records stay in task order regardless of scheduling.
+    for (i, r) in manifest.records.iter().enumerate() {
+        assert_eq!(r.task, i);
+    }
+    // Totals cover all tasks exactly once, both groupings.
+    assert_eq!(manifest.by_benchmark.iter().map(|g| g.tasks).sum::<usize>(), manifest.tasks);
+    assert_eq!(manifest.by_model.iter().map(|g| g.tasks).sum::<usize>(), manifest.tasks);
+    assert!(!manifest.slowest_tasks.is_empty());
+    assert!(manifest.critical_path_secs <= manifest.task_wall_secs + manifest.oracle_wall_secs + 1e-9);
+    // The manifest serializes (it is the JSON artifact written by `report`).
+    let json = acceval::figures_json(&manifest);
+    assert!(json.contains("\"records\""));
+    assert!(json.contains("\"slowest_tasks\""));
+}
