@@ -47,16 +47,23 @@ fn bench(c: &mut Criterion) {
     println!("\nABLATIONS (test scale)");
 
     let row = secs_tuned("EP", ModelKind::PgiAccelerator, TuningPoint::default());
-    let col = secs_tuned(
-        "EP",
-        ModelKind::PgiAccelerator,
-        TuningPoint { transpose_expansion: true, ..Default::default() },
+    let col =
+        secs_tuned("EP", ModelKind::PgiAccelerator, TuningPoint { transpose_expansion: true, ..Default::default() });
+    println!(
+        "  EP expansion layout: row-wise {:.3}ms vs column-wise {:.3}ms ({:.2}x)",
+        row * 1e3,
+        col * 1e3,
+        row / col
     );
-    println!("  EP expansion layout: row-wise {:.3}ms vs column-wise {:.3}ms ({:.2}x)", row * 1e3, col * 1e3, row / col);
 
     let scoped = secs("JACOBI", ModelKind::PgiAccelerator, |_| {});
     let naive = secs("JACOBI", ModelKind::PgiAccelerator, |c| c.policy = DataPolicy::PerRegion);
-    println!("  JACOBI transfers: data-region {:.3}ms vs naive per-region {:.3}ms ({:.2}x)", scoped * 1e3, naive * 1e3, naive / scoped);
+    println!(
+        "  JACOBI transfers: data-region {:.3}ms vs naive per-region {:.3}ms ({:.2}x)",
+        scoped * 1e3,
+        naive * 1e3,
+        naive / scoped
+    );
 
     let tree = secs("KMEANS", ModelKind::OpenMpc, |_| {});
     let atomic = secs("KMEANS", ModelKind::OpenMpc, |c| {
@@ -68,7 +75,12 @@ fn bench(c: &mut Criterion) {
             }
         }
     });
-    println!("  KMEANS reduction: two-level tree {:.3}ms vs atomic serialization {:.3}ms ({:.2}x)", tree * 1e3, atomic * 1e3, atomic / tree);
+    println!(
+        "  KMEANS reduction: two-level tree {:.3}ms vs atomic serialization {:.3}ms ({:.2}x)",
+        tree * 1e3,
+        atomic * 1e3,
+        atomic / tree
+    );
 
     // tiling needs a bandwidth-bound kernel to matter: paper-scale grid
     let tiled = secs_tuned_at("JACOBI", ModelKind::ManualCuda, TuningPoint::default(), Scale::Paper);

@@ -138,7 +138,11 @@ fn build(variant: Variant) -> Program {
             v(hid_n) + 1i64,
             vec![sfor(k, 0i64, v(out_n), {
                 let upd = |arr, idx: acceval_ir::Expr| {
-                    store(arr, vec![idx.clone()], ld(arr, vec![idx]) + v(eta) * ld(delta_o, vec![v(k)]) * ld(hidden, vec![v(j)]))
+                    store(
+                        arr,
+                        vec![idx.clone()],
+                        ld(arr, vec![idx]) + v(eta) * ld(delta_o, vec![v(k)]) * ld(hidden, vec![v(j)]),
+                    )
                 };
                 match variant {
                     Variant::Original => vec![upd(w2, ld(w2row, vec![v(k)]) + v(j))],
@@ -292,7 +296,11 @@ impl Benchmark for Backprop {
                 hints: HintMap::new(),
                 changes: vec![
                     PortChange::new(ChangeKind::Directive, 4, "mappable tags (rejected: pointer-based 2-D arrays)"),
-                    PortChange::new(ChangeKind::DummyAffine, 26, "dummy affine summaries of weight accesses + machine model"),
+                    PortChange::new(
+                        ChangeKind::DummyAffine,
+                        26,
+                        "dummy affine summaries of weight accesses + machine model",
+                    ),
                 ],
             },
             ModelKind::HiCuda | ModelKind::ManualCuda => {

@@ -87,10 +87,7 @@ fn build() -> Program {
                                 ],
                             ),
                         ],
-                        acceval_ir::stmt::ParInfo {
-                            reductions: vec![red(ReduceOp::Max, stop)],
-                            ..Default::default()
-                        },
+                        acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Max, stop)], ..Default::default() },
                     )],
                 ),
             ],
@@ -242,8 +239,8 @@ mod tests {
         let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
         let want = g.bfs_levels();
         let got = &r.data.bufs[p.array_named("cost").0 as usize];
-        for i in 0..n {
-            assert_eq!(got.get_i(i), want[i], "node {i}");
+        for (i, w) in want.iter().enumerate().take(n) {
+            assert_eq!(got.get_i(i), *w, "node {i}");
         }
     }
 }

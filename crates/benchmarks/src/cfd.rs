@@ -91,8 +91,9 @@ fn build(variant: Variant) -> Program {
                 for (ci, &f) in fscal.iter().enumerate() {
                     b.push(assign(
                         f,
-                        v(f) + v(w) * (ld(vars, vec![sidx(v(nb), Expr::I(ci as i64))])
-                            - ld(vars, vec![sidx(v(e), Expr::I(ci as i64))])),
+                        v(f) + v(w)
+                            * (ld(vars, vec![sidx(v(nb), Expr::I(ci as i64))])
+                                - ld(vars, vec![sidx(v(e), Expr::I(ci as i64))])),
                     ));
                 }
                 b
@@ -126,115 +127,119 @@ fn build(variant: Variant) -> Program {
         v(n),
         (0..NVAR)
             .map(|ci| {
-                let jit = ((v(e) * 2654435761i64 + 97 * ci).bitand((1i64 << 20) - 1)).to_f()
-                    / ((1i64 << 20) as f64)
-                    * 0.05;
+                let jit =
+                    ((v(e) * 2654435761i64 + 97 * ci).bitand((1i64 << 20) - 1)).to_f() / ((1i64 << 20) as f64) * 0.05;
                 store(vars, vec![sidx(v(e), Expr::I(ci))], jit + base_state[ci as usize])
             })
             .collect(),
     );
-    pb.main(vec![init_loop, sfor(
-        it,
-        0i64,
-        v(iters),
-        vec![
-            // save state
-            parallel(
-                "cfd.copy_old",
-                vec![pfor(
-                    e,
+    pb.main(vec![
+        init_loop,
+        sfor(
+            it,
+            0i64,
+            v(iters),
+            vec![
+                // save state
+                parallel(
+                    "cfd.copy_old",
+                    vec![pfor(
+                        e,
+                        0i64,
+                        v(n),
+                        (0..NVAR)
+                            .map(|ci| {
+                                store(old, vec![sidx(v(e), Expr::I(ci))], ld(vars, vec![sidx(v(e), Expr::I(ci))]))
+                            })
+                            .collect(),
+                    )],
+                ),
+                // per-element step factor
+                parallel(
+                    "cfd.step_factor",
+                    vec![pfor(
+                        e,
+                        0i64,
+                        v(n),
+                        vec![
+                            assign(
+                                spd,
+                                (ld(vars, vec![sidx(v(e), Expr::I(1))]) * ld(vars, vec![sidx(v(e), Expr::I(1))])
+                                    + ld(vars, vec![sidx(v(e), Expr::I(2))]) * ld(vars, vec![sidx(v(e), Expr::I(2))])
+                                    + fc(1e-6))
+                                .sqrt(),
+                            ),
+                            store(sf, vec![v(e)], ld(area, vec![v(e)]).sqrt() * 0.5 / v(spd)),
+                        ],
+                    )],
+                ),
+                // global dt = min over elements
+                assign(dt, 1e30),
+                parallel(
+                    "cfd.dt_min",
+                    vec![pfor_with(
+                        e,
+                        0i64,
+                        v(n),
+                        vec![assign(dt, v(dt).min(ld(sf, vec![v(e)])))],
+                        acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Min, dt)], ..Default::default() },
+                    )],
+                ),
+                // three RK stages
+                sfor(
+                    rk,
                     0i64,
-                    v(n),
-                    (0..NVAR)
-                        .map(|ci| store(old, vec![sidx(v(e), Expr::I(ci))], ld(vars, vec![sidx(v(e), Expr::I(ci))])))
-                        .collect(),
-                )],
-            ),
-            // per-element step factor
-            parallel(
-                "cfd.step_factor",
-                vec![pfor(
-                    e,
-                    0i64,
-                    v(n),
+                    3i64,
                     vec![
-                        assign(
-                            spd,
-                            (ld(vars, vec![sidx(v(e), Expr::I(1))]) * ld(vars, vec![sidx(v(e), Expr::I(1))])
-                                + ld(vars, vec![sidx(v(e), Expr::I(2))]) * ld(vars, vec![sidx(v(e), Expr::I(2))])
-                                + fc(1e-6))
-                            .sqrt(),
-                        ),
-                        store(sf, vec![v(e)], ld(area, vec![v(e)]).sqrt() * 0.5 / v(spd)),
-                    ],
-                )],
-            ),
-            // global dt = min over elements
-            assign(dt, 1e30),
-            parallel(
-                "cfd.dt_min",
-                vec![pfor_with(
-                    e,
-                    0i64,
-                    v(n),
-                    vec![assign(dt, v(dt).min(ld(sf, vec![v(e)])))],
-                    acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Min, dt)], ..Default::default() },
-                )],
-            ),
-            // three RK stages
-            sfor(
-                rk,
-                0i64,
-                3i64,
-                vec![
-                    parallel("cfd.flux", vec![pfor(e, 0i64, v(n), flux_body.clone())]),
-                    parallel("cfd.boundary", vec![pfor(e, 0i64, v(n), boundary_body.clone())]),
-                    assign(factor, v(dt) / (v(rk).to_f() + 1.0)),
-                    parallel(
-                        "cfd.time_step",
-                        vec![pfor(
-                            e,
-                            0i64,
-                            v(n),
-                            (0..NVAR)
-                                .map(|ci| {
-                                    store(
-                                        vars,
-                                        vec![sidx(v(e), Expr::I(ci))],
-                                        ld(old, vec![sidx(v(e), Expr::I(ci))])
-                                            + v(factor) * ld(flux, vec![sidx(v(e), Expr::I(ci))]),
-                                    )
-                                })
-                                .collect(),
-                        )],
-                    ),
-                ],
-            ),
-            // density + momentum checksums (layout-independent outputs)
-            assign(chk, 0.0),
-            assign(chk2, 0.0),
-            parallel(
-                "cfd.check",
-                vec![pfor_with(
-                    e,
-                    0i64,
-                    v(n),
-                    vec![
-                        assign(chk, v(chk) + ld(vars, vec![sidx(v(e), Expr::I(0))])),
-                        assign(
-                            chk2,
-                            v(chk2)
-                                + ld(vars, vec![sidx(v(e), Expr::I(1))]) * ld(vars, vec![sidx(v(e), Expr::I(1))]),
+                        parallel("cfd.flux", vec![pfor(e, 0i64, v(n), flux_body.clone())]),
+                        parallel("cfd.boundary", vec![pfor(e, 0i64, v(n), boundary_body.clone())]),
+                        assign(factor, v(dt) / (v(rk).to_f() + 1.0)),
+                        parallel(
+                            "cfd.time_step",
+                            vec![pfor(
+                                e,
+                                0i64,
+                                v(n),
+                                (0..NVAR)
+                                    .map(|ci| {
+                                        store(
+                                            vars,
+                                            vec![sidx(v(e), Expr::I(ci))],
+                                            ld(old, vec![sidx(v(e), Expr::I(ci))])
+                                                + v(factor) * ld(flux, vec![sidx(v(e), Expr::I(ci))]),
+                                        )
+                                    })
+                                    .collect(),
+                            )],
                         ),
                     ],
-                    acceval_ir::stmt::ParInfo {
-                        reductions: vec![red(ReduceOp::Add, chk), red(ReduceOp::Add, chk2)],
-                        ..Default::default()
-                    },
-                )],
-            ),
-        ],
-    )]);
+                ),
+                // density + momentum checksums (layout-independent outputs)
+                assign(chk, 0.0),
+                assign(chk2, 0.0),
+                parallel(
+                    "cfd.check",
+                    vec![pfor_with(
+                        e,
+                        0i64,
+                        v(n),
+                        vec![
+                            assign(chk, v(chk) + ld(vars, vec![sidx(v(e), Expr::I(0))])),
+                            assign(
+                                chk2,
+                                v(chk2)
+                                    + ld(vars, vec![sidx(v(e), Expr::I(1))]) * ld(vars, vec![sidx(v(e), Expr::I(1))]),
+                            ),
+                        ],
+                        acceval_ir::stmt::ParInfo {
+                            reductions: vec![red(ReduceOp::Add, chk), red(ReduceOp::Add, chk2)],
+                            ..Default::default()
+                        },
+                    )],
+                ),
+            ],
+        ),
+    ]);
     // the state layout differs between variants, so validation uses the
     // layout-independent checksums rather than the raw buffer
     pb.output_scalars(vec![chk, chk2]);
@@ -305,15 +310,15 @@ impl Benchmark for Cfd {
             ModelKind::OpenMpc => Port {
                 program: build(Variant::Soa),
                 hints: HintMap::new(),
-                changes: vec![
-                    layout,
-                    PortChange::new(ChangeKind::Directive, 14, "OpenMPC tuning directives"),
-                ],
+                changes: vec![layout, PortChange::new(ChangeKind::Directive, 14, "OpenMPC tuning directives")],
             },
             ModelKind::PgiAccelerator => Port {
                 program: with_data_region(build(Variant::Soa)),
                 hints: HintMap::new(),
-                changes: vec![layout, PortChange::new(ChangeKind::Directive, 56, "acc regions + data region + bounds clauses")],
+                changes: vec![
+                    layout,
+                    PortChange::new(ChangeKind::Directive, 56, "acc regions + data region + bounds clauses"),
+                ],
             },
             ModelKind::OpenAcc => Port {
                 program: with_data_region(build(Variant::Soa)),
@@ -353,10 +358,7 @@ impl Benchmark for Cfd {
                 );
                 hints.insert(
                     "cfd.boundary".into(),
-                    RegionHints {
-                        placements: vec![(ffa, acceval_ir::MemSpace::Constant)],
-                        ..Default::default()
-                    },
+                    RegionHints { placements: vec![(ffa, acceval_ir::MemSpace::Constant)], ..Default::default() },
                 );
                 Port {
                     program: prog,
@@ -373,10 +375,7 @@ impl Cfd {
     pub fn dataset_for(&self, n: usize, iters: i64) -> DataSet {
         let p = self.original();
         DataSet {
-            scalars: vec![
-                (p.scalar_named("n"), Value::I(n as i64)),
-                (p.scalar_named("iters"), Value::I(iters)),
-            ],
+            scalars: vec![(p.scalar_named("n"), Value::I(n as i64)), (p.scalar_named("iters"), Value::I(iters))],
             arrays: cfd_arrays(&p, n),
             label: format!("{n} elements, {iters} iterations"),
         }

@@ -168,12 +168,7 @@ fn build(variant: Variant) -> Program {
         iter.push(assign(beta, v(rho) / v(rho_old)));
         iter.push(parallel(
             "cg.p_update",
-            vec![pfor(
-                i,
-                0i64,
-                v(n),
-                vec![store(p, vec![v(i)], ld(r, vec![v(i)]) + v(beta) * ld(p, vec![v(i)]))],
-            )],
+            vec![pfor(i, 0i64, v(n), vec![store(p, vec![v(i)], ld(r, vec![v(i)]) + v(beta) * ld(p, vec![v(i)]))])],
         ));
         iter
     }));
@@ -331,7 +326,11 @@ impl Benchmark for Cg {
                 changes: vec![
                     PortChange::new(ChangeKind::Directive, 10, "mappable tags"),
                     PortChange::new(ChangeKind::Outline, 40, "outline irregular spmv for masking"),
-                    PortChange::new(ChangeKind::DummyAffine, 82, "dummy affine summaries for spmv/dots + machine model"),
+                    PortChange::new(
+                        ChangeKind::DummyAffine,
+                        82,
+                        "dummy affine summaries for spmv/dots + machine model",
+                    ),
                 ],
             },
             ModelKind::HiCuda | ModelKind::ManualCuda => {

@@ -93,12 +93,12 @@ impl Csr {
     /// y = A x (host-side reference).
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.ptr[r]..self.ptr[r + 1] {
                 s += self.val[k as usize] * x[self.col[k as usize] as usize];
             }
-            y[r] = s;
+            *yr = s;
         }
         y
     }
@@ -194,7 +194,7 @@ pub fn f64_buffer(v: Vec<f64>) -> Buffer {
 pub fn bit_reverse_table(n: usize) -> Vec<i64> {
     assert!(n.is_power_of_two());
     let bits = n.trailing_zeros();
-    (0..n).map(|i| (i as u64).reverse_bits() >> (64 - bits) << 0).map(|x| x as i64).collect()
+    (0..n).map(|i| (i as u64).reverse_bits() >> (64 - bits)).map(|x| x as i64).collect()
 }
 
 /// Twiddle factors (real, imag) for each FFT stage, laid out stage-major:

@@ -72,19 +72,16 @@ fn build(variant: Variant) -> Program {
             assign(y, unit_rand(v(t) * CHUNK + v(k), 67891) * 2.0 - 1.0),
             assign(tt, v(x) * v(x) + v(y) * v(y)),
         ];
-        body.push(iff(
-            v(tt).le(1.0).and(v(tt).gt(1e-30)),
-            {
-                let mut b = vec![
-                    assign(fac, ((-(v(tt).log()) * 2.0) / v(tt)).sqrt()),
-                    assign(gx, v(x) * v(fac)),
-                    assign(gy, v(y) * v(fac)),
-                    assign(l, v(gx).abs().max(v(gy).abs()).floor().to_i().min(NQ - 1)),
-                ];
-                b.extend(accept);
-                b
-            },
-        ));
+        body.push(iff(v(tt).le(1.0).and(v(tt).gt(1e-30)), {
+            let mut b = vec![
+                assign(fac, ((-(v(tt).log()) * 2.0) / v(tt)).sqrt()),
+                assign(gx, v(x) * v(fac)),
+                assign(gy, v(y) * v(fac)),
+                assign(l, v(gx).abs().max(v(gy).abs()).floor().to_i().min(NQ - 1)),
+            ];
+            b.extend(accept);
+            b
+        }));
         body
     };
 
@@ -132,10 +129,8 @@ fn build(variant: Variant) -> Program {
                 assign(sx, v(sx) + v(gx)),
                 assign(sy, v(sy) + v(gy)),
             ];
-            let mut chunk_loop = vec![
-                sfor(j, 0i64, NQ, vec![store(q, vec![v(j)], 0.0)]),
-                sfor(k, 0i64, CHUNK, sample(accept)),
-            ];
+            let mut chunk_loop =
+                vec![sfor(j, 0i64, NQ, vec![store(q, vec![v(j)], 0.0)]), sfor(k, 0i64, CHUNK, sample(accept))];
             // unrolled per-bin scalar folds (the manual decomposition)
             for (b, &qb) in qs.iter().enumerate() {
                 chunk_loop.push(assign(qb, v(qb) + ld(q, vec![Expr::I(b as i64)])));
@@ -152,11 +147,7 @@ fn build(variant: Variant) -> Program {
                     0i64,
                     v(nchunk),
                     chunk_loop,
-                    acceval_ir::stmt::ParInfo {
-                        reductions,
-                        private: vec![VarRef::Array(q)],
-                        ..Default::default()
-                    },
+                    acceval_ir::stmt::ParInfo { reductions, private: vec![VarRef::Array(q)], ..Default::default() },
                 )],
                 vec![VarRef::Array(q)],
             ));

@@ -123,10 +123,7 @@ fn build(ported: bool) -> Program {
                                 0i64,
                                 v(nhalf),
                                 vec![
-                                    assign(
-                                        ia,
-                                        v(base) + ((v(jb) / v(half)) * v(m) + v(jb) % v(half)) * stride.clone(),
-                                    ),
+                                    assign(ia, v(base) + ((v(jb) / v(half)) * v(m) + v(jb) % v(half)) * stride.clone()),
                                     assign(ib, v(ia) + v(half) * stride.clone()),
                                     assign(wr, ld(twr, vec![v(st) * v(nhalf) + v(jb)])),
                                     assign(wi, ld(twi, vec![v(st) * v(nhalf) + v(jb)])),
@@ -172,7 +169,7 @@ fn build(ported: bool) -> Program {
                     store(xi, vec![v(idx)], ld(wki, vec![(v(idx) % v(n)) * v(n2) + v(idx) / v(n)])),
                 ],
             );
-            let mut region = fft_sweep(&format!("{pref}_x"), wkr, wki, twr, twi, v(t).into(), v(n2).into());
+            let mut region = fft_sweep(&format!("{pref}_x"), wkr, wki, twr, twi, v(t), v(n2));
             let acceval_ir::stmt::Stmt::Parallel(r) = &mut region else { unreachable!() };
             r.body.insert(0, fwd);
             r.body.push(back);
@@ -182,8 +179,8 @@ fn build(ported: bool) -> Program {
         };
         vec![
             sweep_x,
-            fft_sweep(&format!("{pref}_y"), xr, xi, twr, twi, (v(t) / v(n)) * v(n2) + v(t) % v(n), v(n).into()),
-            fft_sweep(&format!("{pref}_z"), xr, xi, twr, twi, v(t).into(), v(n2).into()),
+            fft_sweep(&format!("{pref}_y"), xr, xi, twr, twi, (v(t) / v(n)) * v(n2) + v(t) % v(n), v(n)),
+            fft_sweep(&format!("{pref}_z"), xr, xi, twr, twi, v(t), v(n2)),
         ]
     };
 
@@ -209,11 +206,7 @@ fn build(ported: bool) -> Program {
                         assign(kx, (v(idx) % v(n) + v(n) / 2i64) % v(n) - v(n) / 2i64),
                         assign(ky, ((v(idx) / v(n)) % v(n) + v(n) / 2i64) % v(n) - v(n) / 2i64),
                         assign(kz, (v(idx) / v(n2) + v(n) / 2i64) % v(n) - v(n) / 2i64),
-                        store(
-                            ex,
-                            vec![v(idx)],
-                            ((v(kx) * v(kx) + v(ky) * v(ky) + v(kz) * v(kz)).to_f() * -1e-3).exp(),
-                        ),
+                        store(ex, vec![v(idx)], ((v(kx) * v(kx) + v(ky) * v(ky) + v(kz) * v(kz)).to_f() * -1e-3).exp()),
                     ],
                 ),
             ],
@@ -240,10 +233,7 @@ fn build(ported: bool) -> Program {
                     idx,
                     0i64,
                     v(n3),
-                    vec![
-                        store(vr, vec![v(idx)], ld(ur, vec![v(idx)])),
-                        store(vi, vec![v(idx)], ld(ui, vec![v(idx)])),
-                    ],
+                    vec![store(vr, vec![v(idx)], ld(ur, vec![v(idx)])), store(vi, vec![v(idx)], ld(ui, vec![v(idx)]))],
                 ),
             ],
         ),
@@ -361,10 +351,7 @@ impl Benchmark for Ft {
                     placements.push((prog.array_named("wkr"), acceval_ir::MemSpace::SharedTiled { reuse: 1.0 }));
                     placements.push((prog.array_named("wki"), acceval_ir::MemSpace::SharedTiled { reuse: 1.0 }));
                 }
-                hints.insert(
-                    lab.to_string(),
-                    RegionHints { block: Some((64, 1)), placements, ..Default::default() },
-                );
+                hints.insert(lab.to_string(), RegionHints { block: Some((64, 1)), placements, ..Default::default() });
             }
             hints
         };
@@ -379,7 +366,11 @@ impl Benchmark for Ft {
                 hints: HintMap::new(),
                 changes: vec![
                     layout_change,
-                    PortChange::new(ChangeKind::Directive, 150, "acc regions + data region + array-shape clauses for 9 kernels"),
+                    PortChange::new(
+                        ChangeKind::Directive,
+                        150,
+                        "acc regions + data region + array-shape clauses for 9 kernels",
+                    ),
                 ],
             },
             ModelKind::OpenAcc => Port {
@@ -476,39 +467,35 @@ mod tests {
         let brt = bit_reverse_table(n);
         let logn = 4usize;
         let nhalf = n / 2;
-        let sweep = |vr: &mut [f64],
-                     vi: &mut [f64],
-                     twr: &[f64],
-                     twi: &[f64],
-                     base: &dyn Fn(usize) -> usize,
-                     stride: usize| {
-            for t in 0..n * n {
-                let b = base(t);
-                for k in 0..n {
-                    let j = brt[k] as usize;
-                    if k < j {
-                        vr.swap(b + k * stride, b + j * stride);
-                        vi.swap(b + k * stride, b + j * stride);
+        let sweep =
+            |vr: &mut [f64], vi: &mut [f64], twr: &[f64], twi: &[f64], base: &dyn Fn(usize) -> usize, stride: usize| {
+                for t in 0..n * n {
+                    let b = base(t);
+                    for (k, &rev) in brt.iter().enumerate().take(n) {
+                        let j = rev as usize;
+                        if k < j {
+                            vr.swap(b + k * stride, b + j * stride);
+                            vi.swap(b + k * stride, b + j * stride);
+                        }
+                    }
+                    for st in 0..logn {
+                        let m = 1usize << (st + 1);
+                        let half = m / 2;
+                        for jb in 0..nhalf {
+                            let ia = b + ((jb / half) * m + jb % half) * stride;
+                            let ibx = ia + half * stride;
+                            let (wr, wi) = (twr[st * nhalf + jb], twi[st * nhalf + jb]);
+                            let tr = wr * vr[ibx] - wi * vi[ibx];
+                            let ti = wr * vi[ibx] + wi * vr[ibx];
+                            let (ar, ai) = (vr[ia], vi[ia]);
+                            vr[ibx] = ar - tr;
+                            vi[ibx] = ai - ti;
+                            vr[ia] = ar + tr;
+                            vi[ia] = ai + ti;
+                        }
                     }
                 }
-                for st in 0..logn {
-                    let m = 1usize << (st + 1);
-                    let half = m / 2;
-                    for jb in 0..nhalf {
-                        let ia = b + ((jb / half) * m + jb % half) * stride;
-                        let ibx = ia + half * stride;
-                        let (wr, wi) = (twr[st * nhalf + jb], twi[st * nhalf + jb]);
-                        let tr = wr * vr[ibx] - wi * vi[ibx];
-                        let ti = wr * vi[ibx] + wi * vr[ibx];
-                        let (ar, ai) = (vr[ia], vi[ia]);
-                        vr[ibx] = ar - tr;
-                        vi[ibx] = ai - ti;
-                        vr[ia] = ar + tr;
-                        vi[ia] = ai + ti;
-                    }
-                }
-            }
-        };
+            };
         let (fr, fi) = twiddles(n, false);
         let (ir, ii) = twiddles(n, true);
         let run3 = |vr: &mut Vec<f64>, vi: &mut Vec<f64>, twr: &Vec<f64>, twi: &Vec<f64>| {
@@ -534,8 +521,8 @@ mod tests {
         }
         let got = &r.data.bufs[p.array_named("vr").0 as usize];
         let mut maxd: f64 = 0.0;
-        for k in 0..n3 {
-            maxd = maxd.max((got.get_f(k) - vr[k]).abs());
+        for (k, v) in vr.iter().enumerate().take(n3) {
+            maxd = maxd.max((got.get_f(k) - v).abs());
         }
         assert!(maxd < 1e-9, "vr diff {maxd}");
     }

@@ -78,10 +78,7 @@ fn build(variant: Variant) -> Program {
                 ParInfo { collapse: 2, ..Default::default() },
             ),
             Variant::ManualCollapse => {
-                let mut b = vec![
-                    assign(i, v(k) / v(n) + 1i64),
-                    assign(j, v(k) % v(n) + 1i64),
-                ];
+                let mut b = vec![assign(i, v(k) / v(n) + 1i64), assign(j, v(k) % v(n) + 1i64)];
                 b.extend(body);
                 pfor(k, 0i64, v(n) * v(n), b)
             }

@@ -76,10 +76,7 @@ fn build(variant: Variant) -> Program {
         it,
         0i64,
         v(iters),
-        vec![
-            parallel("jacobi.compute", vec![nest(compute_body)]),
-            parallel("jacobi.copy", vec![nest(copy_body)]),
-        ],
+        vec![parallel("jacobi.compute", vec![nest(compute_body)]), parallel("jacobi.copy", vec![nest(copy_body)])],
     )]);
     pb.outputs(vec![a]);
     pb.build()
@@ -92,10 +89,8 @@ fn with_data_region(mut prog: Program) -> Program {
     let anew = prog.array_named("anew");
     let f = prog.array_named("f");
     let body = std::mem::take(&mut prog.main);
-    prog.main = vec![data_region(
-        DataClauses { copyin: vec![f], copyout: vec![], copy: vec![a], create: vec![anew] },
-        body,
-    )];
+    prog.main =
+        vec![data_region(DataClauses { copyin: vec![f], copyout: vec![], copy: vec![a], create: vec![anew] }, body)];
     prog.finalize();
     prog
 }
@@ -125,10 +120,7 @@ impl Benchmark for Jacobi {
         };
         let p = self.original();
         DataSet {
-            scalars: vec![
-                (p.scalar_named("n"), Value::I(n as i64)),
-                (p.scalar_named("iters"), Value::I(iters)),
-            ],
+            scalars: vec![(p.scalar_named("n"), Value::I(n as i64)), (p.scalar_named("iters"), Value::I(iters))],
             arrays: vec![
                 (p.array_named("a"), random_f64(n * n, 0.0, 1.0, 0xA11)),
                 (p.array_named("f"), random_f64(n * n, -0.5, 0.5, 0xF00)),

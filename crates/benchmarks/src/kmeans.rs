@@ -80,8 +80,7 @@ fn build(variant: Variant) -> Program {
                             vec![
                                 assign(
                                     dd,
-                                    ld(feat, vec![v(pt) * v(nfeat) + v(f)])
-                                        - ld(centers, vec![v(c) * v(nfeat) + v(f)]),
+                                    ld(feat, vec![v(pt) * v(nfeat) + v(f)]) - ld(centers, vec![v(c) * v(nfeat) + v(f)]),
                                 ),
                                 assign(dist, v(dist) + v(dd) * v(dd)),
                             ],
@@ -101,10 +100,7 @@ fn build(variant: Variant) -> Program {
             0i64,
             v(npoints),
             vec![
-                assign(
-                    delta,
-                    v(delta) + ld(newmember, vec![v(pt)]).ne_(ld(member, vec![v(pt)])).select(1.0, 0.0),
-                ),
+                assign(delta, v(delta) + ld(newmember, vec![v(pt)]).ne_(ld(member, vec![v(pt)])).select(1.0, 0.0)),
                 store(member, vec![v(pt)], ld(newmember, vec![v(pt)])),
             ],
             acceval_ir::stmt::ParInfo { reductions: vec![red(ReduceOp::Add, delta)], ..Default::default() },
@@ -196,11 +192,7 @@ fn build(variant: Variant) -> Program {
                                     + ld(feat, vec![v(pt) * v(nfeat) + v(f)]),
                             )],
                         ),
-                        store(
-                            counts,
-                            vec![ld(member, vec![v(pt)])],
-                            ld(counts, vec![ld(member, vec![v(pt)])]) + 1.0,
-                        ),
+                        store(counts, vec![ld(member, vec![v(pt)])], ld(counts, vec![ld(member, vec![v(pt)])]) + 1.0),
                     ])],
                 ),
                 recenter,
@@ -208,12 +200,7 @@ fn build(variant: Variant) -> Program {
         ),
     };
 
-    pb.main(vec![sfor(
-        it,
-        0i64,
-        v(iters),
-        vec![assign_region, assign(delta, 0.0), delta_region, update_region],
-    )]);
+    pb.main(vec![sfor(it, 0i64, v(iters), vec![assign_region, assign(delta, 0.0), delta_region, update_region])]);
     pb.outputs(vec![member, centers]);
     pb.output_scalars(vec![delta]);
     pb.build()
@@ -296,12 +283,20 @@ impl Benchmark for Kmeans {
             ModelKind::PgiAccelerator => Port {
                 program: with_data_region(build(Variant::Original)),
                 hints: HintMap::new(),
-                changes: vec![PortChange::new(ChangeKind::Directive, 72, "acc regions + data region + per-loop mapping clauses")],
+                changes: vec![PortChange::new(
+                    ChangeKind::Directive,
+                    72,
+                    "acc regions + data region + per-loop mapping clauses",
+                )],
             },
             ModelKind::OpenAcc => Port {
                 program: with_data_region(build(Variant::Original)),
                 hints: HintMap::new(),
-                changes: vec![PortChange::new(ChangeKind::Directive, 80, "kernels + reduction + data clauses per loop")],
+                changes: vec![PortChange::new(
+                    ChangeKind::Directive,
+                    80,
+                    "kernels + reduction + data clauses per loop",
+                )],
             },
             ModelKind::Hmpp => Port {
                 program: with_data_region(build(Variant::Original)),
@@ -327,11 +322,7 @@ impl Benchmark for Kmeans {
                 let mut hints = HintMap::new();
                 hints.insert(
                     "km.update".into(),
-                    RegionHints {
-                        block: Some((128, 1)),
-                        partials_in_shared: true,
-                        ..Default::default()
-                    },
+                    RegionHints { block: Some((128, 1)), partials_in_shared: true, ..Default::default() },
                 );
                 hints.insert(
                     "km.assign".into(),

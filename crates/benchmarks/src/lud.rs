@@ -75,7 +75,12 @@ fn build(variant: Variant) -> Program {
                         v(k0),
                         v(k0) + B,
                         vec![
-                            sfor(i2, v(kk) + 1i64, v(k0) + B, vec![st(v(i2), v(kk), at(v(i2), v(kk)) / at(v(kk), v(kk)))]),
+                            sfor(
+                                i2,
+                                v(kk) + 1i64,
+                                v(k0) + B,
+                                vec![st(v(i2), v(kk), at(v(i2), v(kk)) / at(v(kk), v(kk)))],
+                            ),
                             sfor(
                                 i2,
                                 v(kk) + 1i64,
@@ -123,7 +128,12 @@ fn build(variant: Variant) -> Program {
                         v(k0),
                         v(k0) + B,
                         vec![
-                            sfor(m2, v(k0), v(kk), vec![st(v(i), v(kk), at(v(i), v(kk)) - at(v(i), v(m2)) * at(v(m2), v(kk)))]),
+                            sfor(
+                                m2,
+                                v(k0),
+                                v(kk),
+                                vec![st(v(i), v(kk), at(v(i), v(kk)) - at(v(i), v(m2)) * at(v(m2), v(kk)))],
+                            ),
                             st(v(i), v(kk), at(v(i), v(kk)) / at(v(kk), v(kk))),
                         ],
                     )],
@@ -222,8 +232,7 @@ fn build(variant: Variant) -> Program {
 fn with_data_region(mut prog: Program) -> Program {
     let a = prog.array_named("a");
     let body = std::mem::take(&mut prog.main);
-    prog.main =
-        vec![data_region(DataClauses { copyin: vec![], copyout: vec![], copy: vec![a], create: vec![] }, body)];
+    prog.main = vec![data_region(DataClauses { copyin: vec![], copyout: vec![], copy: vec![a], create: vec![] }, body)];
     prog.finalize();
     prog
 }
@@ -233,13 +242,7 @@ pub struct Lud;
 
 impl Benchmark for Lud {
     fn spec(&self) -> BenchSpec {
-        BenchSpec {
-            name: "LUD",
-            suite: Suite::Rodinia,
-            domain: "Dense linear algebra",
-            base_loc: 210,
-            tolerance: 1e-7,
-        }
+        BenchSpec { name: "LUD", suite: Suite::Rodinia, domain: "Dense linear algebra", base_loc: 210, tolerance: 1e-7 }
     }
 
     fn original(&self) -> Program {
@@ -260,10 +263,7 @@ impl Benchmark for Lud {
             }
         }
         DataSet {
-            scalars: vec![
-                (p.scalar_named("n"), Value::I(n as i64)),
-                (p.scalar_named("nbb"), Value::I(n as i64 / B)),
-            ],
+            scalars: vec![(p.scalar_named("n"), Value::I(n as i64)), (p.scalar_named("nbb"), Value::I(n as i64 / B))],
             arrays: vec![(p.array_named("a"), crate::data::f64_buffer(a))],
             label: format!("{n}x{n} matrix"),
         }
@@ -392,11 +392,7 @@ mod tests {
                     let lv = if kk == rr { 1.0 } else { lu.get_f(rr * n + kk) };
                     s += lv * lu.get_f(kk * n + cc);
                 }
-                assert!(
-                    (s - a0[rr * n + cc]).abs() < 1e-8,
-                    "LU mismatch at ({rr},{cc}): {s} vs {}",
-                    a0[rr * n + cc]
-                );
+                assert!((s - a0[rr * n + cc]).abs() < 1e-8, "LU mismatch at ({rr},{cc}): {s} vs {}", a0[rr * n + cc]);
             }
         }
     }

@@ -72,10 +72,7 @@ fn build(variant: Variant) -> Program {
                 d,
                 1i64,
                 v(n) + 1i64,
-                vec![parallel(
-                    "nw.upper",
-                    vec![pfor(t, 0i64, v(d), vec![cell(v(t) + 1i64, v(d) - v(t))])],
-                )],
+                vec![parallel("nw.upper", vec![pfor(t, 0i64, v(d), vec![cell(v(t) + 1i64, v(d) - v(t))])])],
             ),
             // lower-right triangle: d = 1..n, cells t = 0..n-d
             sfor(
@@ -130,10 +127,8 @@ fn with_data_region(mut prog: Program) -> Program {
     let score = prog.array_named("score");
     let refm = prog.array_named("refm");
     let body = std::mem::take(&mut prog.main);
-    prog.main = vec![data_region(
-        DataClauses { copyin: vec![refm], copyout: vec![], copy: vec![score], create: vec![] },
-        body,
-    )];
+    prog.main =
+        vec![data_region(DataClauses { copyin: vec![refm], copyout: vec![], copy: vec![score], create: vec![] }, body)];
     prog.finalize();
     prog
 }
@@ -182,10 +177,7 @@ impl Benchmark for Nw {
                 (p.scalar_named("nb"), Value::I(n as i64 / BLOCK)),
                 (p.scalar_named("penalty"), Value::F(penalty)),
             ],
-            arrays: vec![
-                (p.array_named("score"), f64_buffer(score)),
-                (p.array_named("refm"), f64_buffer(refm)),
-            ],
+            arrays: vec![(p.array_named("score"), f64_buffer(score)), (p.array_named("refm"), f64_buffer(refm))],
             label: format!("{n}x{n} alignment"),
         }
     }
@@ -292,8 +284,8 @@ mod tests {
             }
         }
         let got = &r.data.bufs[p.array_named("score").0 as usize];
-        for i in 0..w * w {
-            assert!((got.get_f(i) - want[i]).abs() < 1e-12, "cell {i}");
+        for (i, cell) in want.iter().enumerate().take(w * w) {
+            assert!((got.get_f(i) - cell).abs() < 1e-12, "cell {i}");
         }
     }
 

@@ -68,7 +68,12 @@ fn build(variant: Variant) -> Program {
         Variant::Collapsed => parallel(
             "spmul.spmv",
             vec![
-                pfor(k, 0i64, v(nnz), vec![store(tmp, vec![v(k)], ld(val, vec![v(k)]) * ld(x, vec![ld(col, vec![v(k)])]))]),
+                pfor(
+                    k,
+                    0i64,
+                    v(nnz),
+                    vec![store(tmp, vec![v(k)], ld(val, vec![v(k)]) * ld(x, vec![ld(col, vec![v(k)])]))],
+                ),
                 pfor(
                     row,
                     0i64,
@@ -274,8 +279,8 @@ mod tests {
         let r = run_cpu(&p, &ds, &HostConfig::xeon_x5660());
         let yref = m.spmv(&vec![1.0; n]);
         let y = &r.data.bufs[p.array_named("y").0 as usize];
-        for i in 0..n {
-            assert!((y.get_f(i) - yref[i]).abs() < 1e-9, "row {i}");
+        for (i, yr) in yref.iter().enumerate().take(n) {
+            assert!((y.get_f(i) - yr).abs() < 1e-9, "row {i}");
         }
     }
 

@@ -94,8 +94,7 @@ fn build(variant: Variant) -> Program {
         ),
         assign(
             l,
-            (ld(dn, vec![v(k)]) + ld(ds_, vec![v(k)]) + ld(dw, vec![v(k)]) + ld(de, vec![v(k)]))
-                / ld(img, vec![v(k)]),
+            (ld(dn, vec![v(k)]) + ld(ds_, vec![v(k)]) + ld(dw, vec![v(k)]) + ld(de, vec![v(k)])) / ld(img, vec![v(k)]),
         ),
         assign(num, v(g2) * 0.5 - (v(l) * v(l)) * (1.0 / 16.0)),
         assign(den, v(l) * 0.25 + 1.0),
@@ -260,7 +259,11 @@ impl Benchmark for Srad {
                 hints: HintMap::new(),
                 changes: vec![
                     PortChange::new(ChangeKind::Directive, 6, "mappable tags"),
-                    PortChange::new(ChangeKind::DummyAffine, 36, "affine summaries of subscript arrays + machine model"),
+                    PortChange::new(
+                        ChangeKind::DummyAffine,
+                        36,
+                        "affine summaries of subscript arrays + machine model",
+                    ),
                 ],
             },
             ModelKind::HiCuda | ModelKind::ManualCuda => {

@@ -30,12 +30,7 @@ pub struct CompiledProgram {
 }
 
 /// Compile `port` for `kind` at `tuning` (None = the model's default point).
-pub fn compile_port(
-    port: &Port,
-    kind: ModelKind,
-    ds: &DataSet,
-    tuning: Option<&TuningPoint>,
-) -> CompiledProgram {
+pub fn compile_port(port: &Port, kind: ModelKind, ds: &DataSet, tuning: Option<&TuningPoint>) -> CompiledProgram {
     let (opts, policy) = match kind {
         ModelKind::ManualCuda => (manual_lowering(), DataPolicy::Automatic),
         k => {

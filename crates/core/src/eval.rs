@@ -9,11 +9,11 @@ use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::{run_cpu, CpuRun};
 use acceval_ir::program::DataSet;
 use acceval_models::{ModelKind, TuningPoint};
-use acceval_sim::{MachineConfig, Summary};
+use acceval_sim::{MachineConfig, NullSink, Summary, TraceSink};
 use serde::Serialize;
 
 use crate::compile::{compile_port, CompiledProgram};
-use crate::runtime::run_gpu_program;
+use crate::runtime::run_gpu_program_traced;
 
 /// One GPU-version run.
 #[derive(Debug, Clone, Serialize)]
@@ -103,7 +103,22 @@ pub fn run_compiled(
     cfg: &MachineConfig,
     oracle: &CpuRun,
 ) -> ModelRun {
-    let run = run_gpu_program(compiled, ds, cfg);
+    run_compiled_traced(bench, compiled, ds, cfg, oracle, &mut NullSink)
+}
+
+/// [`run_compiled`], streaming the run's structured trace into `sink`.
+/// Scores are bit-identical to the untraced path; the sink additionally
+/// receives every host span, transfer, and kernel launch in simulation
+/// order.
+pub fn run_compiled_traced(
+    bench: &dyn Benchmark,
+    compiled: &CompiledProgram,
+    ds: &DataSet,
+    cfg: &MachineConfig,
+    oracle: &CpuRun,
+    sink: &mut dyn TraceSink,
+) -> ModelRun {
+    let run = run_gpu_program_traced(compiled, ds, cfg, sink);
     let mut valid = validate(bench, oracle, &run, compiled);
     let speedup = if run.secs.is_finite() && run.secs > 0.0 {
         oracle.secs / run.secs
@@ -143,12 +158,7 @@ pub fn run_model(
 /// "performance variation by tuning" band. This runs a single-benchmark
 /// [`crate::sweep`], so it shares the sweep's oracle and compile caches and
 /// its parallel work-stealing execution.
-pub fn evaluate_benchmark(
-    bench: &dyn Benchmark,
-    cfg: &MachineConfig,
-    scale: Scale,
-    with_tuning: bool,
-) -> BenchResult {
+pub fn evaluate_benchmark(bench: &dyn Benchmark, cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> BenchResult {
     let manifest = crate::sweep::run_sweep(&[bench], cfg, scale, with_tuning);
     crate::sweep::bench_results(&manifest).pop().expect("one benchmark in, one result out")
 }

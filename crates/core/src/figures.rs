@@ -37,12 +37,7 @@ pub fn figure1_with_manifest(cfg: &MachineConfig, scale: Scale, with_tuning: boo
 ///
 /// Unknown names are an error listing every unmatched name — they are never
 /// silently dropped.
-pub fn figure1_subset(
-    names: &[&str],
-    cfg: &MachineConfig,
-    scale: Scale,
-    with_tuning: bool,
-) -> Result<Figure1, String> {
+pub fn figure1_subset(names: &[&str], cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> Result<Figure1, String> {
     figure1_subset_with_manifest(names, cfg, scale, with_tuning).map(|(fig, _)| fig)
 }
 
@@ -54,11 +49,8 @@ pub fn figure1_subset_with_manifest(
     with_tuning: bool,
 ) -> Result<(Figure1, SweepManifest), String> {
     let benches = all_benchmarks();
-    let unknown: Vec<&str> = names
-        .iter()
-        .copied()
-        .filter(|n| !benches.iter().any(|b| b.spec().name.eq_ignore_ascii_case(n)))
-        .collect();
+    let unknown: Vec<&str> =
+        names.iter().copied().filter(|n| !benches.iter().any(|b| b.spec().name.eq_ignore_ascii_case(n))).collect();
     if !unknown.is_empty() {
         let known: Vec<&str> = benches.iter().map(|b| b.spec().name).collect();
         return Err(format!(

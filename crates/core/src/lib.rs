@@ -13,6 +13,8 @@
 //!   validation against the oracle;
 //! * [`sweep`] — the flat work-stealing (benchmark × model × tuning-point)
 //!   sweep with memoized oracles/compiles and the JSON sweep manifest;
+//! * [`profile`] — fold a run's structured trace into per-kernel cost
+//!   attribution and render it as Chrome-trace-format JSON;
 //! * [`coverage`] / [`codesize`] — Table II; [`tables`] — Table I;
 //! * [`figures`] — Figure 1 series incl. tuning-variation bands;
 //! * [`report`] — ASCII/CSV/JSON renderers.
@@ -42,6 +44,7 @@ pub mod compile;
 pub mod coverage;
 pub mod eval;
 pub mod figures;
+pub mod profile;
 pub mod report;
 pub mod runtime;
 pub mod sweep;
@@ -49,9 +52,10 @@ pub mod tables;
 
 pub use compile::{compile_port, CompiledProgram};
 pub use coverage::{coverage_table, CoverageRow};
-pub use eval::{evaluate_benchmark, run_baseline, run_compiled, run_model, BenchResult, ModelRun};
-pub use runtime::{run_gpu_program, GpuRun};
-pub use sweep::{run_sweep, RunRecord, SweepManifest};
+pub use eval::{evaluate_benchmark, run_baseline, run_compiled, run_compiled_traced, run_model, BenchResult, ModelRun};
+pub use profile::{chrome_trace, KernelRow, RunProfile, TransferRow};
+pub use runtime::{run_gpu_program, run_gpu_program_traced, GpuRun};
+pub use sweep::{run_sweep, run_sweep_profiled, RunRecord, SweepManifest};
 
 // Re-export the full stack so downstream users need only this crate.
 pub use acceval_benchmarks as benchmarks;

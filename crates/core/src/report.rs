@@ -113,11 +113,70 @@ pub fn render_sweep_summary(m: &SweepManifest) -> String {
     );
     out.push_str("  slowest tasks:\n");
     for s in &m.slowest_tasks {
-        let _ = writeln!(out, "    #{:<4} {:10} {:18} {:.3}s", s.task, s.benchmark, format!("{:?}", s.model), s.wall_secs);
+        let _ =
+            writeln!(out, "    #{:<4} {:10} {:18} {:.3}s", s.task, s.benchmark, format!("{:?}", s.model), s.wall_secs);
     }
     out.push_str("  wall seconds by model:\n");
     for g in &m.by_model {
         let _ = writeln!(out, "    {:18} {:4} tasks  {:.3}s", g.name, g.tasks, g.wall_secs);
+    }
+    out
+}
+
+/// Render a [`RunProfile`] as a per-kernel cost attribution table plus a
+/// transfer breakdown — the "where did the simulated time go" view behind a
+/// Figure 1 bar.
+pub fn render_profile(p: &crate::profile::RunProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROFILE {} / {} ({} trace events)", p.benchmark, p.model.display(), p.events);
+    let _ = writeln!(
+        out,
+        "  total {:.6}s = host {:.6}s + pcie {:.6}s + kernels {:.6}s",
+        p.total_secs, p.host_secs, p.transfer_secs, p.kernel_secs
+    );
+    let _ = writeln!(out, "  pcie bytes: {} H2D, {} D2H", p.h2d_bytes, p.d2h_bytes);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:24}| {:>8}| {:>10}| {:>6}| {:12}| {:>5}| {:>8}| {:>8}| {:>6}",
+        "Kernel", "launches", "time (s)", "%time", "bound", "occ%", "cmp%", "mem%", "amp"
+    );
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for k in &p.kernels {
+        let cycles = k.compute_cycles + k.mem_bw_cycles + k.mem_lat_cycles + k.shared_cycles + k.atomic_cycles;
+        let pct = |c: f64| if cycles > 0.0 { c / cycles * 100.0 } else { 0.0 };
+        let mem_pct = pct(k.mem_bw_cycles + k.mem_lat_cycles + k.shared_cycles + k.atomic_cycles);
+        let time_pct = if p.kernel_secs > 0.0 { k.time_secs / p.kernel_secs * 100.0 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:24}| {:>8}| {:>10.6}| {:>5.1}%| {:12}| {:>4.0}%| {:>7.1}%| {:>7.1}%| {:>5.2}x",
+            k.name,
+            k.launches,
+            k.time_secs,
+            time_pct,
+            format!("{:?}", k.bound),
+            k.occupancy * 100.0,
+            pct(k.compute_cycles),
+            mem_pct,
+            k.traffic_amplification()
+        );
+    }
+    out.push('\n');
+    let _ =
+        writeln!(out, "{:24}| {:12}| {:>10}| {:>14}| {:>12}", "Transfer", "direction", "count", "bytes", "time (s)");
+    out.push_str(&"-".repeat(80));
+    out.push('\n');
+    for t in &p.transfers {
+        let _ = writeln!(
+            out,
+            "{:24}| {:12}| {:>10}| {:>14}| {:>12.6}",
+            t.array,
+            format!("{:?}", t.dir),
+            t.transfers,
+            t.bytes,
+            t.secs
+        );
     }
     out
 }

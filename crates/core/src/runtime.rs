@@ -6,12 +6,12 @@ use std::collections::HashMap;
 
 use acceval_ir::analysis::{arrays_touched, Touched};
 use acceval_ir::interp::cpu::CpuMachine;
-use acceval_ir::interp::gpu::{launch, DeviceState};
+use acceval_ir::interp::gpu::{launch_traced, DeviceState};
 use acceval_ir::interp::{Hooks, Interp};
 use acceval_ir::program::{DataSet, HostData};
 use acceval_ir::stmt::{DataClauses, ParallelRegion, Stmt, UpdateDir};
 use acceval_ir::types::{ArrayId, Value, VarRef};
-use acceval_sim::{Dir, MachineConfig, Timeline};
+use acceval_sim::{Dir, MachineConfig, NullSink, Timeline, TraceEvent, TraceSink};
 
 use acceval_models::DataPolicy;
 
@@ -41,10 +41,12 @@ struct GpuHooks<'c> {
     flushed_cycles: f64,
     /// Read/write sets per region id (computed lazily).
     region_touch: HashMap<u32, Touched>,
+    /// Structured trace consumer (NullSink for untraced runs).
+    sink: &'c mut dyn TraceSink,
 }
 
 impl<'c> GpuHooks<'c> {
-    fn new(compiled: &'c CompiledProgram, cfg: &'c MachineConfig, ds: &DataSet) -> Self {
+    fn new(compiled: &'c CompiledProgram, cfg: &'c MachineConfig, ds: &DataSet, sink: &'c mut dyn TraceSink) -> Self {
         let n = compiled.program.arrays.len();
         let mut pristine_zero = vec![true; n];
         for (id, _) in &ds.arrays {
@@ -60,6 +62,7 @@ impl<'c> GpuHooks<'c> {
             timeline: Timeline::new(),
             flushed_cycles: 0.0,
             region_touch: HashMap::new(),
+            sink,
         }
     }
 
@@ -67,8 +70,12 @@ impl<'c> GpuHooks<'c> {
     fn flush_host(&mut self, it: &mut Interp<CpuMachine>, label: &str) {
         let delta = it.m.cycles - self.flushed_cycles;
         if delta > 0.0 {
-            self.timeline.host(label, self.cfg.host.cycles_to_secs(delta));
+            let secs = self.cfg.host.cycles_to_secs(delta);
+            self.timeline.host(label, secs);
             self.flushed_cycles = it.m.cycles;
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::Host { label: label.to_string(), secs });
+            }
         }
     }
 
@@ -76,12 +83,12 @@ impl<'c> GpuHooks<'c> {
         let buf = &it.m.data.bufs[a.0 as usize];
         self.dev.upload(a, buf);
         let bytes = buf.size_bytes();
-        self.timeline.transfer(
-            self.compiled.program.array_name(a),
-            Dir::HostToDevice,
-            bytes,
-            self.cfg.link.transfer_secs(bytes),
-        );
+        let secs = self.cfg.link.transfer_secs(bytes);
+        let name = self.compiled.program.array_name(a);
+        self.timeline.transfer(name, Dir::HostToDevice, bytes, secs);
+        if self.sink.enabled() {
+            self.sink.emit(buf.transfer_event(name, Dir::HostToDevice, secs));
+        }
         self.res[a.0 as usize].dev_valid = true;
     }
 
@@ -89,12 +96,12 @@ impl<'c> GpuHooks<'c> {
         let buf = &mut it.m.data.bufs[a.0 as usize];
         self.dev.download(a, buf);
         let bytes = buf.size_bytes();
-        self.timeline.transfer(
-            self.compiled.program.array_name(a),
-            Dir::DeviceToHost,
-            bytes,
-            self.cfg.link.transfer_secs(bytes),
-        );
+        let secs = self.cfg.link.transfer_secs(bytes);
+        let name = self.compiled.program.array_name(a);
+        self.timeline.transfer(name, Dir::DeviceToHost, bytes, secs);
+        if self.sink.enabled() {
+            self.sink.emit(buf.transfer_event(name, Dir::DeviceToHost, secs));
+        }
         self.res[a.0 as usize].host_valid = true;
     }
 
@@ -208,18 +215,24 @@ impl Hooks<CpuMachine> for GpuHooks<'_> {
                 next_kernel += 1;
                 let scalar_reds = plan.reductions.iter().filter(|t| matches!(t.target, VarRef::Scalar(_))).count();
                 let mut scal = std::mem::take(&mut it.scal);
-                let res = launch(&self.compiled.program, plan, &mut self.dev, &mut scal, &self.cfg.device);
+                let res =
+                    launch_traced(&self.compiled.program, plan, &mut self.dev, &mut scal, &self.cfg.device, self.sink);
                 it.scal = scal;
                 self.timeline.kernel(&plan.name, res.cost, res.totals);
                 if scalar_reds > 0 {
                     // reduction results come back over PCIe
                     let bytes = 8 * scalar_reds as u64;
-                    self.timeline.transfer(
-                        format!("{}(red)", plan.name),
-                        Dir::DeviceToHost,
-                        bytes,
-                        self.cfg.link.transfer_secs(bytes),
-                    );
+                    let secs = self.cfg.link.transfer_secs(bytes);
+                    let label = format!("{}(red)", plan.name);
+                    if self.sink.enabled() {
+                        self.sink.emit(TraceEvent::Transfer {
+                            array: label.clone(),
+                            dir: Dir::DeviceToHost,
+                            bytes,
+                            secs,
+                        });
+                    }
+                    self.timeline.transfer(label, Dir::DeviceToHost, bytes, secs);
                 }
             } else {
                 it.exec_plain(s);
@@ -321,10 +334,22 @@ pub struct GpuRun {
 
 /// Execute a compiled program on the simulated machine.
 pub fn run_gpu_program(compiled: &CompiledProgram, ds: &DataSet, cfg: &MachineConfig) -> GpuRun {
+    run_gpu_program_traced(compiled, ds, cfg, &mut NullSink)
+}
+
+/// [`run_gpu_program`], streaming structured trace events (host spans,
+/// PCIe transfers, kernel launches with per-site coalescing evidence) into
+/// `sink`. The simulated result is bit-identical to the untraced run.
+pub fn run_gpu_program_traced(
+    compiled: &CompiledProgram,
+    ds: &DataSet,
+    cfg: &MachineConfig,
+    sink: &mut dyn TraceSink,
+) -> GpuRun {
     let data = HostData::materialize(&compiled.program, ds);
     let m = CpuMachine::new(&cfg.host, data);
     let mut it = Interp::new(&compiled.program, m, ds);
-    let mut hooks = GpuHooks::new(compiled, cfg, ds);
+    let mut hooks = GpuHooks::new(compiled, cfg, ds, sink);
     let main = compiled.program.main.clone();
     it.run_with(&main, &mut hooks);
     // Sync program outputs back to the host.
@@ -414,9 +439,6 @@ mod tests {
         // OpenMPC (column-wise) must beat PGI (row-wise) on EP.
         let (_, mpc) = check_model(&acceval_benchmarks::ep::Ep, ModelKind::OpenMpc);
         let (_, pgi) = check_model(&acceval_benchmarks::ep::Ep, ModelKind::PgiAccelerator);
-        assert!(
-            pgi > 1.5 * mpc,
-            "row-wise EP ({pgi:.6}s) should be much slower than column-wise ({mpc:.6}s)"
-        );
+        assert!(pgi > 1.5 * mpc, "row-wise EP ({pgi:.6}s) should be much slower than column-wise ({mpc:.6}s)");
     }
 }

@@ -22,13 +22,13 @@ use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::CpuRun;
 use acceval_ir::program::DataSet;
 use acceval_models::{model, ModelKind, TuningPoint};
-use acceval_sim::{MachineConfig, Summary};
+use acceval_sim::{MachineConfig, RecordingSink, Summary, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::Serialize;
 
 use crate::compile::{compile_port, CompiledProgram};
-use crate::eval::{run_compiled, BenchResult, ModelRun};
+use crate::eval::{run_compiled, run_compiled_traced, BenchResult, ModelRun};
 
 // ---------------------------------------------------------------------------
 // Memoizing caches (process-global, shared with tests and benches).
@@ -47,11 +47,20 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
     }
 
     fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
+        self.get_or_compute_tracked(key, f).0
+    }
+
+    /// [`Memo::get_or_compute`], also reporting whether the value was already
+    /// present (`true` = cache hit). A racing miss — the cell was empty when
+    /// we looked but another task populates it first — still reports a miss,
+    /// which matches the wall-clock reality: this task waited for the compute.
+    fn get_or_compute_tracked(&self, key: K, f: impl FnOnce() -> V) -> (V, bool) {
         let cell = {
             let mut m = self.map.get_or_init(|| Mutex::new(HashMap::new())).lock();
             Arc::clone(m.entry(key).or_default())
         };
-        cell.get_or_init(f).clone()
+        let hit = cell.get().is_some();
+        (cell.get_or_init(f).clone(), hit)
     }
 }
 
@@ -83,8 +92,14 @@ pub fn cached_dataset(bench: &dyn Benchmark, scale: Scale) -> Arc<DataSet> {
 /// once per (benchmark, scale, host model) no matter how many sweep tasks,
 /// tests, or benches request it.
 pub fn cached_oracle(bench: &dyn Benchmark, scale: Scale, cfg: &MachineConfig) -> Arc<OracleEntry> {
+    cached_oracle_tracked(bench, scale, cfg).0
+}
+
+/// [`cached_oracle`], also reporting whether the oracle was served from the
+/// cache (`true`) or computed by this call (`false`).
+pub fn cached_oracle_tracked(bench: &dyn Benchmark, scale: Scale, cfg: &MachineConfig) -> (Arc<OracleEntry>, bool) {
     let key = (bench.spec().name.to_string(), scale, format!("{:?}", cfg.host));
-    ORACLES.get_or_compute(key, || {
+    ORACLES.get_or_compute_tracked(key, || {
         let ds = cached_dataset(bench, scale);
         let t0 = Instant::now();
         let run = crate::eval::run_baseline(bench, &ds, cfg);
@@ -102,13 +117,25 @@ pub fn cached_compile(
     scale: Scale,
     tuning: Option<&TuningPoint>,
 ) -> CompiledProgram {
+    cached_compile_tracked(bench, kind, scale, tuning).0
+}
+
+/// [`cached_compile`], also reporting whether the lowering-basis compile was
+/// served from the cache (`true`) or performed by this call (`false`). The
+/// geometry retarget is pure and always runs; only the lowering is memoized.
+pub fn cached_compile_tracked(
+    bench: &dyn Benchmark,
+    kind: ModelKind,
+    scale: Scale,
+    tuning: Option<&TuningPoint>,
+) -> (CompiledProgram, bool) {
     let pt = tuning.copied().unwrap_or_else(|| TuningPoint::best_for(kind));
     let basis = pt.lowering_basis();
-    let base = COMPILES.get_or_compute((bench.spec().name.to_string(), kind, scale, basis), || {
+    let (base, hit) = COMPILES.get_or_compute_tracked((bench.spec().name.to_string(), kind, scale, basis), || {
         let ds = cached_dataset(bench, scale);
         Arc::new(compile_port(&bench.port(kind), kind, &ds, Some(&basis)))
     });
-    base.with_geometry(&pt)
+    (base.with_geometry(&pt), hit)
 }
 
 // ---------------------------------------------------------------------------
@@ -174,6 +201,12 @@ pub struct RunRecord {
     /// Device-stats summary of the simulated timeline.
     pub summary: Summary,
     pub unsupported_regions: usize,
+    /// Whether this task's CPU oracle was served from the memo cache.
+    pub oracle_cached: bool,
+    /// Whether this task's lowering-basis compile was served from the cache.
+    pub compile_cached: bool,
+    /// The folded run profile (only when the sweep ran with profiling).
+    pub profile: Option<crate::profile::RunProfile>,
     /// Wall-clock seconds this task spent simulating (harness time, not
     /// simulated time; nondeterministic and excluded from figure output).
     pub wall_secs: f64,
@@ -246,12 +279,35 @@ pub struct SweepManifest {
 // Execution.
 // ---------------------------------------------------------------------------
 
-fn run_task(bench: &dyn Benchmark, task: &SweepTask, index: usize, cfg: &MachineConfig, scale: Scale) -> RunRecord {
+fn run_task(
+    bench: &dyn Benchmark,
+    task: &SweepTask,
+    index: usize,
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_profile: bool,
+) -> RunRecord {
     let t0 = Instant::now();
     let ds = cached_dataset(bench, scale);
-    let oracle = cached_oracle(bench, scale, cfg);
-    let compiled = cached_compile(bench, task.model, scale, task.tuning.as_ref());
-    let r = run_compiled(bench, &compiled, &ds, cfg, &oracle.run);
+    let (oracle, oracle_cached) = cached_oracle_tracked(bench, scale, cfg);
+    let (compiled, compile_cached) = cached_compile_tracked(bench, task.model, scale, task.tuning.as_ref());
+    let (r, profile) = if with_profile {
+        let mut sink = RecordingSink::new();
+        // The task span leads its own trace, carrying cache provenance.
+        sink.emit(TraceEvent::TaskSpan {
+            task: index,
+            benchmark: task.benchmark.clone(),
+            model: task.model.display().to_string(),
+            tuning: task.tuning.map(|pt| format!("{pt:?}")),
+            oracle_cached,
+            compile_cached,
+        });
+        let r = run_compiled_traced(bench, &compiled, &ds, cfg, &oracle.run, &mut sink);
+        let profile = crate::profile::RunProfile::from_events(&task.benchmark, task.model, &sink.events);
+        (r, Some(profile))
+    } else {
+        (run_compiled(bench, &compiled, &ds, cfg, &oracle.run), None)
+    };
     RunRecord {
         task: index,
         benchmark: task.benchmark.clone(),
@@ -263,6 +319,9 @@ fn run_task(bench: &dyn Benchmark, task: &SweepTask, index: usize, cfg: &Machine
         valid: r.valid,
         summary: r.summary,
         unsupported_regions: r.unsupported_regions,
+        oracle_cached,
+        compile_cached,
+        profile,
         wall_secs: t0.elapsed().as_secs_f64(),
     }
 }
@@ -273,6 +332,20 @@ fn run_task(bench: &dyn Benchmark, task: &SweepTask, index: usize, cfg: &Machine
 /// by task index, so the figure-relevant output is bit-identical regardless
 /// of scheduling.
 pub fn run_sweep(benches: &[&dyn Benchmark], cfg: &MachineConfig, scale: Scale, with_tuning: bool) -> SweepManifest {
+    run_sweep_profiled(benches, cfg, scale, with_tuning, false)
+}
+
+/// [`run_sweep`] with per-task profiling: each record carries its folded
+/// [`crate::profile::RunProfile`] and the task span's cache provenance.
+/// Figure-relevant fields are bit-identical to the unprofiled sweep — the
+/// trace is recorded off to the side, not threaded into the cost model.
+pub fn run_sweep_profiled(
+    benches: &[&dyn Benchmark],
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_tuning: bool,
+    with_profile: bool,
+) -> SweepManifest {
     let t0 = Instant::now();
     let tasks = enumerate_tasks(benches, with_tuning);
     let by_name: HashMap<&str, &dyn Benchmark> = benches.iter().map(|b| (b.spec().name, *b)).collect();
@@ -280,7 +353,7 @@ pub fn run_sweep(benches: &[&dyn Benchmark], cfg: &MachineConfig, scale: Scale, 
     let indexed: Vec<(usize, &SweepTask)> = tasks.iter().enumerate().collect();
     let records: Vec<RunRecord> = indexed
         .par_iter()
-        .map(|(i, t)| run_task(by_name[t.benchmark.as_str()], t, *i, cfg, scale))
+        .map(|(i, t)| run_task(by_name[t.benchmark.as_str()], t, *i, cfg, scale, with_profile))
         .collect();
     let wall_secs = t0.elapsed().as_secs_f64();
 
@@ -340,11 +413,8 @@ pub fn run_sweep(benches: &[&dyn Benchmark], cfg: &MachineConfig, scale: Scale, 
     let critical_path_secs = oracles
         .iter()
         .map(|o| {
-            let slowest_task = records
-                .iter()
-                .filter(|r| r.benchmark == o.benchmark)
-                .map(|r| r.wall_secs)
-                .fold(0.0f64, f64::max);
+            let slowest_task =
+                records.iter().filter(|r| r.benchmark == o.benchmark).map(|r| r.wall_secs).fold(0.0f64, f64::max);
             o.wall_secs + slowest_task
         })
         .fold(0.0f64, f64::max);
@@ -401,8 +471,7 @@ pub fn bench_results(manifest: &SweepManifest) -> Vec<BenchResult> {
                 }
                 let of_kind: Vec<&&RunRecord> = recs.iter().filter(|r| r.model == kind).collect();
                 if of_kind.iter().any(|r| !r.default_point) {
-                    let valid: Vec<f64> =
-                        of_kind.iter().filter(|r| r.valid.is_ok()).map(|r| r.speedup).collect();
+                    let valid: Vec<f64> = of_kind.iter().filter(|r| r.valid.is_ok()).map(|r| r.speedup).collect();
                     if !valid.is_empty() {
                         let lo = valid.iter().copied().fold(f64::INFINITY, f64::min);
                         let hi = valid.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -434,9 +503,7 @@ mod tests {
         // for every model but ManualCuda.
         let defaults = tasks.iter().filter(|t| t.tuning.is_none()).count();
         assert_eq!(defaults, ModelKind::figure1_models().len());
-        assert!(!tasks
-            .iter()
-            .any(|t| t.model == ModelKind::ManualCuda && t.tuning.is_some()));
+        assert!(!tasks.iter().any(|t| t.model == ModelKind::ManualCuda && t.tuning.is_some()));
         // No tuning task duplicates the default point or another task.
         for t in tasks.iter().filter(|t| t.tuning.is_some()) {
             assert_ne!(t.tuning.unwrap(), TuningPoint::best_for(t.model));

@@ -52,10 +52,7 @@ fn dataset(p: &Program, n: i64) -> DataSet {
 }
 
 fn transfer_count(events: &[Event], array: &str, dir: Dir) -> usize {
-    events
-        .iter()
-        .filter(|e| matches!(e, Event::Transfer { array: a, dir: d, .. } if a == array && *d == dir))
-        .count()
+    events.iter().filter(|e| matches!(e, Event::Transfer { array: a, dir: d, .. } if a == array && *d == dir)).count()
 }
 
 #[test]
@@ -83,10 +80,7 @@ fn naive_policy_transfers_every_region() {
     c.policy = DataPolicy::PerRegion;
     let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node());
     // 4 iterations x 2 regions, x is read or written by both.
-    assert!(
-        transfer_count(&run.timeline.events, "x", Dir::HostToDevice) >= 4,
-        "naive should re-upload x repeatedly"
-    );
+    assert!(transfer_count(&run.timeline.events, "x", Dir::HostToDevice) >= 4, "naive should re-upload x repeatedly");
     assert!(transfer_count(&run.timeline.events, "x", Dir::DeviceToHost) >= 4);
 }
 
@@ -149,12 +143,7 @@ fn untranslated_regions_run_on_host_with_sync() {
         parallel("h.gpu", vec![pfor(i, 0i64, v(n), vec![store(y, vec![v(i)], ld(x, vec![v(i)]) + 1.0)])]),
         parallel(
             "h.cpu",
-            vec![pfor(
-                i,
-                0i64,
-                v(n),
-                vec![critical(vec![store(x, vec![v(i)], ld(y, vec![v(i)]) * 3.0)])],
-            )],
+            vec![pfor(i, 0i64, v(n), vec![critical(vec![store(x, vec![v(i)], ld(y, vec![v(i)]) * 3.0)])])],
         ),
         parallel("h.gpu2", vec![pfor(i, 0i64, v(n), vec![store(y, vec![v(i)], ld(x, vec![v(i)]) - 1.0)])]),
     ]);

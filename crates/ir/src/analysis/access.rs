@@ -128,11 +128,8 @@ pub fn propagate_copies(stmts: &[Stmt]) -> Vec<Stmt> {
 /// temporaries are seen through via [`propagate_copies`].
 pub fn access_strides(prog: &Program, body: &[Stmt], var: ScalarId, env: &[Value]) -> Vec<AccessStride> {
     let body = &propagate_copies(body);
-    let extents: Vec<Vec<usize>> = prog
-        .arrays
-        .iter()
-        .map(|a| a.dims.iter().map(|d| eval_const(d, env)).collect())
-        .collect();
+    let extents: Vec<Vec<usize>> =
+        prog.arrays.iter().map(|a| a.dims.iter().map(|d| eval_const(d, env)).collect()).collect();
     let strides: Vec<Vec<usize>> = extents.iter().map(|e| row_major_strides(e)).collect();
 
     let mut out = Vec::new();
@@ -203,11 +200,8 @@ mod tests {
     }
 
     fn env(prog: &Program, n: i64) -> Vec<Value> {
-        let mut e: Vec<Value> = prog
-            .scalars
-            .iter()
-            .map(|d| if d.is_float { Value::F(1.0) } else { Value::I(1) })
-            .collect();
+        let mut e: Vec<Value> =
+            prog.scalars.iter().map(|d| if d.is_float { Value::F(1.0) } else { Value::I(1) }).collect();
         e[prog.scalar_named("n").0 as usize] = Value::I(n);
         e
     }
@@ -291,10 +285,7 @@ mod copyprop_tests {
         let a = pb.farray("a", vec![v(n2)]);
         pb.main(vec![]);
         let p = pb.build();
-        let mut body = vec![
-            assign(k, v(i) * v(cols) + v(j)),
-            store(a, vec![v(k)], ld(a, vec![v(k)]) + 1.0),
-        ];
+        let mut body = vec![assign(k, v(i) * v(cols) + v(j)), store(a, vec![v(k)], ld(a, vec![v(k)]) + 1.0)];
         crate::program::renumber_sites(&mut body);
         let mut env: Vec<Value> = p.scalars.iter().map(|_| Value::I(1)).collect();
         env[cols.0 as usize] = Value::I(64);

@@ -53,9 +53,7 @@ pub fn expr_affine(e: &Expr, loop_vars: &HashSet<ScalarId>) -> bool {
                 BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => {
                     go(a, lv) && go(b, lv)
                 }
-                BinOp::Mul => {
-                    (!mentions(a, lv) || !mentions(b, lv)) && go(a, lv) && go(b, lv)
-                }
+                BinOp::Mul => (!mentions(a, lv) || !mentions(b, lv)) && go(a, lv) && go(b, lv),
                 // Anything else must be loop-variable-free.
                 _ => !mentions(a, lv) && !mentions(b, lv),
             },
@@ -86,11 +84,7 @@ pub fn region_static_affine(r: &ParallelRegion) -> bool {
     stmts_static_affine(&r.body, &mut HashSet::new(), &assigned)
 }
 
-fn stmts_static_affine(
-    stmts: &[Stmt],
-    loop_vars: &mut HashSet<ScalarId>,
-    assigned: &HashSet<ScalarId>,
-) -> bool {
+fn stmts_static_affine(stmts: &[Stmt], loop_vars: &mut HashSet<ScalarId>, assigned: &HashSet<ScalarId>) -> bool {
     // "Dirty" vars: loop vars plus region-assigned scalars; subscripts must
     // be affine in loop vars and must not use other assigned scalars at all
     // (their values are data-dependent).
@@ -198,11 +192,7 @@ mod tests {
                 j,
                 1i64,
                 v(n) - 1i64,
-                vec![store(
-                    b,
-                    vec![v(i), v(j)],
-                    ld(a, vec![v(i) - 1i64, v(j)]) + ld(a, vec![v(i) + 1i64, v(j)]),
-                )],
+                vec![store(b, vec![v(i), v(j)], ld(a, vec![v(i) - 1i64, v(j)]) + ld(a, vec![v(i) + 1i64, v(j)]))],
             )],
         )]);
         assert!(region_static_affine(&r));
@@ -214,12 +204,7 @@ mod tests {
         let n = ScalarId(1);
         let x = ArrayId(0);
         let idx = ArrayId(1);
-        let r = region(vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![store(x, vec![ld(idx, vec![v(i)])], 1.0)],
-        )]);
+        let r = region(vec![pfor(i, 0i64, v(n), vec![store(x, vec![ld(idx, vec![v(i)])], 1.0)])]);
         assert!(!region_static_affine(&r));
     }
 
@@ -228,12 +213,8 @@ mod tests {
         let i = ScalarId(0);
         let n = ScalarId(1);
         let x = ArrayId(0);
-        let r = region(vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![iff(ld(x, vec![v(i)]).gt(0.0), vec![store(x, vec![v(i)], 0.0)])],
-        )]);
+        let r =
+            region(vec![pfor(i, 0i64, v(n), vec![iff(ld(x, vec![v(i)]).gt(0.0), vec![store(x, vec![v(i)], 0.0)])])]);
         assert!(!region_static_affine(&r));
     }
 
@@ -242,12 +223,7 @@ mod tests {
         let i = ScalarId(0);
         let n = ScalarId(1);
         let x = ArrayId(0);
-        let r = region(vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![iff(v(i).gt(0i64), vec![store(x, vec![v(i)], 0.0)])],
-        )]);
+        let r = region(vec![pfor(i, 0i64, v(n), vec![iff(v(i).gt(0i64), vec![store(x, vec![v(i)], 0.0)])])]);
         assert!(region_static_affine(&r));
     }
 
@@ -257,12 +233,8 @@ mod tests {
         let j = ScalarId(1);
         let n = ScalarId(2);
         let x = ArrayId(0);
-        let r = region(vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![sfor(j, v(i), v(n), vec![store(x, vec![v(i) * v(n) + v(j)], 0.0)])],
-        )]);
+        let r =
+            region(vec![pfor(i, 0i64, v(n), vec![sfor(j, v(i), v(n), vec![store(x, vec![v(i) * v(n) + v(j)], 0.0)])])]);
         // i*n + j is affine (n is a parameter).
         assert!(region_static_affine(&r));
     }

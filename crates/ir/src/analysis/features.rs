@@ -93,10 +93,7 @@ pub fn region_features(_prog: &Program, r: &ParallelRegion) -> RegionFeatures {
 
     // Non-loop statements at region top level (ignoring directives).
     let has_nonloop_statements = r.body.iter().any(|s| {
-        !matches!(
-            s,
-            Stmt::For { par: Some(_), .. } | Stmt::DataRegion { .. } | Stmt::Update { .. } | Stmt::Barrier
-        )
+        !matches!(s, Stmt::For { par: Some(_), .. } | Stmt::DataRegion { .. } | Stmt::Update { .. } | Stmt::Barrier)
     });
 
     let mut has_indirect = false;
@@ -195,12 +192,7 @@ mod tests {
     fn counts_worksharing_and_depth() {
         let p = prog();
         let (n, i, j, a) = (ScalarId(0), ScalarId(1), ScalarId(2), ArrayId(0));
-        let r = mk_region(vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![sfor(j, 0i64, v(n), vec![store(a, vec![v(i)], 0.0)])],
-        )]);
+        let r = mk_region(vec![pfor(i, 0i64, v(n), vec![sfor(j, 0i64, v(n), vec![store(a, vec![v(i)], 0.0)])])]);
         let f = region_features(&p, &r);
         assert_eq!(f.worksharing_loops, 1);
         assert_eq!(f.max_nest_depth, 2);
@@ -229,12 +221,7 @@ mod tests {
     fn non_reduction_critical_flagged() {
         let p = prog();
         let (n, i, a) = (ScalarId(0), ScalarId(1), ArrayId(0));
-        let r = mk_region(vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![critical(vec![store(a, vec![Expr::I(0)], v(i).to_f())])],
-        )]);
+        let r = mk_region(vec![pfor(i, 0i64, v(n), vec![critical(vec![store(a, vec![Expr::I(0)], v(i).to_f())])])]);
         let f = region_features(&p, &r);
         assert!(f.has_critical);
         assert!(!f.critical_is_array_reduction);
@@ -254,10 +241,7 @@ mod tests {
     fn nonloop_statements_detected() {
         let p = prog();
         let (n, i, s, a) = (ScalarId(0), ScalarId(1), ScalarId(3), ArrayId(0));
-        let r = mk_region(vec![
-            assign(s, 0.0),
-            pfor(i, 0i64, v(n), vec![store(a, vec![v(i)], v(s))]),
-        ]);
+        let r = mk_region(vec![assign(s, 0.0), pfor(i, 0i64, v(n), vec![store(a, vec![v(i)], v(s))])]);
         let f = region_features(&p, &r);
         assert!(f.has_nonloop_statements);
     }

@@ -137,10 +137,7 @@ mod tests {
             i,
             0i64,
             10i64,
-            vec![
-                assign(s, v(s) + ld(x, vec![v(i)])),
-                assign(m, ld(x, vec![v(i)]).max(v(m))),
-            ],
+            vec![assign(s, v(s) + ld(x, vec![v(i)])), assign(m, ld(x, vec![v(i)]).max(v(m)))],
         )];
         let r = detect_scalar_reductions(&body);
         assert!(r.contains(&(s, ReduceOp::Add)));
@@ -152,12 +149,7 @@ mod tests {
         let s = ScalarId(0);
         let i = ScalarId(1);
         let x = ArrayId(0);
-        let body = vec![sfor(
-            i,
-            0i64,
-            10i64,
-            vec![assign(s, v(s) + ld(x, vec![v(i)])), assign(s, v(i).to_f())],
-        )];
+        let body = vec![sfor(i, 0i64, 10i64, vec![assign(s, v(s) + ld(x, vec![v(i)])), assign(s, v(i).to_f())])];
         assert!(detect_scalar_reductions(&body).is_empty());
     }
 
@@ -173,12 +165,8 @@ mod tests {
         let i = ScalarId(0);
         let k = ScalarId(1);
         let hist = ArrayId(0);
-        let body = vec![sfor(
-            i,
-            0i64,
-            10i64,
-            vec![critical(vec![store(hist, vec![v(k)], ld(hist, vec![v(k)]) + 1.0)])],
-        )];
+        let body =
+            vec![sfor(i, 0i64, 10i64, vec![critical(vec![store(hist, vec![v(k)], ld(hist, vec![v(k)]) + 1.0)])])];
         let r = detect_array_reductions(&body, true);
         assert_eq!(r, vec![(hist, ReduceOp::Add)]);
         // Without the critical requirement it is found too.

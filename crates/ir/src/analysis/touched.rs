@@ -75,7 +75,6 @@ mod tests {
     use super::*;
     use crate::builder::*;
     use crate::expr::{ld, v};
-    use crate::types::ScalarId;
 
     #[test]
     fn simple_read_write_sets() {

@@ -126,13 +126,7 @@ pub fn pfor(var: ScalarId, lo: impl Into<Expr>, hi: impl Into<Expr>, body: Vec<S
 }
 
 /// Work-sharing loop with explicit clauses.
-pub fn pfor_with(
-    var: ScalarId,
-    lo: impl Into<Expr>,
-    hi: impl Into<Expr>,
-    body: Vec<Stmt>,
-    par: ParInfo,
-) -> Stmt {
+pub fn pfor_with(var: ScalarId, lo: impl Into<Expr>, hi: impl Into<Expr>, body: Vec<Stmt>, par: ParInfo) -> Stmt {
     Stmt::For { var, lo: lo.into(), hi: hi.into(), step: Expr::I(1), body, par: Some(par) }
 }
 

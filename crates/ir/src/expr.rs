@@ -287,12 +287,18 @@ impl Expr {
     pub fn max(self, rhs: impl Into<Expr>) -> Expr {
         Expr::Bin(BinOp::Max, Box::new(self), Box::new(rhs.into()))
     }
+    // Named like the std::ops traits on purpose: these are AST builders in
+    // the same family as `min`/`max` above, and taking `impl Into<Expr>`
+    // rules out implementing the operator traits themselves.
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, rhs: impl Into<Expr>) -> Expr {
         Expr::Bin(BinOp::Shl, Box::new(self), Box::new(rhs.into()))
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn shr(self, rhs: impl Into<Expr>) -> Expr {
         Expr::Bin(BinOp::Shr, Box::new(self), Box::new(rhs.into()))
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn bitand(self, rhs: impl Into<Expr>) -> Expr {
         Expr::Bin(BinOp::BitAnd, Box::new(self), Box::new(rhs.into()))
     }

@@ -164,7 +164,7 @@ mod tests {
             // large stride: (i * 197) % n — defeats the caches
             (v(i) * 197i64) % v(n)
         } else {
-            v(i).into()
+            v(i)
         };
         pb.main(vec![sfor(i, 0i64, v(n), vec![store(a, vec![idx.clone()], ld(a, vec![idx]) + 1.0)])]);
         let p = pb.build();

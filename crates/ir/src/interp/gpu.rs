@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 
 use acceval_sim::{
-    estimate_kernel, warp_issue_cycles, Buffer, Cache, DeviceConfig, KernelCost, KernelFootprint,
-    KernelTotals, SiteWarpTrace,
+    estimate_kernel, warp_issue_cycles, AccessSummary, Buffer, Cache, DeviceConfig, KernelCost, KernelFootprint,
+    KernelTotals, NullSink, SharedSummary, SiteWarpTrace, TraceEvent, TraceSink,
 };
 
 use crate::expr::{Expr, Intrin};
@@ -223,8 +223,36 @@ pub fn launch(
     scal: &mut [Value],
     cfg: &DeviceConfig,
 ) -> LaunchResult {
-    assert!(plan.site_count > 0 || plan.body.iter().all(|s| !matches!(s, Stmt::Store { .. })), "plan must be finalized");
+    launch_traced(prog, plan, dev, scal, cfg, &mut NullSink)
+}
+
+/// [`launch`], emitting structured trace events into `sink`: one
+/// [`TraceEvent::CoalesceSite`] per active memory site (in site order, so
+/// traces are deterministic), texture-cache counters when the kernel used
+/// texture memory, and a final [`TraceEvent::KernelLaunch`] with the full
+/// cost attribution. With a disabled sink this is exactly [`launch`]: no
+/// event is constructed and the per-site accumulators stay empty.
+pub fn launch_traced(
+    prog: &Program,
+    plan: &KernelPlan,
+    dev: &mut DeviceState,
+    scal: &mut [Value],
+    cfg: &DeviceConfig,
+    sink: &mut dyn TraceSink,
+) -> LaunchResult {
+    assert!(
+        plan.site_count > 0 || plan.body.iter().all(|s| !matches!(s, Stmt::Store { .. })),
+        "plan must be finalized"
+    );
     let site_kinds = classify_sites(plan);
+    let traced = sink.enabled();
+    // Per-site evidence accumulated across all warps (trace-only).
+    let mut site_global: Vec<AccessSummary> =
+        if traced { vec![AccessSummary::default(); plan.site_count as usize] } else { Vec::new() };
+    let mut site_shared: Vec<SharedSummary> =
+        if traced { vec![SharedSummary::default(); plan.site_count as usize] } else { Vec::new() };
+    let tex_hits0 = dev.tex_cache.hits;
+    let tex_misses0 = dev.tex_cache.misses;
 
     // Geometry.
     let n0 = eval_pure(&plan.axes[0].count, scal).as_i().max(0) as u64;
@@ -437,6 +465,9 @@ pub fn launch(
                                     totals.global_requests += s.requests;
                                     totals.global_transactions += s.transactions;
                                     totals.useful_bytes += s.lane_accesses * eb;
+                                    if traced {
+                                        site_global[i].merge(&s);
+                                    }
                                 }
                                 MemSpace::SharedTiled { reuse } => {
                                     let sh = tr.reduce_shared(cfg.shared_banks, 4);
@@ -447,14 +478,26 @@ pub fn launch(
                                     totals.global_transactions += fill_tx;
                                     totals.global_requests += fill_tx;
                                     totals.useful_bytes += fill_bytes as u64;
+                                    if traced {
+                                        site_shared[i].merge(&sh);
+                                        site_global[i].merge(&AccessSummary {
+                                            requests: fill_tx,
+                                            transactions: fill_tx,
+                                            lane_accesses: s.lane_accesses,
+                                        });
+                                    }
                                 }
                                 MemSpace::Constant => {
                                     // Distinct words per row serialize.
                                     let s = tr.reduce_global(eb.max(4) as u32);
                                     extra_issue += (s.transactions - s.requests) as f64;
+                                    if traced {
+                                        site_global[i].merge(&s);
+                                    }
                                 }
                                 MemSpace::Texture => {
                                     let line = cfg.tex_line_bytes as u64;
+                                    let (req0, miss0) = (totals.tex_requests, totals.tex_miss_lines);
                                     tr.for_each_row(|row| {
                                         totals.tex_requests += 1;
                                         let mut lines: Vec<u64> = row.iter().map(|a| a / line).collect();
@@ -466,6 +509,13 @@ pub fn launch(
                                             }
                                         }
                                     });
+                                    if traced {
+                                        site_global[i].merge(&AccessSummary {
+                                            requests: totals.tex_requests - req0,
+                                            transactions: totals.tex_miss_lines - miss0,
+                                            lane_accesses: 0,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -538,6 +588,46 @@ pub fn launch(
         // Second-stage kernel launch.
         cost.time_secs += cfg.launch_overhead_us * 1e-6;
     }
+
+    if traced {
+        // Per-site coalescing evidence, in site order (deterministic).
+        for (i, kind) in site_kinds.iter().enumerate() {
+            let SiteKind::Mem(arr) = kind else { continue };
+            let g = site_global[i];
+            let sh = site_shared[i];
+            if g.requests == 0 && g.transactions == 0 && sh.requests == 0 {
+                continue;
+            }
+            let space = if plan.expansion_of(*arr).is_some() {
+                if partials_in_shared && red_arrays.iter().any(|(a, _)| a == arr) {
+                    "shared"
+                } else {
+                    "global"
+                }
+            } else {
+                match plan.space_of(*arr) {
+                    MemSpace::Global => "global",
+                    MemSpace::SharedTiled { .. } => "shared",
+                    MemSpace::Constant => "constant",
+                    MemSpace::Texture => "texture",
+                }
+            };
+            sink.emit(TraceEvent::CoalesceSite {
+                kernel: plan.name.clone(),
+                site: i as u32,
+                array: prog.array_name(*arr).to_string(),
+                space: space.to_string(),
+                requests: g.requests + sh.requests,
+                transactions: g.transactions,
+                lane_accesses: g.lane_accesses,
+                shared_slots: sh.slots,
+            });
+        }
+        if dev.tex_cache.hits != tex_hits0 || dev.tex_cache.misses != tex_misses0 {
+            sink.emit(dev.tex_cache.trace_event(&format!("{}/texture", plan.name)));
+        }
+        sink.emit(cost.trace_event(&plan.name, &footprint, &totals, cfg));
+    }
     LaunchResult { cost, totals, footprint, active_threads }
 }
 
@@ -563,11 +653,8 @@ pub fn upload_all(prog: &Program, dev: &mut DeviceState, host: &crate::program::
 
 /// Convenience for tests: make a scalar environment from a dataset.
 pub fn env_from_dataset(prog: &Program, ds: &crate::program::DataSet) -> Vec<Value> {
-    let mut scal: Vec<Value> = prog
-        .scalars
-        .iter()
-        .map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) })
-        .collect();
+    let mut scal: Vec<Value> =
+        prog.scalars.iter().map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) }).collect();
     for (id, v) in &ds.scalars {
         scal[id.0 as usize] = *v;
     }
@@ -600,10 +687,7 @@ mod tests {
         let p = pb.build();
         let ds = DataSet {
             scalars: vec![(nn, Value::I(n))],
-            arrays: vec![(
-                ArrayId(0),
-                Buffer::from_f64(ElemType::F64, (0..n).map(|i| i as f64).collect()),
-            )],
+            arrays: vec![(ArrayId(0), Buffer::from_f64(ElemType::F64, (0..n).map(|i| i as f64).collect()))],
             label: "t".into(),
         };
         (p, ds)
@@ -653,11 +737,8 @@ mod tests {
             vec![store(y, vec![v(i)], ld(x, vec![(v(i) * 64i64) % v(n)]))],
         );
         k.finalize();
-        let mut k2 = crate::kernel::KernelPlan::new(
-            "unit",
-            vec![axis(i, v(n))],
-            vec![store(y, vec![v(i)], ld(x, vec![v(i)]))],
-        );
+        let mut k2 =
+            crate::kernel::KernelPlan::new("unit", vec![axis(i, v(n))], vec![store(y, vec![v(i)], ld(x, vec![v(i)]))]);
         k2.finalize();
 
         let cfg = DeviceConfig::tesla_m2090();
@@ -682,12 +763,9 @@ mod tests {
         let i = p.scalar_named("i");
         let s = p.scalar_named("s");
         let x = p.array_named("x");
-        let mut k = crate::kernel::KernelPlan::new(
-            "sum",
-            vec![axis(i, v(n))],
-            vec![assign(s, v(s) + ld(x, vec![v(i)]))],
-        )
-        .with_reduction(ReduceOp::Add, VarRef::Scalar(s));
+        let mut k =
+            crate::kernel::KernelPlan::new("sum", vec![axis(i, v(n))], vec![assign(s, v(s) + ld(x, vec![v(i)]))])
+                .with_reduction(ReduceOp::Add, VarRef::Scalar(s));
         k.finalize();
 
         let cfg = DeviceConfig::tesla_m2090();
@@ -722,8 +800,7 @@ mod tests {
             store(y, vec![v(i)], v(s)),
         ];
         let mk = |exp: Expansion| {
-            let mut k = crate::kernel::KernelPlan::new("priv", vec![axis(i, v(n))], body.clone())
-                .with_private(q, exp);
+            let mut k = crate::kernel::KernelPlan::new("priv", vec![axis(i, v(n))], body.clone()).with_private(q, exp);
             k.finalize();
             k
         };
@@ -788,11 +865,8 @@ mod tests {
         let i = p.scalar_named("i");
         let y = p.array_named("y");
         // Divergent: every other lane takes a different path.
-        let body_div = vec![if_else(
-            (v(i) % 2i64).eq_(0i64),
-            vec![store(y, vec![v(i)], 1.0)],
-            vec![store(y, vec![v(i)], 2.0)],
-        )];
+        let body_div =
+            vec![if_else((v(i) % 2i64).eq_(0i64), vec![store(y, vec![v(i)], 1.0)], vec![store(y, vec![v(i)], 2.0)])];
         // Uniform: whole warps take the same path.
         let body_uni = vec![if_else(
             ((v(i) / 32i64) % 2i64).eq_(0i64),

@@ -97,11 +97,8 @@ pub struct Interp<'p, M: Machine> {
 impl<'p, M: Machine> Interp<'p, M> {
     /// Build an evaluator with a fresh environment from a dataset.
     pub fn new(prog: &'p Program, m: M, ds: &DataSet) -> Self {
-        let mut scal: Vec<Value> = prog
-            .scalars
-            .iter()
-            .map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) })
-            .collect();
+        let mut scal: Vec<Value> =
+            prog.scalars.iter().map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) }).collect();
         for (id, v) in &ds.scalars {
             scal[id.0 as usize] = *v;
         }
@@ -212,7 +209,13 @@ impl<'p, M: Machine> Interp<'p, M> {
         }
     }
 
-    fn do_call<H: Hooks<M>>(&mut self, func: crate::types::FuncId, scalar_args: &[Expr], array_args: &[ArrayId], h: &mut H) {
+    fn do_call<H: Hooks<M>>(
+        &mut self,
+        func: crate::types::FuncId,
+        scalar_args: &[Expr],
+        array_args: &[ArrayId],
+        h: &mut H,
+    ) {
         // Clone the function out to avoid aliasing prog borrows cheaply; the
         // bodies are shared Vecs so this clones only Arc-free nodes. This is
         // on cold paths (calls per run are few).
@@ -586,10 +589,7 @@ mod tests {
 
     fn saxpy_ds(n: usize) -> DataSet {
         DataSet {
-            scalars: vec![
-                (ScalarId(0), Value::I(n as i64)),
-                (ScalarId(2), Value::F(2.0)),
-            ],
+            scalars: vec![(ScalarId(0), Value::I(n as i64)), (ScalarId(2), Value::F(2.0))],
             arrays: vec![
                 (ArrayId(0), acceval_sim::Buffer::from_f64(ElemType::F64, (0..n).map(|i| i as f64).collect())),
                 (ArrayId(1), acceval_sim::Buffer::from_f64(ElemType::F64, vec![1.0; n])),
@@ -654,11 +654,7 @@ mod tests {
             wloop(
                 v(x).lt(10i64),
                 vec![
-                    if_else(
-                        (v(x) % 2i64).eq_(0i64),
-                        vec![assign(y, v(y) + 1i64)],
-                        vec![assign(y, v(y) + 10i64)],
-                    ),
+                    if_else((v(x) % 2i64).eq_(0i64), vec![assign(y, v(y) + 1i64)], vec![assign(y, v(y) + 10i64)]),
                     assign(x, v(x) + 1i64),
                 ],
             ),

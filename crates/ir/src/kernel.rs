@@ -152,11 +152,7 @@ impl KernelPlan {
 
     /// The memory space of an array in this kernel.
     pub fn space_of(&self, a: ArrayId) -> MemSpace {
-        self.placement
-            .iter()
-            .find(|(id, _)| *id == a)
-            .map(|(_, s)| *s)
-            .unwrap_or(MemSpace::Global)
+        self.placement.iter().find(|(id, _)| *id == a).map(|(_, s)| *s).unwrap_or(MemSpace::Global)
     }
 
     /// The expansion of a private array, if `a` is private in this kernel.

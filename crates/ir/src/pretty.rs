@@ -286,10 +286,7 @@ mod tests {
         let n = pb.iscalar("n");
         let i = pb.iscalar("i");
         let a = pb.farray("a", vec![v(n)]);
-        pb.main(vec![parallel(
-            "r0",
-            vec![pfor(i, 0i64, v(n), vec![store(a, vec![v(i)], ld(a, vec![v(i)]) * 2.0)])],
-        )]);
+        pb.main(vec![parallel("r0", vec![pfor(i, 0i64, v(n), vec![store(a, vec![v(i)], ld(a, vec![v(i)]) * 2.0)])])]);
         let p = pb.build();
         let txt = program(&p);
         assert!(txt.contains("#pragma omp parallel"));

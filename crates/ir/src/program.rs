@@ -143,20 +143,14 @@ impl Program {
     /// Look up a scalar by name (panics if absent; for tests/examples).
     pub fn scalar_named(&self, name: &str) -> ScalarId {
         ScalarId(
-            self.scalars
-                .iter()
-                .position(|s| s.name == name)
-                .unwrap_or_else(|| panic!("no scalar named {name}")) as u32,
+            self.scalars.iter().position(|s| s.name == name).unwrap_or_else(|| panic!("no scalar named {name}")) as u32
         )
     }
 
     /// Look up an array by name (panics if absent; for tests/examples).
     pub fn array_named(&self, name: &str) -> ArrayId {
         ArrayId(
-            self.arrays
-                .iter()
-                .position(|a| a.name == name)
-                .unwrap_or_else(|| panic!("no array named {name}")) as u32,
+            self.arrays.iter().position(|a| a.name == name).unwrap_or_else(|| panic!("no array named {name}")) as u32
         )
     }
 
@@ -221,11 +215,8 @@ impl HostData {
     /// dataset are copied in, the rest are zero-filled at their declared
     /// sizes (dims evaluated against the dataset scalars).
     pub fn materialize(prog: &Program, ds: &DataSet) -> HostData {
-        let mut scal: Vec<Value> = prog
-            .scalars
-            .iter()
-            .map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) })
-            .collect();
+        let mut scal: Vec<Value> =
+            prog.scalars.iter().map(|d| if d.is_float { Value::F(0.0) } else { Value::I(0) }).collect();
         for (id, v) in &ds.scalars {
             scal[id.0 as usize] = *v;
         }
@@ -336,11 +327,8 @@ mod tests {
     fn materialize_uses_provided_buffers() {
         let p = tiny_program();
         let b = Buffer::from_f64(ElemType::F64, vec![5.0; 8]);
-        let ds = DataSet {
-            scalars: vec![(ScalarId(0), Value::I(8))],
-            arrays: vec![(ArrayId(0), b)],
-            label: "t".into(),
-        };
+        let ds =
+            DataSet { scalars: vec![(ScalarId(0), Value::I(8))], arrays: vec![(ArrayId(0), b)], label: "t".into() };
         let h = HostData::materialize(&p, &ds);
         assert_eq!(h.bufs[0].get_f(3), 5.0);
     }

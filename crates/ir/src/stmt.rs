@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::expr::Expr;
-use crate::types::{ArrayId, FuncId, RegionId, ReduceOp, ScalarId, SiteId, VarRef};
+use crate::types::{ArrayId, FuncId, ReduceOp, RegionId, ScalarId, SiteId, VarRef};
 
 /// A reduction clause entry: `reduction(op: target)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,14 +82,7 @@ pub enum Stmt {
     If { cond: Expr, then_b: Vec<Stmt>, else_b: Vec<Stmt>, site: SiteId },
     /// `for (var = lo; var < hi; var += step) body`. `par` marks an OpenMP
     /// work-sharing loop.
-    For {
-        var: ScalarId,
-        lo: Expr,
-        hi: Expr,
-        step: Expr,
-        body: Vec<Stmt>,
-        par: Option<ParInfo>,
-    },
+    For { var: ScalarId, lo: Expr, hi: Expr, step: Expr, body: Vec<Stmt>, par: Option<ParInfo> },
     /// `while (cond) body` — host-side convergence loops (never offloaded).
     While { cond: Expr, body: Vec<Stmt> },
     /// Call a program function with scalar and array arguments.

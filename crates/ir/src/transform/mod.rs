@@ -208,9 +208,9 @@ mod tests {
     use super::*;
     use crate::builder::*;
     use crate::expr::{ld, v};
-    use crate::types::ScalarId;
     use crate::interp::cpu::run_cpu;
     use crate::program::DataSet;
+    use crate::types::ScalarId;
     use crate::types::Value;
     use acceval_sim::HostConfig;
 
@@ -324,10 +324,7 @@ mod tests {
             vec![fa],
             vec![parallel("scale", vec![pfor(i, 0i64, v(n), vec![store(fa, vec![v(i)], ld(fa, vec![v(i)]) * v(c))])])],
         );
-        pb.main(vec![
-            sfor(i, 0i64, v(n), vec![store(x, vec![v(i)], 1.0)]),
-            call(f, vec![Expr::F(3.0)], vec![x]),
-        ]);
+        pb.main(vec![sfor(i, 0i64, v(n), vec![store(x, vec![v(i)], 1.0)]), call(f, vec![Expr::F(3.0)], vec![x])]);
         let p = pb.build();
         let flat = inline_all(&p);
         assert!(flat.main.iter().all(|s| !s.contains_call()));

@@ -94,10 +94,7 @@ fn run_nest(n: i64, kind: u8, xform: u8) -> Vec<f64> {
         scalars: vec![(ScalarId(0), Value::I(n))],
         arrays: vec![(
             ArrayId(0),
-            acceval_sim::Buffer::from_f64(
-                acceval_sim::ElemType::F64,
-                (0..n * n).map(|k| (k % 17) as f64).collect(),
-            ),
+            acceval_sim::Buffer::from_f64(acceval_sim::ElemType::F64, (0..n * n).map(|k| (k % 17) as f64).collect()),
         )],
         label: "t".into(),
     };
@@ -221,25 +218,18 @@ proptest! {
 /// finalize (all sites dense and within site_count).
 #[test]
 fn finalize_sites_are_dense() {
-    let progs: Vec<Program> = vec![
-        {
-            let mut pb = ProgramBuilder::new("a");
-            let n = pb.iscalar("n");
-            let i = pb.iscalar("i");
-            let x = pb.farray("x", vec![v(n)]);
-            pb.main(vec![parallel(
-                "r",
-                vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], ld(x, vec![v(i)]) + 1.0)])],
-            )]);
-            pb.build()
-        },
-    ];
+    let progs: Vec<Program> = vec![{
+        let mut pb = ProgramBuilder::new("a");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let x = pb.farray("x", vec![v(n)]);
+        pb.main(vec![parallel("r", vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], ld(x, vec![v(i)]) + 1.0)])])]);
+        pb.build()
+    }];
     for p in progs {
         let mut seen = vec![];
         acceval_ir::stmt::visit_stmts(&p.main, &mut |s| match s {
-            acceval_ir::stmt::Stmt::Store { site, .. } | acceval_ir::stmt::Stmt::If { site, .. } => {
-                seen.push(site.0)
-            }
+            acceval_ir::stmt::Stmt::Store { site, .. } | acceval_ir::stmt::Stmt::If { site, .. } => seen.push(site.0),
             _ => {}
         });
         acceval_ir::stmt::visit_exprs(&p.main, &mut |e| {

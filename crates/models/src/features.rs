@@ -126,10 +126,8 @@ mod tests {
 
     #[test]
     fn rstream_most_abstract_hicuda_least() {
-        let scores: Vec<(ModelKind, f64)> = ModelKind::table1_models()
-            .into_iter()
-            .map(|k| (k, model(k).features().abstraction_score()))
-            .collect();
+        let scores: Vec<(ModelKind, f64)> =
+            ModelKind::table1_models().into_iter().map(|k| (k, model(k).features().abstraction_score())).collect();
         let rstream = scores.iter().find(|(k, _)| *k == ModelKind::RStream).unwrap().1;
         let hicuda = scores.iter().find(|(k, _)| *k == ModelKind::HiCuda).unwrap().1;
         for (k, s) in &scores {

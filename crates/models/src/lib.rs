@@ -71,6 +71,34 @@ impl ModelKind {
         [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp, ModelKind::OpenMpc, ModelKind::ManualCuda]
     }
 
+    /// Short filesystem-safe slug (used in artifact filenames).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ModelKind::PgiAccelerator => "pgi",
+            ModelKind::OpenAcc => "openacc",
+            ModelKind::Hmpp => "hmpp",
+            ModelKind::OpenMpc => "openmpc",
+            ModelKind::RStream => "rstream",
+            ModelKind::HiCuda => "hicuda",
+            ModelKind::ManualCuda => "cuda",
+        }
+    }
+
+    /// Parse a user-supplied model name (CLI argument). Case-insensitive;
+    /// accepts the slug, the display name, and common aliases.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "pgi" | "pgi accelerator" | "pgiaccelerator" => Some(ModelKind::PgiAccelerator),
+            "acc" | "openacc" => Some(ModelKind::OpenAcc),
+            "hmpp" => Some(ModelKind::Hmpp),
+            "mpc" | "openmpc" => Some(ModelKind::OpenMpc),
+            "rs" | "rstream" | "r-stream" => Some(ModelKind::RStream),
+            "hi" | "hicuda" => Some(ModelKind::HiCuda),
+            "cuda" | "manualcuda" | "manual" | "hand-written cuda" => Some(ModelKind::ManualCuda),
+            _ => None,
+        }
+    }
+
     /// The six models of Table I, in paper column order.
     pub fn table1_models() -> [ModelKind; 6] {
         [

@@ -126,7 +126,7 @@ fn lower_loop(
         let Stmt::For { body, .. } = &loop_stmt else { unreachable!() };
         body.len() == 1 && matches!(&body[0], Stmt::For { par: Some(_), .. })
     };
-    if !has_collapse && !(opts.two_d_mapping && is_nested_pfor) {
+    if !(has_collapse || (opts.two_d_mapping && is_nested_pfor)) {
         let do_swap = match tuning.loop_swap {
             Some(b) => b,
             None => opts.auto_loop_swap && swap_profitable(prog, &loop_stmt, env),
@@ -277,11 +277,7 @@ fn lower_loop(
             if placement.iter().any(|(id, _)| id == a) {
                 continue;
             }
-            let bytes: usize = prog.arrays[a.0 as usize]
-                .dims
-                .iter()
-                .map(|d| eval_const(d, env))
-                .product::<usize>()
+            let bytes: usize = prog.arrays[a.0 as usize].dims.iter().map(|d| eval_const(d, env)).product::<usize>()
                 * prog.array_elem(*a).size_bytes() as usize;
             if bytes <= 8 * 1024 {
                 placement.push((*a, MemSpace::Constant));
@@ -337,9 +333,8 @@ fn lower_loop(
     for (op, t) in reductions {
         plan = plan.with_reduction(op, t);
     }
-    plan.reduce_strategy = ReduceStrategy::TwoLevelTree {
-        partials_in_shared: hints.partials_in_shared && opts.honor_hints,
-    };
+    plan.reduce_strategy =
+        ReduceStrategy::TwoLevelTree { partials_in_shared: hints.partials_in_shared && opts.honor_hints };
     for a in private_arrays {
         plan = plan.with_private(a, expansion);
     }
@@ -459,6 +454,22 @@ fn load_sites_of(body: &[Stmt], a: ArrayId) -> usize {
 /// Lookup table of hints per region label.
 pub type HintMap = HashMap<String, RegionHints>;
 
+/// The lowering behaviour of a hand-written CUDA programmer: everything the
+/// models can do, plus explicit hints (shared-memory reduction partials,
+/// register-allocated private arrays, hand-picked blocks) are honored.
+pub fn manual_lowering() -> LoweringOptions {
+    LoweringOptions {
+        default_expansion: acceval_ir::kernel::Expansion::ColumnWise,
+        scalar_reductions: ScalarRedSource::Both,
+        array_reductions: true,
+        auto_loop_swap: true,
+        two_d_mapping: true,
+        auto_tile_2d: true,
+        auto_caching: true,
+        honor_hints: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,7 +491,8 @@ mod tests {
     }
 
     fn env(p: &Program, n: i64) -> Vec<Value> {
-        let mut e: Vec<Value> = p.scalars.iter().map(|d| if d.is_float { Value::F(1.0) } else { Value::I(1) }).collect();
+        let mut e: Vec<Value> =
+            p.scalars.iter().map(|d| if d.is_float { Value::F(1.0) } else { Value::I(1) }).collect();
         e[p.scalar_named("n").0 as usize] = Value::I(n);
         e
     }
@@ -493,11 +505,7 @@ mod tests {
             vec![v(i), v(j)],
             ld(a, vec![v(i) - 1i64, v(j)]) + ld(a, vec![v(i) + 1i64, v(j)]) + ld(a, vec![v(i), v(j)]),
         )];
-        let inner = if inner_par {
-            pfor(j, 1i64, v(n) - 1i64, body)
-        } else {
-            sfor(j, 1i64, v(n) - 1i64, body)
-        };
+        let inner = if inner_par { pfor(j, 1i64, v(n) - 1i64, body) } else { sfor(j, 1i64, v(n) - 1i64, body) };
         ParallelRegion {
             id: RegionId(0),
             label: "stencil".into(),
@@ -521,8 +529,7 @@ mod tests {
         let mut p = stencil_prog();
         let e = env(&p, 128);
         let r = region_2d(&p, true);
-        let ks =
-            lower_region(&mut p, &r, &opts_pgi(), &RegionHints::default(), &TuningPoint::default(), &e).unwrap();
+        let ks = lower_region(&mut p, &r, &opts_pgi(), &RegionHints::default(), &TuningPoint::default(), &e).unwrap();
         assert_eq!(ks.len(), 1);
         let k = &ks[0];
         assert_eq!(k.axes.len(), 2);
@@ -540,8 +547,8 @@ mod tests {
         // OpenMPC fixes coalescing by collapsing the perfect nest (keeping
         // the full n^2 iteration space as threads, inner index fastest).
         let r = region_2d(&p, false);
-        let ks = lower_region(&mut p, &r, &opts_openmpc(), &RegionHints::default(), &TuningPoint::default(), &e)
-            .unwrap();
+        let ks =
+            lower_region(&mut p, &r, &opts_openmpc(), &RegionHints::default(), &TuningPoint::default(), &e).unwrap();
         let k = &ks[0];
         assert_eq!(k.axes.len(), 1);
         let count = acceval_ir::interp::eval_pure(&k.axes[0].count, &e).as_i();
@@ -574,15 +581,19 @@ mod tests {
                 i,
                 0i64,
                 v(n),
-                vec![critical(vec![store(a, vec![v(i) % 4i64, 0i64.into()], ld(a, vec![v(i) % 4i64, 0i64.into()]) + 1.0)])],
+                vec![critical(vec![store(
+                    a,
+                    vec![v(i) % 4i64, 0i64.into()],
+                    ld(a, vec![v(i) % 4i64, 0i64.into()]) + 1.0,
+                )])],
             )],
             private: vec![],
         };
         let err = lower_region(&mut p, &r, &opts_pgi(), &RegionHints::default(), &TuningPoint::default(), &e);
         assert!(err.is_err());
         // OpenMPC converts it.
-        let ks = lower_region(&mut p, &r, &opts_openmpc(), &RegionHints::default(), &TuningPoint::default(), &e)
-            .unwrap();
+        let ks =
+            lower_region(&mut p, &r, &opts_openmpc(), &RegionHints::default(), &TuningPoint::default(), &e).unwrap();
         assert_eq!(ks[0].reductions.len(), 1);
         assert!(ks[0].private_arrays.iter().any(|pa| pa.array == a));
     }
@@ -604,27 +615,11 @@ mod tests {
             )],
             private: vec![],
         };
-        let ks = lower_region(&mut p, &r, &opts_openmpc(), &RegionHints::default(), &TuningPoint::default(), &e)
-            .unwrap();
+        let ks =
+            lower_region(&mut p, &r, &opts_openmpc(), &RegionHints::default(), &TuningPoint::default(), &e).unwrap();
         assert_eq!(ks[0].axes.len(), 1);
         // collapsed loop iterates n*n
         let count = acceval_ir::interp::eval_pure(&ks[0].axes[0].count, &env(&p, 64));
         assert_eq!(count.as_i(), 64 * 64);
-    }
-}
-
-/// The lowering behaviour of a hand-written CUDA programmer: everything the
-/// models can do, plus explicit hints (shared-memory reduction partials,
-/// register-allocated private arrays, hand-picked blocks) are honored.
-pub fn manual_lowering() -> LoweringOptions {
-    LoweringOptions {
-        default_expansion: acceval_ir::kernel::Expansion::ColumnWise,
-        scalar_reductions: ScalarRedSource::Both,
-        array_reductions: true,
-        auto_loop_swap: true,
-        two_d_mapping: true,
-        auto_tile_2d: true,
-        auto_caching: true,
-        honor_hints: true,
     }
 }

@@ -1,9 +1,9 @@
 //! Table-driven tests of each model's applicability rules (the machinery
 //! behind Table II), against synthesized region shapes.
 
+use acceval_ir::analysis::region_features;
 use acceval_ir::builder::*;
 use acceval_ir::expr::{ld, v, Expr};
-use acceval_ir::analysis::region_features;
 use acceval_ir::program::Program;
 use acceval_ir::stmt::{ParallelRegion, Stmt};
 use acceval_ir::types::{ArrayId, ReduceOp, RegionId, ScalarId};
@@ -96,10 +96,7 @@ fn non_reduction_critical_rejected_by_all() {
 #[test]
 fn structured_block_code_only_openmpc() {
     // statements outside any work-sharing loop (redundant per-thread code)
-    let r = region(vec![
-        assign(S, 0.0),
-        pfor(I, 0i64, v(N), vec![store(A, vec![v(I)], v(S))]),
-    ]);
+    let r = region(vec![assign(S, 0.0), pfor(I, 0i64, v(N), vec![store(A, vec![v(I)], v(S))])]);
     assert!(accepted(&r, ModelKind::OpenMpc));
     for k in [ModelKind::PgiAccelerator, ModelKind::OpenAcc, ModelKind::Hmpp] {
         assert!(!accepted(&r, k), "{k:?} cannot parallelize general structured blocks");
@@ -114,10 +111,7 @@ fn calls_in_region_only_openmpc() {
     let i = pb.iscalar("i");
     let a = pb.farray("a", vec![v(n)]);
     let f = pb.func("leaf", vec![], vec![], vec![store(a, vec![Expr::I(0)], 1.0)]);
-    pb.main(vec![parallel(
-        "r",
-        vec![pfor(i, 0i64, v(n), vec![call(f, vec![], vec![])])],
-    )]);
+    pb.main(vec![parallel("r", vec![pfor(i, 0i64, v(n), vec![call(f, vec![], vec![])])])]);
     let p = pb.build();
     let feats = region_features(&p, p.regions()[0]);
     assert!(model(ModelKind::OpenMpc).accepts(&feats).is_ok(), "procedure cloning handles calls");
@@ -168,12 +162,7 @@ fn deep_nest_hits_implementation_limit() {
 
 #[test]
 fn rejection_reasons_are_informative() {
-    let r = region(vec![pfor(
-        I,
-        0i64,
-        v(N),
-        vec![critical(vec![store(A, vec![Expr::I(0)], v(I).to_f())])],
-    )]);
+    let r = region(vec![pfor(I, 0i64, v(N), vec![critical(vec![store(A, vec![Expr::I(0)], v(I).to_f())])])]);
     let p = prog();
     let f = region_features(&p, &r);
     let err = model(ModelKind::PgiAccelerator).accepts(&f).unwrap_err();

@@ -6,10 +6,10 @@ use acceval_ir::builder::*;
 use acceval_ir::expr::{ld, v};
 use acceval_ir::kernel::MemSpace;
 use acceval_ir::program::Program;
-use acceval_ir::stmt::{ParallelRegion, ParInfo};
+use acceval_ir::stmt::{ParInfo, ParallelRegion};
 use acceval_ir::types::{ReduceOp, RegionId, Value};
 use acceval_models::lower::{lower_region, manual_lowering, RegionHints};
-use acceval_models::{model, ModelCompiler, ModelKind, TuningPoint};
+use acceval_models::{model, ModelKind, TuningPoint};
 
 fn prog_with_hist() -> Program {
     let mut pb = ProgramBuilder::new("p");
@@ -32,8 +32,7 @@ fn env(p: &Program) -> Vec<Value> {
 #[test]
 fn declared_array_reduction_clause_openmpc_only() {
     let p = prog_with_hist();
-    let (n, i, x, hist) =
-        (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("hist"));
+    let (n, i, x, hist) = (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("hist"));
     let r = ParallelRegion {
         id: RegionId(0),
         label: "hist".into(),
@@ -80,17 +79,11 @@ fn declared_array_reduction_clause_openmpc_only() {
 #[test]
 fn small_readonly_array_goes_to_constant_memory() {
     let p = prog_with_hist();
-    let (n, i, x, small) =
-        (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("small"));
+    let (n, i, x, small) = (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("small"));
     let r = ParallelRegion {
         id: RegionId(0),
         label: "scale".into(),
-        body: vec![pfor(
-            i,
-            0i64,
-            v(n),
-            vec![store(x, vec![v(i)], ld(x, vec![v(i)]) * ld(small, vec![v(i) % 16i64]))],
-        )],
+        body: vec![pfor(i, 0i64, v(n), vec![store(x, vec![v(i)], ld(x, vec![v(i)]) * ld(small, vec![v(i) % 16i64]))])],
         private: vec![],
     };
     let e = env(&p);
@@ -122,8 +115,7 @@ fn small_readonly_array_goes_to_constant_memory() {
 #[test]
 fn manual_lowering_honors_block_and_partials_hints() {
     let p = prog_with_hist();
-    let (n, i, x, hist) =
-        (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("hist"));
+    let (n, i, x, hist) = (p.scalar_named("n"), p.scalar_named("i"), p.array_named("x"), p.array_named("hist"));
     let r = ParallelRegion {
         id: RegionId(0),
         label: "hist".into(),

@@ -18,7 +18,19 @@ pub mod prelude {
 }
 
 /// Number of worker threads a parallel operation will use.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's default pool); ignores
+/// unparsable or zero values and falls back to `available_parallelism()`.
+/// Read per call rather than latched at first use, so tests can exercise
+/// different pool sizes within one process.
 pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
@@ -96,11 +108,7 @@ impl<'a, T: Sync> ParSlice<'a, T> {
     where
         P: Fn(&&'a T) -> bool + Sync,
     {
-        ParChain {
-            items: self.items,
-            f: move |b: &'a T| if p(&b) { Some(b) } else { None },
-            _m: PhantomData,
-        }
+        ParChain { items: self.items, f: move |b: &'a T| if p(&b) { Some(b) } else { None }, _m: PhantomData }
     }
 
     pub fn collect<C: FromIterator<&'a T>>(self) -> C
@@ -216,5 +224,14 @@ mod tests {
         let v: Vec<u64> = (0..64).collect();
         let out: Vec<u64> = v.into_par_iter().map(|x| x + 5).collect();
         assert_eq!(out, (5..69).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_honors_env() {
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(crate::current_num_threads(), 3);
+        std::env::set_var("RAYON_NUM_THREADS", "bogus");
+        assert!(crate::current_num_threads() >= 1, "bad values fall back");
+        std::env::remove_var("RAYON_NUM_THREADS");
     }
 }

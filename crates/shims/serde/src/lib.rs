@@ -92,6 +92,15 @@ impl Serialize for () {
         Json::Null
     }
 }
+/// A `Json` tree serializes to itself — lets pre-built trees (e.g. parsed
+/// documents or hand-assembled objects) flow through the same printers as
+/// derived types.
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+impl Deserialize for Json {}
 impl Deserialize for f64 {}
 impl Deserialize for f32 {}
 impl Deserialize for bool {}

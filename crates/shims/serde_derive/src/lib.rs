@@ -17,9 +17,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl ::serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("generated Deserialize impl parses")
+    format!("impl ::serde::Deserialize for {} {{}}", item.name).parse().expect("generated Deserialize impl parses")
 }
 
 struct Item {
@@ -91,9 +89,7 @@ fn parse_item(input: TokenStream) -> Item {
             Kind::TupleStruct(count_tuple_fields(&g))
         }
         ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::UnitStruct,
-        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Kind::Enum(parse_variants(&g))
-        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Kind::Enum(parse_variants(&g)),
         (kw, t) => panic!("serde shim derive: unsupported item shape {kw} {t:?}"),
     };
     Item { name, kind }
@@ -187,17 +183,14 @@ fn gen_serialize(item: &Item) -> String {
         Kind::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))")
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))"))
                 .collect();
             format!("::serde::Json::Obj(vec![{}])", entries.join(", "))
         }
         // Newtype structs serialize transparently, like serde.
         Kind::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
         Kind::TupleStruct(n) => {
-            let entries: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            let entries: Vec<String> = (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
             format!("::serde::Json::Arr(vec![{}])", entries.join(", "))
         }
         Kind::Enum(variants) => {
@@ -205,9 +198,7 @@ fn gen_serialize(item: &Item) -> String {
             format!("match self {{ {} }}", arms.join(" "))
         }
     };
-    format!(
-        "impl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{ {body} }}\n}}"
-    )
+    format!("impl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{ {body} }}\n}}")
 }
 
 fn gen_variant_arm(enum_name: &str, v: &Variant) -> String {
@@ -222,8 +213,7 @@ fn gen_variant_arm(enum_name: &str, v: &Variant) -> String {
         ),
         Shape::Tuple(n) => {
             let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
-            let elems: Vec<String> =
-                binds.iter().map(|b| format!("::serde::Serialize::to_json({b})")).collect();
+            let elems: Vec<String> = binds.iter().map(|b| format!("::serde::Serialize::to_json({b})")).collect();
             format!(
                 "{enum_name}::{vn}({}) => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), \
                  ::serde::Json::Arr(vec![{}]))]),",
@@ -233,10 +223,8 @@ fn gen_variant_arm(enum_name: &str, v: &Variant) -> String {
         }
         Shape::Named(fields) => {
             let binds = fields.join(", ");
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"))
-                .collect();
+            let entries: Vec<String> =
+                fields.iter().map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))")).collect();
             format!(
                 "{enum_name}::{vn} {{ {binds} }} => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), \
                  ::serde::Json::Obj(vec![{}]))]),",

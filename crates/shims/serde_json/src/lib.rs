@@ -7,11 +7,20 @@
 use serde::{Json, Serialize};
 use std::fmt;
 
-/// Serialization error. The shim's tree rendering is total, so this is
-/// never actually produced; it exists so call sites keep serde_json's
-/// `Result` signature.
+/// The dynamic JSON value type (serde_json calls it `Value`; the shim's
+/// serialization tree doubles as it).
+pub type Value = Json;
+
+/// Serialization never fails (the shim's tree rendering is total); parsing
+/// reports the byte offset and what went wrong.
 #[derive(Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn at(pos: usize, msg: impl fmt::Display) -> Error {
+        Error(format!("at byte {pos}: {msg}"))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -32,6 +41,207 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_json(&value.to_json(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parse a JSON document into a [`Value`] tree. Numbers follow the
+/// printers' conventions in reverse: integer literals without `.`/`e`
+/// become `Json::U` (non-negative) or `Json::I` (negative); anything else
+/// becomes `Json::F`. Trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::at(self.pos, format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::at(self.pos, format!("unexpected byte `{}`", b as char))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(Error::at(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(Error::at(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::at(start, "bad \\u escape"))?;
+                            // Surrogate pairs are not produced by the shim's
+                            // printer; reject rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| Error::at(start, "\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::at(start, "bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error::at(self.pos, "invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::I(i));
+            }
+        }
+        text.parse::<f64>().map(Json::F).map_err(|_| Error::at(start, format!("bad number `{text}`")))
+    }
 }
 
 fn write_json(v: &Json, indent: Option<usize>, level: usize, out: &mut String) {
@@ -135,6 +345,31 @@ mod tests {
         }
         let s = to_string_pretty(&W(v)).unwrap();
         assert_eq!(s, "{\n  \"a\": [\n    1,\n    2.5\n  ],\n  \"b\": \"x\\\"y\"\n}");
+    }
+
+    #[test]
+    fn parse_round_trips_printer_output() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::U(1), Json::F(2.5), Json::Null, Json::Bool(true)])),
+            ("b".into(), Json::Str("x\"y\n\u{1}".into())),
+            ("neg".into(), Json::I(-7)),
+        ]);
+        for render in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let parsed = from_str(&render).unwrap();
+            // Compare re-rendered strings: the printer normalizes away the
+            // U-vs-I distinction a lone `1` cannot preserve.
+            assert_eq!(to_string(&parsed).unwrap(), to_string(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
     }
 
     #[test]

@@ -113,6 +113,15 @@ impl Buffer {
         self.len() as u64 * self.elem.size_bytes() as u64
     }
 
+    /// Describe a PCIe transfer of this buffer as a
+    /// [`TraceEvent::Transfer`] (the caller supplies the link time, which
+    /// depends on the machine's link model).
+    ///
+    /// [`TraceEvent::Transfer`]: crate::trace::TraceEvent::Transfer
+    pub fn transfer_event(&self, array: &str, dir: crate::stats::Dir, secs: f64) -> crate::trace::TraceEvent {
+        crate::trace::TraceEvent::Transfer { array: array.to_string(), dir, bytes: self.size_bytes(), secs }
+    }
+
     /// Read element `i` as f64 (integers are converted).
     #[inline]
     pub fn get_f(&self, i: usize) -> f64 {

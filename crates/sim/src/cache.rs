@@ -82,6 +82,14 @@ impl Cache {
     pub fn line_bytes(&self) -> u64 {
         self.line_bytes
     }
+
+    /// Snapshot the cumulative hit/miss counters as a
+    /// [`TraceEvent::CacheCounters`] labelled `cache`.
+    ///
+    /// [`TraceEvent::CacheCounters`]: crate::trace::TraceEvent::CacheCounters
+    pub fn trace_event(&self, cache: &str) -> crate::trace::TraceEvent {
+        crate::trace::TraceEvent::CacheCounters { cache: cache.to_string(), hits: self.hits, misses: self.misses }
+    }
 }
 
 /// Two-level hierarchy with per-level hit costs; returns cycles per access.
@@ -183,7 +191,7 @@ mod tests {
         let mut h = Hierarchy::new(l1, l2, 1.0, 8.0, 45.0);
         assert_eq!(h.access_cycles(0), 45.0); // cold
         assert_eq!(h.access_cycles(0), 1.0); // L1 hit
-        // evict line 0 from tiny L1 by touching two more lines in its set
+                                             // evict line 0 from tiny L1 by touching two more lines in its set
         h.access_cycles(128);
         h.access_cycles(256);
         assert_eq!(h.access_cycles(0), 8.0); // L1 miss, L2 hit

@@ -79,6 +79,16 @@ pub struct AccessSummary {
     pub lane_accesses: u64,
 }
 
+impl AccessSummary {
+    /// Fold another warp's summary for the same site into this one (used by
+    /// the tracer to accumulate per-site evidence across all warps).
+    pub fn merge(&mut self, o: &AccessSummary) {
+        self.requests += o.requests;
+        self.transactions += o.transactions;
+        self.lane_accesses += o.lane_accesses;
+    }
+}
+
 /// Summary of one (site, warp) pair treated as shared-memory traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SharedSummary {
@@ -86,6 +96,14 @@ pub struct SharedSummary {
     pub slots: u64,
     /// Warp-wide shared accesses issued.
     pub requests: u64,
+}
+
+impl SharedSummary {
+    /// Fold another warp's shared-memory summary into this one.
+    pub fn merge(&mut self, o: &SharedSummary) {
+        self.slots += o.slots;
+        self.requests += o.requests;
+    }
 }
 
 impl SiteWarpTrace {

@@ -147,13 +147,9 @@ impl DeviceConfig {
         let warps_per_block = self.warps_per_block(threads_per_block);
         let by_warps = self.max_warps_per_sm / warps_per_block.max(1);
         let by_blocks = self.max_blocks_per_sm;
-        let by_shared = if shared_per_block == 0 {
-            u32::MAX
-        } else {
-            self.shared_per_sm / shared_per_block
-        };
+        let by_shared = self.shared_per_sm.checked_div(shared_per_block).unwrap_or(u32::MAX);
         let regs_per_block = regs_per_thread.max(1) * threads_per_block;
-        let by_regs = if regs_per_block == 0 { u32::MAX } else { self.regs_per_sm / regs_per_block };
+        let by_regs = self.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
         let blocks = by_warps.min(by_blocks).min(by_shared).min(by_regs);
         let resident_warps = blocks * warps_per_block;
         Occupancy {

@@ -167,11 +167,7 @@ pub fn estimate_kernel(cfg: &DeviceConfig, fp: &KernelFootprint, t: &KernelTotal
             (Bound::Atomic, atomic_cycles),
             (Bound::LaunchOverhead, launch_cycles),
         ];
-        candidates
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("cost is finite"))
-            .expect("non-empty")
-            .0
+        candidates.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("cost is finite")).expect("non-empty").0
     };
 
     KernelCost {
@@ -185,6 +181,49 @@ pub fn estimate_kernel(cfg: &DeviceConfig, fp: &KernelFootprint, t: &KernelTotal
         occupancy: occ,
         bound,
     }
+}
+
+impl KernelCost {
+    /// Describe this launch as a [`TraceEvent::KernelLaunch`] carrying the
+    /// full cost attribution (executors call this after any post-estimate
+    /// adjustments, e.g. a reduction's second-stage launch overhead, so the
+    /// event time matches the timeline exactly).
+    ///
+    /// [`TraceEvent::KernelLaunch`]: crate::trace::TraceEvent::KernelLaunch
+    pub fn trace_event(
+        &self,
+        name: &str,
+        fp: &KernelFootprint,
+        t: &KernelTotals,
+        cfg: &DeviceConfig,
+    ) -> crate::trace::TraceEvent {
+        crate::trace::TraceEvent::KernelLaunch {
+            name: name.to_string(),
+            footprint: *fp,
+            cost: self.clone(),
+            totals: *t,
+            traffic_bytes: t.traffic_bytes(cfg),
+        }
+    }
+}
+
+/// [`estimate_kernel`], plus a [`TraceEvent::KernelLaunch`] carrying the
+/// full cost attribution when the sink is enabled. The returned cost is
+/// bit-identical to the untraced estimate.
+///
+/// [`TraceEvent::KernelLaunch`]: crate::trace::TraceEvent::KernelLaunch
+pub fn estimate_kernel_traced(
+    cfg: &DeviceConfig,
+    fp: &KernelFootprint,
+    t: &KernelTotals,
+    name: &str,
+    sink: &mut dyn crate::trace::TraceSink,
+) -> KernelCost {
+    let cost = estimate_kernel(cfg, fp, t);
+    if sink.enabled() {
+        sink.emit(cost.trace_event(name, fp, t, cfg));
+    }
+    cost
 }
 
 /// Issue cycles for one warp: the longest lane's dynamic op count plus a
@@ -294,7 +333,14 @@ mod tests {
     fn tiny_kernel_is_launch_bound() {
         let cfg = m2090();
         let fp = KernelFootprint::new(32, 1);
-        let t = KernelTotals { warps: 1, issue_cycles: 50.0, global_requests: 4, global_transactions: 4, useful_bytes: 512, ..Default::default() };
+        let t = KernelTotals {
+            warps: 1,
+            issue_cycles: 50.0,
+            global_requests: 4,
+            global_transactions: 4,
+            useful_bytes: 512,
+            ..Default::default()
+        };
         let c = estimate_kernel(&cfg, &fp, &t);
         assert_eq!(c.bound, Bound::LaunchOverhead);
         assert!(c.time_secs >= cfg.launch_overhead_us * 1e-6);
@@ -321,11 +367,7 @@ mod tests {
     #[test]
     fn traffic_amplification_reflects_coalescing() {
         let cfg = m2090();
-        let t = KernelTotals {
-            global_transactions: 1000,
-            useful_bytes: 128_000,
-            ..Default::default()
-        };
+        let t = KernelTotals { global_transactions: 1000, useful_bytes: 128_000, ..Default::default() };
         assert!((t.traffic_amplification(&cfg) - 1.0).abs() < 1e-12);
         let bad = KernelTotals { global_transactions: 32_000, useful_bytes: 128_000, ..Default::default() };
         assert!((bad.traffic_amplification(&cfg) - 32.0).abs() < 1e-12);

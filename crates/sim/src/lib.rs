@@ -30,10 +30,14 @@ pub mod coalesce;
 pub mod config;
 pub mod exec;
 pub mod stats;
+pub mod trace;
 
 pub use buffer::{Buffer, ElemType, Payload};
 pub use cache::{Cache, Hierarchy};
 pub use coalesce::{bank_conflict_slots, segments_touched, AccessSummary, SharedSummary, SiteWarpTrace};
 pub use config::{DeviceConfig, HostConfig, LinkConfig, MachineConfig, Occupancy};
-pub use exec::{estimate_kernel, warp_issue_cycles, Bound, KernelCost, KernelFootprint, KernelTotals};
+pub use exec::{
+    estimate_kernel, estimate_kernel_traced, warp_issue_cycles, Bound, KernelCost, KernelFootprint, KernelTotals,
+};
 pub use stats::{Dir, Event, Summary, Timeline};
+pub use trace::{NullSink, RecordingSink, TraceEvent, TraceSink};

@@ -1,8 +1,8 @@
 //! Property-based tests for the simulator substrate.
 
 use acceval_sim::{
-    bank_conflict_slots, estimate_kernel, segments_touched, Cache, DeviceConfig, KernelFootprint,
-    KernelTotals, SiteWarpTrace,
+    bank_conflict_slots, estimate_kernel, segments_touched, Cache, DeviceConfig, KernelFootprint, KernelTotals,
+    SiteWarpTrace,
 };
 use proptest::prelude::*;
 

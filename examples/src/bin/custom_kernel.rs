@@ -10,7 +10,7 @@
 //! cargo run -p acceval-examples --release --bin custom_kernel
 //! ```
 
-use acceval::benchmarks::{Benchmark, BenchSpec, Port, Scale, Suite};
+use acceval::benchmarks::{BenchSpec, Benchmark, Port, Scale, Suite};
 use acceval::ir::analysis::region_features;
 use acceval::ir::builder::*;
 use acceval::ir::expr::{ld, v};
@@ -40,12 +40,7 @@ fn build() -> Program {
     pb.main(vec![
         parallel(
             "blur.stencil",
-            vec![pfor(
-                i,
-                1i64,
-                v(n) - 1i64,
-                vec![sfor(j, 1i64, v(n) - 1i64, vec![store(out, vec![v(i), v(j)], sum)])],
-            )],
+            vec![pfor(i, 1i64, v(n) - 1i64, vec![sfor(j, 1i64, v(n) - 1i64, vec![store(out, vec![v(i), v(j)], sum)])])],
         ),
         // 16-bin brightness histogram via a critical section
         parallel_with(

@@ -44,7 +44,10 @@ fn main() {
     let ds = bench.dataset(Scale::Test);
     let oracle = acceval::run_baseline(bench.as_ref(), &ds, &cfg);
     println!("\nCPU baseline {:.3} ms ({})\n", oracle.secs * 1e3, ds.label);
-    println!("{:18} {:>10} {:>10} {:>9} {:>9} {:>11}", "model", "port(+LoC)", "time(ms)", "speedup", "kernels", "PCIe(KiB)");
+    println!(
+        "{:18} {:>10} {:>10} {:>9} {:>9} {:>11}",
+        "model", "port(+LoC)", "time(ms)", "speedup", "kernels", "PCIe(KiB)"
+    );
     for kind in ModelKind::figure1_models() {
         let port = bench.port(kind);
         let added = ledger_lines(&port.changes);

@@ -1,36 +1,75 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, and profile single runs.
 //!
 //! ```text
 //! cargo run -p acceval-examples --release --bin report -- table1
 //! cargo run -p acceval-examples --release --bin report -- table2
 //! cargo run -p acceval-examples --release --bin report -- figure1 [--test-scale] [--no-tuning] [--csv] [--json] [--device-c1060] [bench...]
+//! cargo run -p acceval-examples --release --bin report -- profile <benchmark> <model> [--test-scale] [--device-c1060]
 //! cargo run -p acceval-examples --release --bin report -- all
 //! ```
 
-use acceval::benchmarks::Scale;
+use acceval::benchmarks::{benchmark_named, Scale};
 use acceval::codesize::codesize_table;
 use acceval::coverage::coverage_table;
 use acceval::figures::{figure1_subset_with_manifest, figure1_with_manifest};
-use acceval::report::{figure1_csv, render_figure1, render_sweep_summary, render_table2};
-use acceval::sim::MachineConfig;
+use acceval::models::ModelKind;
+use acceval::profile::{chrome_trace, RunProfile};
+use acceval::report::{figure1_csv, render_figure1, render_profile, render_sweep_summary, render_table2};
+use acceval::sim::{MachineConfig, RecordingSink, TraceEvent};
+use acceval::sweep::{cached_compile, cached_dataset, cached_oracle};
 use acceval::tables::render_table1;
 
 /// Where the sweep manifest lands, next to `results/figure1.csv`.
 const MANIFEST_PATH: &str = "results/figure1_sweep.json";
 
+const USAGE: &str = "usage: report -- <command> [flags]
+commands:
+  table1                         render Table I
+  table2                         render Table II
+  figure1 [flags] [bench...]     run the sweep and render Figure 1
+  profile <benchmark> <model>    profile one run; prints a cost attribution
+                                 table and writes results/profile_<bench>_<model>.json
+                                 (Chrome trace format, open in chrome://tracing)
+  all                            table1 + table2 + figure1
+flags:
+  --test-scale                   tiny datasets (fast; not the paper's inputs)
+  --no-tuning                    figure1/all: skip the tuning-variation sweep
+  --csv | --json                 figure1/all: machine-readable output
+  --device-c1060                 simulate the previous-generation Tesla C1060";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    if !["table1", "table2", "figure1", "profile", "all"].contains(&cmd) {
+        usage_error(&format!("unknown command `{cmd}`"));
+    }
+
+    // Strict flag validation: an unknown or misspelled flag is an error, not
+    // a silently ignored no-op.
+    let allowed: &[&str] = match cmd {
+        "table1" | "table2" => &[],
+        "profile" => &["--test-scale", "--device-c1060"],
+        _ => &["--test-scale", "--no-tuning", "--csv", "--json", "--device-c1060"],
+    };
+    for a in args.iter().skip(1).filter(|a| a.starts_with("--")) {
+        if !allowed.contains(&a.as_str()) {
+            usage_error(&format!("unknown flag `{a}` for `{cmd}`"));
+        }
+    }
+
     let test_scale = args.iter().any(|a| a == "--test-scale");
     let no_tuning = args.iter().any(|a| a == "--no-tuning");
     let csv = args.iter().any(|a| a == "--csv");
     let json = args.iter().any(|a| a == "--json");
-    let benches: Vec<&str> = args
-        .iter()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let positionals: Vec<&str> = args.iter().skip(1).filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    if ["table1", "table2", "all"].contains(&cmd) && !positionals.is_empty() {
+        usage_error(&format!("`{cmd}` takes no positional arguments"));
+    }
 
     let mut cfg = MachineConfig::keeneland_node();
     if args.iter().any(|a| a == "--device-c1060") {
@@ -41,6 +80,11 @@ fn main() {
     }
     let scale = if test_scale { Scale::Test } else { Scale::Paper };
 
+    if cmd == "profile" {
+        run_profile(&positionals, &cfg, scale);
+        return;
+    }
+
     if cmd == "table1" || cmd == "all" {
         println!("{}", render_table1());
     }
@@ -48,10 +92,10 @@ fn main() {
         println!("{}", render_table2(&coverage_table(), &codesize_table()));
     }
     if cmd == "figure1" || cmd == "all" {
-        let (fig, manifest) = if benches.is_empty() {
+        let (fig, manifest) = if positionals.is_empty() {
             figure1_with_manifest(&cfg, scale, !no_tuning)
         } else {
-            match figure1_subset_with_manifest(&benches, &cfg, scale, !no_tuning) {
+            match figure1_subset_with_manifest(&positionals, &cfg, scale, !no_tuning) {
                 Ok(x) => x,
                 Err(e) => {
                     eprintln!("{e}");
@@ -73,9 +117,51 @@ fn main() {
             Err(e) => eprintln!("warning: could not write {MANIFEST_PATH}: {e}"),
         }
     }
-    if !["table1", "table2", "figure1", "all"].contains(&cmd) {
-        eprintln!("unknown command {cmd}; use table1 | table2 | figure1 | all");
-        std::process::exit(2);
+}
+
+/// `report -- profile <benchmark> <model>`: run one (benchmark, model) pair
+/// at its default tuning point with the tracer attached, print the cost
+/// attribution table, and write the Chrome-trace JSON.
+///
+/// The run happens on this thread — no rayon — and every event is emitted in
+/// simulation order, so the trace is byte-identical at any thread count.
+fn run_profile(positionals: &[&str], cfg: &MachineConfig, scale: Scale) {
+    let [bench_name, model_name] = positionals else {
+        usage_error("`profile` needs exactly two arguments: <benchmark> <model>");
+    };
+    let Some(bench) = benchmark_named(bench_name) else {
+        usage_error(&format!("unknown benchmark `{bench_name}`"));
+    };
+    let Some(model) = ModelKind::parse(model_name) else {
+        let known: Vec<&str> = ModelKind::figure1_models().iter().map(|m| m.slug()).collect();
+        usage_error(&format!("unknown model `{model_name}`; known: {}", known.join(" ")));
+    };
+
+    let ds = cached_dataset(bench.as_ref(), scale);
+    let oracle = cached_oracle(bench.as_ref(), scale, cfg);
+    let compiled = cached_compile(bench.as_ref(), model, scale, None);
+
+    let mut sink = RecordingSink::new();
+    let run = acceval::run_compiled_traced(bench.as_ref(), &compiled, &ds, cfg, &oracle.run, &mut sink);
+    let events: Vec<TraceEvent> = sink.take();
+
+    let profile = RunProfile::from_events(bench_name, model, &events);
+    println!("{}", render_profile(&profile));
+    println!(
+        "speedup {:.2}x over serial CPU ({:.6}s / {:.6}s), validation {}",
+        run.speedup,
+        oracle.run.secs,
+        run.secs,
+        match &run.valid {
+            Ok(()) => "OK".to_string(),
+            Err(e) => format!("FAILED: {e}"),
+        }
+    );
+
+    let path = format!("results/profile_{}_{}.json", bench_name, model.slug());
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, chrome_trace(&events))) {
+        Ok(()) => eprintln!("wrote {path} ({} events; open in chrome://tracing or Perfetto)", events.len()),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 }
 

@@ -72,5 +72,8 @@ fn main() {
     let (hi, hp) = best.expect("at least one valid point");
     let (lo, _) = worst.expect("at least one valid point");
     println!("\ntuning variation: {lo:.2}x .. {hi:.2}x  ({:.1}x swing)", hi / lo);
-    println!("best point: block {}x{}, swap {:?}, transpose {}", hp.block_x, hp.block_y, hp.loop_swap, hp.transpose_expansion);
+    println!(
+        "best point: block {}x{}, swap {:?}, transpose {}",
+        hp.block_x, hp.block_y, hp.loop_swap, hp.transpose_expansion
+    );
 }

@@ -2,8 +2,8 @@
 //! and code-size increases must reproduce the paper's ordering and
 //! approximate magnitudes.
 
-use acceval::coverage::coverage_table;
 use acceval::codesize::codesize_table;
+use acceval::coverage::coverage_table;
 use acceval::models::ModelKind;
 
 /// Paper Table II coverage: PGI 57/58, OpenACC 57/58, HMPP 57/58,

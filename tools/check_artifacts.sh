@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Guard against drift between the committed result artifacts and the code:
+# regenerate results/table1.txt, results/table2.txt, and results/figure1.csv
+# with the report binary and fail on any diff.
+#
+# Runs the report binary from a scratch directory: `figure1` writes a sweep
+# manifest (wall-clock timings, nondeterministic) next to its outputs as a
+# side effect, which must not land in — or be compared against — the
+# committed results/ tree.
+#
+# Usage: tools/check_artifacts.sh        (from the repo root; ~2 min, the
+#                                         figure1 sweep runs at paper scale)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cargo build --release -p acceval-examples
+report="$repo/target/release/report"
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch"
+
+"$report" table1 > table1.txt
+"$report" table2 > table2.txt
+"$report" figure1 --no-tuning --csv > figure1.csv 2> figure1.log
+
+status=0
+for f in table1.txt table2.txt figure1.csv; do
+    if ! diff -u "$repo/results/$f" "$f"; then
+        echo "DRIFT: results/$f no longer matches the report binary's output" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "artifacts up to date: table1.txt table2.txt figure1.csv"
+fi
+exit "$status"
