@@ -25,7 +25,7 @@ fn secs(name: &str, kind: ModelKind, f: impl Fn(&mut acceval::CompiledProgram)) 
     let port = b.port(kind);
     let mut compiled = compile_port(&port, kind, &ds, None);
     f(&mut compiled);
-    run_gpu_program(&compiled, &ds, &cfg).secs
+    run_gpu_program(&compiled, &ds, &cfg).expect("gpu run").secs
 }
 
 fn secs_tuned_at(name: &str, kind: ModelKind, t: TuningPoint, scale: Scale) -> f64 {

@@ -1,0 +1,78 @@
+//! Engine shoot-out: the bytecode kernel engine against the reference
+//! tree-walking interpreter on the two paper-scale hot loops (JACOBI's
+//! stencil sweep and KMEANS's assignment/update kernels), launching each
+//! compiled kernel directly so nothing but the execution engine differs.
+//!
+//! Beyond the criterion numbers, the bench asserts the bytecode engine's
+//! reason to exist: at least a 3x speedup over the tree walker on the
+//! JACOBI hot loop (the kernels `report -- figure1` spends its wall time
+//! in). A regression below that gate fails `cargo bench` (and the CI
+//! bench-smoke job, which runs every bench once in test mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use acceval::benchmarks::{all_benchmarks, Benchmark, Scale};
+use acceval::ir::interp::gpu::{env_from_dataset, launch_with_engine, upload_all, DeviceState, Engine};
+use acceval::ir::program::HostData;
+use acceval::models::ModelKind;
+use acceval::sim::MachineConfig;
+
+fn benchmark_named(name: &str) -> Box<dyn Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.spec().name == name).unwrap_or_else(|| panic!("no benchmark {name}"))
+}
+
+/// Mean seconds per launch of every kernel of `name`'s hand-written CUDA
+/// port at paper scale, under `eng`.
+fn launch_all_kernels(name: &str, eng: Engine, reps: u32, cfg: &MachineConfig) -> f64 {
+    let b = benchmark_named(name);
+    let ds = b.dataset(Scale::Paper);
+    let port = b.port(ModelKind::ManualCuda);
+    let compiled = acceval::compile_port(&port, ModelKind::ManualCuda, &ds, None);
+    let prog = &compiled.program;
+    let host = HostData::materialize(prog, &ds);
+    let scal0 = env_from_dataset(prog, &ds);
+    let mut dev = DeviceState::new(prog, &cfg.device);
+    upload_all(prog, &mut dev, &host);
+    let mut scal = scal0.clone();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for plan in compiled.kernels.values().flatten() {
+            black_box(launch_with_engine(prog, plan, &mut dev, &mut scal, &cfg.device, eng));
+        }
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = MachineConfig::keeneland_node();
+
+    // The acceptance gate, measured outside criterion so it also runs (and
+    // fails loudly) in `cargo bench -- --test` smoke mode. Best-of-3 per
+    // engine to shrug off scheduler noise.
+    let tree = (0..3).map(|_| launch_all_kernels("JACOBI", Engine::Tree, 3, &cfg)).fold(f64::MAX, f64::min);
+    let byte = (0..3).map(|_| launch_all_kernels("JACOBI", Engine::Bytecode, 3, &cfg)).fold(f64::MAX, f64::min);
+    let speedup = tree / byte;
+    println!("JACOBI hot loop (paper scale): tree {tree:.4}s, bytecode {byte:.4}s");
+    println!("bytecode speedup over tree: {speedup:.1}x");
+    assert!(
+        speedup >= 3.0,
+        "bytecode engine must be >= 3x the tree walker on the JACOBI hot loop, got {speedup:.2}x \
+         (tree {tree:.4}s vs bytecode {byte:.4}s)"
+    );
+
+    let mut g = c.benchmark_group("engine_speed");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    for name in ["JACOBI", "KMEANS"] {
+        for (label, eng) in [("tree", Engine::Tree), ("bytecode", Engine::Bytecode)] {
+            g.bench_with_input(BenchmarkId::new(label, name), &eng, |b, &eng| {
+                b.iter(|| black_box(launch_all_kernels(name, eng, 1, &cfg)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

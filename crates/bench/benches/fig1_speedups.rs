@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         for kind in [ModelKind::OpenMpc, ModelKind::ManualCuda] {
             let compiled = cached_compile(bench.as_ref(), kind, Scale::Test, None);
             g.bench_with_input(BenchmarkId::new(format!("{kind:?}"), name), &ds, |b, ds| {
-                b.iter(|| black_box(run_gpu_program(&compiled, ds, &cfg).secs))
+                b.iter(|| black_box(run_gpu_program(&compiled, ds, &cfg).expect("gpu run").secs))
             });
         }
     }

@@ -118,7 +118,19 @@ pub fn run_compiled_traced(
     oracle: &CpuRun,
     sink: &mut dyn TraceSink,
 ) -> ModelRun {
-    let run = run_gpu_program_traced(compiled, ds, cfg, sink);
+    let run = match run_gpu_program_traced(compiled, ds, cfg, sink) {
+        Ok(run) => run,
+        Err(e) => {
+            return ModelRun {
+                model: compiled.kind,
+                secs: 0.0,
+                speedup: 0.0,
+                summary: acceval_sim::Timeline::new().summary(),
+                valid: Err(format!("runtime error: {e}")),
+                unsupported_regions: compiled.unsupported.len(),
+            }
+        }
+    };
     let mut valid = validate(bench, oracle, &run, compiled);
     let speedup = if run.secs.is_finite() && run.secs > 0.0 {
         oracle.secs / run.secs

@@ -33,7 +33,7 @@
 //! let oracle = acceval::run_baseline(&bench, &ds, &cfg);          // serial CPU
 //! let port = bench.port(ModelKind::OpenAcc);                      // the paper's port
 //! let compiled = acceval::compile_port(&port, ModelKind::OpenAcc, &ds, None);
-//! let run = acceval::run_gpu_program(&compiled, &ds, &cfg);       // simulated GPU
+//! let run = acceval::run_gpu_program(&compiled, &ds, &cfg).unwrap(); // simulated GPU
 //! assert!(oracle.secs / run.secs > 0.1);
 //! ```
 

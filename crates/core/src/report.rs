@@ -203,6 +203,44 @@ pub fn figure1_csv(fig: &Figure1) -> String {
     out
 }
 
+/// Machine-readable benchmark record for the whole sweep: total wall time
+/// plus per-benchmark task timings, tagged with the kernel engine that
+/// produced it. Schema documented in `EXPERIMENTS.md`; written to
+/// `results/BENCH_sweep.json` by `report -- figure1`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchSweep {
+    /// Schema tag, bumped on layout changes.
+    pub schema: String,
+    /// Kernel engine the sweep ran on (`bytecode` or `tree`).
+    pub engine: String,
+    pub scale: String,
+    pub with_tuning: bool,
+    pub workers: usize,
+    pub tasks: usize,
+    /// Wall seconds for the whole sweep (the headline number).
+    pub wall_secs: f64,
+    /// Sum of per-task wall seconds (serial-equivalent cost).
+    pub task_wall_secs: f64,
+    /// Per-benchmark wall/sim accounting, one entry per benchmark.
+    pub benchmarks: Vec<crate::sweep::GroupTotals>,
+}
+
+/// Build the `results/BENCH_sweep.json` payload from a sweep manifest.
+pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
+    let payload = BenchSweep {
+        schema: "acceval-bench-sweep/1".to_string(),
+        engine: engine.to_string(),
+        scale: m.scale.clone(),
+        with_tuning: m.with_tuning,
+        workers: m.workers,
+        tasks: m.tasks,
+        wall_secs: m.wall_secs,
+        task_wall_secs: m.task_wall_secs,
+        benchmarks: m.by_benchmark.clone(),
+    };
+    serde_json::to_string_pretty(&payload).expect("bench sweep serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

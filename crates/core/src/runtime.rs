@@ -11,7 +11,7 @@ use acceval_ir::interp::{Hooks, Interp};
 use acceval_ir::program::{DataSet, HostData};
 use acceval_ir::stmt::{DataClauses, ParallelRegion, Stmt, UpdateDir};
 use acceval_ir::types::{ArrayId, Value, VarRef};
-use acceval_sim::{Dir, MachineConfig, NullSink, Timeline, TraceEvent, TraceSink};
+use acceval_sim::{Dir, MachineConfig, NullSink, SimError, Timeline, TraceEvent, TraceSink};
 
 use acceval_models::DataPolicy;
 
@@ -43,6 +43,10 @@ struct GpuHooks<'c> {
     region_touch: HashMap<u32, Touched>,
     /// Structured trace consumer (NullSink for untraced runs).
     sink: &'c mut dyn TraceSink,
+    /// First runtime error (the `Hooks` trait cannot surface `Result`s, so
+    /// errors latch here and short-circuit the remaining hooks; the driver
+    /// reads the latch when the walk finishes).
+    error: Option<SimError>,
 }
 
 impl<'c> GpuHooks<'c> {
@@ -63,6 +67,7 @@ impl<'c> GpuHooks<'c> {
             flushed_cycles: 0.0,
             region_touch: HashMap::new(),
             sink,
+            error: None,
         }
     }
 
@@ -81,7 +86,11 @@ impl<'c> GpuHooks<'c> {
 
     fn h2d(&mut self, it: &Interp<CpuMachine>, a: ArrayId) {
         let buf = &it.m.data.bufs[a.0 as usize];
-        self.dev.upload(a, buf);
+        // A forced re-transfer of an already-valid device copy moves
+        // identical bytes: charge the timeline, skip the memcpy.
+        if !self.res[a.0 as usize].dev_valid {
+            self.dev.upload(a, buf);
+        }
         let bytes = buf.size_bytes();
         let secs = self.cfg.link.transfer_secs(bytes);
         let name = self.compiled.program.array_name(a);
@@ -92,9 +101,17 @@ impl<'c> GpuHooks<'c> {
         self.res[a.0 as usize].dev_valid = true;
     }
 
-    fn d2h(&mut self, it: &mut Interp<CpuMachine>, a: ArrayId) {
+    fn d2h(&mut self, it: &mut Interp<CpuMachine>, a: ArrayId) -> Result<(), SimError> {
         let buf = &mut it.m.data.bufs[a.0 as usize];
-        self.dev.download(a, buf);
+        // Same elision on the way down: a valid host copy already holds the
+        // bytes this transfer would move.
+        if !self.res[a.0 as usize].host_valid {
+            self.dev.download(a, buf).map_err(|e| match e {
+                SimError::DownloadUnallocated { .. } => {
+                    SimError::DownloadUnallocated { array: self.compiled.program.array_name(a).to_string() }
+                }
+            })?;
+        }
         let bytes = buf.size_bytes();
         let secs = self.cfg.link.transfer_secs(bytes);
         let name = self.compiled.program.array_name(a);
@@ -103,6 +120,7 @@ impl<'c> GpuHooks<'c> {
             self.sink.emit(buf.transfer_event(name, Dir::DeviceToHost, secs));
         }
         self.res[a.0 as usize].host_valid = true;
+        Ok(())
     }
 
     /// Make the device copy valid (transfer or allocate as needed).
@@ -130,9 +148,17 @@ impl<'c> GpuHooks<'c> {
     }
 
     /// Make the host copy valid.
-    fn ensure_host(&mut self, it: &mut Interp<CpuMachine>, a: ArrayId) {
+    fn ensure_host(&mut self, it: &mut Interp<CpuMachine>, a: ArrayId) -> Result<(), SimError> {
         if !self.res[a.0 as usize].host_valid {
-            self.d2h(it, a);
+            self.d2h(it, a)?;
+        }
+        Ok(())
+    }
+
+    /// Latch the first runtime error; later hooks short-circuit on it.
+    fn latch(&mut self, r: Result<(), SimError>) {
+        if let Err(e) = r {
+            self.error.get_or_insert(e);
         }
     }
 
@@ -148,12 +174,16 @@ impl<'c> GpuHooks<'c> {
 
 impl Hooks<CpuMachine> for GpuHooks<'_> {
     fn on_parallel(&mut self, it: &mut Interp<CpuMachine>, r: &ParallelRegion) -> bool {
+        if self.error.is_some() {
+            return true; // a latched error aborts the run; skip the region
+        }
         let Some(kernels) = self.compiled.kernels.get(&r.id.0) else {
             // Untranslated region: run sequentially on the host. Host code
             // reads/writes host memory, so sync first.
             let t = self.touched_of_region(r);
             for a in t.all() {
-                self.ensure_host(it, a);
+                let r = self.ensure_host(it, a);
+                self.latch(r);
             }
             for a in &t.writes {
                 self.res[a.0 as usize].dev_valid = false;
@@ -249,7 +279,8 @@ impl Hooks<CpuMachine> for GpuHooks<'_> {
                     self.res[a.0 as usize].dev_valid = true;
                     self.res[a.0 as usize].host_valid = false;
                     if self.compiled.policy == DataPolicy::PerRegion {
-                        self.d2h(it, a);
+                        let r = self.d2h(it, a);
+                        self.latch(r);
                     }
                 }
             }
@@ -264,7 +295,8 @@ impl Hooks<CpuMachine> for GpuHooks<'_> {
             self.res[a.0 as usize].dev_valid = true;
             self.res[a.0 as usize].host_valid = false;
             if self.compiled.policy == DataPolicy::PerRegion {
-                self.d2h(it, *a); // naive: copy results out immediately
+                let r = self.d2h(it, *a); // naive: copy results out immediately
+                self.latch(r);
             }
         }
         true
@@ -284,7 +316,8 @@ impl Hooks<CpuMachine> for GpuHooks<'_> {
             }
         } else {
             for a in c.copyout.iter().chain(&c.copy) {
-                self.d2h(it, *a);
+                let r = self.d2h(it, *a);
+                self.latch(r);
                 self.scoped[a.0 as usize] = self.scoped[a.0 as usize].saturating_sub(1);
             }
             for a in c.copyin.iter().chain(&c.create) {
@@ -297,7 +330,10 @@ impl Hooks<CpuMachine> for GpuHooks<'_> {
         self.flush_host(it, "host");
         for a in arrays {
             match dir {
-                UpdateDir::Host => self.ensure_host(it, *a),
+                UpdateDir::Host => {
+                    let r = self.ensure_host(it, *a);
+                    self.latch(r);
+                }
                 UpdateDir::Device => self.ensure_device(it, *a, true),
             }
         }
@@ -310,10 +346,12 @@ impl Hooks<CpuMachine> for GpuHooks<'_> {
             return;
         }
         for a in t.reads.iter() {
-            self.ensure_host(it, *a);
+            let r = self.ensure_host(it, *a);
+            self.latch(r);
         }
         for a in &t.writes {
-            self.ensure_host(it, *a); // partial writes must not lose device data
+            let r = self.ensure_host(it, *a); // partial writes must not lose device data
+            self.latch(r);
             self.res[a.0 as usize].dev_valid = false;
             self.pristine_zero[a.0 as usize] = false;
         }
@@ -333,7 +371,10 @@ pub struct GpuRun {
 }
 
 /// Execute a compiled program on the simulated machine.
-pub fn run_gpu_program(compiled: &CompiledProgram, ds: &DataSet, cfg: &MachineConfig) -> GpuRun {
+///
+/// Fails (instead of panicking) when the run needs a transfer the device
+/// cannot satisfy, e.g. downloading an array that was never allocated.
+pub fn run_gpu_program(compiled: &CompiledProgram, ds: &DataSet, cfg: &MachineConfig) -> Result<GpuRun, SimError> {
     run_gpu_program_traced(compiled, ds, cfg, &mut NullSink)
 }
 
@@ -345,7 +386,7 @@ pub fn run_gpu_program_traced(
     ds: &DataSet,
     cfg: &MachineConfig,
     sink: &mut dyn TraceSink,
-) -> GpuRun {
+) -> Result<GpuRun, SimError> {
     let data = HostData::materialize(&compiled.program, ds);
     let m = CpuMachine::new(&cfg.host, data);
     let mut it = Interp::new(&compiled.program, m, ds);
@@ -354,11 +395,15 @@ pub fn run_gpu_program_traced(
     it.run_with(&main, &mut hooks);
     // Sync program outputs back to the host.
     for a in compiled.program.outputs.clone() {
-        hooks.ensure_host(&mut it, a);
+        let r = hooks.ensure_host(&mut it, a);
+        hooks.latch(r);
+    }
+    if let Some(e) = hooks.error {
+        return Err(e);
     }
     hooks.flush_host(&mut it, "host-final");
     let secs = hooks.timeline.total_secs();
-    GpuRun { data: it.m.data, scalars: it.scal, timeline: hooks.timeline, secs }
+    Ok(GpuRun { data: it.m.data, scalars: it.scal, timeline: hooks.timeline, secs })
 }
 
 #[cfg(test)]
@@ -376,7 +421,7 @@ mod tests {
         let port = b.port(kind);
         let compiled = compile_port(&port, kind, &ds, None);
         assert!(compiled.unsupported.is_empty(), "{kind:?}: {:?}", compiled.unsupported);
-        let run = run_gpu_program(&compiled, &ds, &cfg);
+        let run = run_gpu_program(&compiled, &ds, &cfg).expect("gpu run");
         // outputs must match the oracle
         let spec = b.spec();
         for out in &b.original().outputs {
@@ -420,9 +465,9 @@ mod tests {
         let cfg = MachineConfig::keeneland_node();
         let port = b.port(ModelKind::PgiAccelerator);
         let mut compiled = compile_port(&port, ModelKind::PgiAccelerator, &ds, None);
-        let scoped = run_gpu_program(&compiled, &ds, &cfg);
+        let scoped = run_gpu_program(&compiled, &ds, &cfg).expect("gpu run");
         compiled.policy = acceval_models::DataPolicy::PerRegion;
-        let naive = run_gpu_program(&compiled, &ds, &cfg);
+        let naive = run_gpu_program(&compiled, &ds, &cfg).expect("gpu run");
         let s1 = scoped.timeline.summary();
         let s2 = naive.timeline.summary();
         assert!(

@@ -62,7 +62,7 @@ fn automatic_policy_moves_each_array_once() {
     let ds = dataset(&port.program, 256);
     let mut c = compile_port(&port, ModelKind::OpenMpc, &ds, None);
     c.policy = DataPolicy::Automatic;
-    let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node());
+    let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node()).expect("gpu run");
     // x: one upload, one final download for the output; y: pristine scratch,
     // no transfers at all.
     assert_eq!(transfer_count(&run.timeline.events, "x", Dir::HostToDevice), 1);
@@ -78,7 +78,7 @@ fn naive_policy_transfers_every_region() {
     let ds = dataset(&port.program, 256);
     let mut c = compile_port(&port, ModelKind::OpenMpc, &ds, None);
     c.policy = DataPolicy::PerRegion;
-    let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node());
+    let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node()).expect("gpu run");
     // 4 iterations x 2 regions, x is read or written by both.
     assert!(transfer_count(&run.timeline.events, "x", Dir::HostToDevice) >= 4, "naive should re-upload x repeatedly");
     assert!(transfer_count(&run.timeline.events, "x", Dir::DeviceToHost) >= 4);
@@ -92,7 +92,7 @@ fn host_touch_forces_resync() {
     let mut c = compile_port(&port, ModelKind::OpenMpc, &ds, None);
     c.policy = DataPolicy::Automatic;
     let cfg = MachineConfig::keeneland_node();
-    let run = run_gpu_program(&c, &ds, &cfg);
+    let run = run_gpu_program(&c, &ds, &cfg).expect("gpu run");
     // the host store to x[0] each iteration forces D2H (read) + H2D (next use)
     assert!(transfer_count(&run.timeline.events, "x", Dir::HostToDevice) >= 4);
     assert!(transfer_count(&run.timeline.events, "x", Dir::DeviceToHost) >= 4);
@@ -124,7 +124,7 @@ fn update_directives_force_transfers() {
     let ds = dataset(&port.program, 128);
     let c = compile_port(&port, ModelKind::PgiAccelerator, &ds, None);
     assert_eq!(c.policy, DataPolicy::DataRegionScoped);
-    let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node());
+    let run = run_gpu_program(&c, &ds, &MachineConfig::keeneland_node()).expect("gpu run");
     // copyin + explicit update-device = 2 uploads; update-host + copyout = 2 downloads
     assert_eq!(transfer_count(&run.timeline.events, "x", Dir::HostToDevice), 2);
     assert_eq!(transfer_count(&run.timeline.events, "x", Dir::DeviceToHost), 2);
@@ -154,7 +154,7 @@ fn untranslated_regions_run_on_host_with_sync() {
     let cfg = MachineConfig::keeneland_node();
     let c = compile_port(&port, ModelKind::OpenAcc, &ds, None);
     assert_eq!(c.unsupported.len(), 1, "the critical region stays on the host");
-    let run = run_gpu_program(&c, &ds, &cfg);
+    let run = run_gpu_program(&c, &ds, &cfg).expect("gpu run");
     let oracle = acceval_ir::interp::cpu::run_cpu(&port.program, &ds, &cfg.host);
     let yi = port.program.array_named("y").0 as usize;
     assert!(oracle.data.bufs[yi].max_abs_diff(&run.data.bufs[yi]) < 1e-12);

@@ -10,18 +10,74 @@
 //! then fed to [`acceval_sim::estimate_kernel`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use acceval_sim::{
-    estimate_kernel, warp_issue_cycles, AccessSummary, Buffer, Cache, DeviceConfig, KernelCost, KernelFootprint,
-    KernelTotals, NullSink, SharedSummary, SiteWarpTrace, TraceEvent, TraceSink,
+    estimate_kernel, warp_issue_cycles, AccessSummary, Buffer, Cache, DeviceConfig, ElemType, KernelCost,
+    KernelFootprint, KernelTotals, NullSink, SharedSummary, SimError, SiteWarpTrace, TraceEvent, TraceSink,
 };
 
 use crate::expr::{Expr, Intrin};
-use crate::interp::{eval_pure, Interp, Machine};
+use crate::interp::bytecode::{self, intrin_cost};
+use crate::interp::{eval_pure, row_major_strides, Interp, Machine};
 use crate::kernel::{Expansion, KernelPlan, MemSpace, ReduceStrategy};
-use crate::program::Program;
+use crate::program::{eval_const, Program};
 use crate::stmt::{visit_exprs, visit_stmts, Stmt};
 use crate::types::{ArrayId, ScalarId, SiteId, Value, VarRef};
+
+/// Which executor runs kernel bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The reference tree-walking interpreter: one simulated thread at a
+    /// time through [`Interp`]. Always available; also the fallback for
+    /// bodies the bytecode compiler bails on (e.g. function calls).
+    Tree,
+    /// The compiled bytecode engine ([`crate::interp::bytecode`]): whole
+    /// warps in lockstep over a SoA register file. The default. All scores
+    /// and statistics are bit-identical to the tree engine.
+    Bytecode,
+}
+
+/// Process-wide override: 0 = unset (use env), 1 = tree, 2 = bytecode.
+static ENGINE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static ENGINE_FROM_ENV: OnceLock<Engine> = OnceLock::new();
+
+/// The engine selected for kernel execution: an override installed by
+/// [`set_engine_override`] wins, else the `ACCEVAL_ENGINE` environment
+/// variable (`tree` | `bytecode`), else [`Engine::Bytecode`].
+pub fn engine() -> Engine {
+    match ENGINE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return Engine::Tree,
+        2 => return Engine::Bytecode,
+        _ => {}
+    }
+    *ENGINE_FROM_ENV.get_or_init(|| match std::env::var("ACCEVAL_ENGINE") {
+        Ok(s) if s == "tree" => Engine::Tree,
+        Ok(s) if s == "bytecode" => Engine::Bytecode,
+        Ok(s) => panic!("ACCEVAL_ENGINE must be `tree` or `bytecode`, got `{s}`"),
+        Err(_) => Engine::Bytecode,
+    })
+}
+
+/// Force an engine for this process (tests/benches), overriding the
+/// environment. `None` returns control to `ACCEVAL_ENGINE`.
+pub fn set_engine_override(e: Option<Engine>) {
+    let v = match e {
+        None => 0,
+        Some(Engine::Tree) => 1,
+        Some(Engine::Bytecode) => 2,
+    };
+    ENGINE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Short name of the active engine, for reports and manifests.
+pub fn engine_name() -> &'static str {
+    match engine() {
+        Engine::Tree => "tree",
+        Engine::Bytecode => "bytecode",
+    }
+}
 
 /// Device memory image: one optional buffer per program array, plus the
 /// simulated texture cache.
@@ -39,9 +95,13 @@ impl DeviceState {
         }
     }
 
-    /// Upload a host buffer (allocate + copy contents).
+    /// Upload a host buffer (allocate + copy contents). Reuses an existing
+    /// same-shape allocation in place instead of cloning a fresh buffer.
     pub fn upload(&mut self, id: ArrayId, host: &Buffer) {
-        self.bufs[id.0 as usize] = Some(host.clone());
+        match &mut self.bufs[id.0 as usize] {
+            Some(b) if b.elem == host.elem && b.len() == host.len() => b.copy_from(host),
+            slot => *slot = Some(host.clone()),
+        }
     }
 
     /// Allocate zeroed device storage without a transfer.
@@ -49,9 +109,23 @@ impl DeviceState {
         self.bufs[id.0 as usize] = Some(Buffer::zeroed(host.elem, host.len()));
     }
 
-    /// Download device contents into a host buffer.
-    pub fn download(&self, id: ArrayId, host: &mut Buffer) {
-        *host = self.bufs[id.0 as usize].as_ref().expect("download of unallocated array").clone();
+    /// Download device contents into a host buffer, copying in place when
+    /// the host allocation already has the right shape.
+    ///
+    /// Downloading an array that was never allocated on the device is a
+    /// runtime protocol error (a real driver returns a status code), so it
+    /// is reported as [`SimError::DownloadUnallocated`] rather than a panic;
+    /// the caller owns mapping the array index to a source-level name.
+    pub fn download(&self, id: ArrayId, host: &mut Buffer) -> Result<(), SimError> {
+        let src = self.bufs[id.0 as usize]
+            .as_ref()
+            .ok_or_else(|| SimError::DownloadUnallocated { array: id.0.to_string() })?;
+        if host.elem == src.elem && host.len() == src.len() {
+            host.copy_from(src);
+        } else {
+            *host = src.clone();
+        }
+        Ok(())
     }
 
     /// Whether the array is allocated on the device.
@@ -148,8 +222,8 @@ impl<'a> WarpMachine<'a> {
 }
 
 /// Base address for the expanded private-array segment (kept clear of real
-/// arrays so traces never alias).
-const PRIV_BASE: u64 = 1 << 40;
+/// arrays so traces never alias). Shared with the bytecode engine.
+pub(crate) const PRIV_BASE: u64 = 1 << 40;
 
 impl Machine for WarpMachine<'_> {
     fn load(&mut self, array: ArrayId, flat: usize, site: SiteId) -> Value {
@@ -179,13 +253,8 @@ impl Machine for WarpMachine<'_> {
 
     fn intrin(&mut self, f: Intrin) {
         // GPUs have SFUs: transcendental ops are cheap relative to CPUs.
-        let c = match f {
-            Intrin::Sqrt => 4,
-            Intrin::Exp | Intrin::Log | Intrin::Sin | Intrin::Cos => 8,
-            Intrin::Pow => 16,
-            Intrin::Floor | Intrin::Abs => 1,
-        };
-        self.lane_ops[self.lane as usize] += c;
+        // (Cost table shared with the bytecode engine.)
+        self.lane_ops[self.lane as usize] += intrin_cost(f);
     }
 
     fn branch(&mut self, site: SiteId, taken: bool) {
@@ -226,6 +295,33 @@ pub fn launch(
     launch_traced(prog, plan, dev, scal, cfg, &mut NullSink)
 }
 
+/// [`launch`] with an explicit engine choice, bypassing the process-wide
+/// selection — lets equivalence tests and benches compare engines without
+/// touching global state.
+pub fn launch_with_engine(
+    prog: &Program,
+    plan: &KernelPlan,
+    dev: &mut DeviceState,
+    scal: &mut [Value],
+    cfg: &DeviceConfig,
+    eng: Engine,
+) -> LaunchResult {
+    launch_impl(prog, plan, dev, scal, cfg, &mut NullSink, eng)
+}
+
+/// [`launch_traced`] with an explicit engine choice.
+pub fn launch_traced_with_engine(
+    prog: &Program,
+    plan: &KernelPlan,
+    dev: &mut DeviceState,
+    scal: &mut [Value],
+    cfg: &DeviceConfig,
+    sink: &mut dyn TraceSink,
+    eng: Engine,
+) -> LaunchResult {
+    launch_impl(prog, plan, dev, scal, cfg, sink, eng)
+}
+
 /// [`launch`], emitting structured trace events into `sink`: one
 /// [`TraceEvent::CoalesceSite`] per active memory site (in site order, so
 /// traces are deterministic), texture-cache counters when the kernel used
@@ -239,6 +335,18 @@ pub fn launch_traced(
     scal: &mut [Value],
     cfg: &DeviceConfig,
     sink: &mut dyn TraceSink,
+) -> LaunchResult {
+    launch_impl(prog, plan, dev, scal, cfg, sink, engine())
+}
+
+fn launch_impl(
+    prog: &Program,
+    plan: &KernelPlan,
+    dev: &mut DeviceState,
+    scal: &mut [Value],
+    cfg: &DeviceConfig,
+    sink: &mut dyn TraceSink,
+    eng: Engine,
 ) -> LaunchResult {
     assert!(
         plan.site_count > 0 || plan.body.iter().all(|s| !matches!(s, Stmt::Store { .. })),
@@ -277,18 +385,21 @@ pub fn launch_traced(
         }
     }
 
-    // Private array shapes (evaluated against the host env).
+    // Array extents/strides and private shapes (evaluated against the host
+    // env — exactly what `Interp::with_env` computes per warp on the tree
+    // path).
     let base_env: Vec<Value> = scal.to_vec();
-    let probe = Interp::with_env(prog, NullMachine, base_env.clone());
+    let extents: Vec<Vec<usize>> =
+        prog.arrays.iter().map(|a| a.dims.iter().map(|d| eval_const(d, &base_env)).collect()).collect();
+    let strides: Vec<Vec<usize>> = extents.iter().map(|e| row_major_strides(e)).collect();
     let priv_shapes: Vec<(ArrayId, usize, bool)> = plan
         .private_arrays
         .iter()
         .map(|p| {
-            let len: usize = probe.extents[p.array.0 as usize].iter().product();
+            let len: usize = extents[p.array.0 as usize].iter().product();
             (p.array, len, prog.array_elem(p.array).is_float())
         })
         .collect();
-    drop(probe);
 
     // Reduction accumulators.
     let red_scalar: Vec<(usize, crate::types::ReduceOp, bool)> = plan
@@ -336,194 +447,365 @@ pub fn launch_traced(
     let mut active_threads = 0u64;
     let partials_in_shared = matches!(plan.reduce_strategy, ReduceStrategy::TwoLevelTree { partials_in_shared: true });
 
-    for blk in 0..total_blocks {
-        let bxi = blk % gx;
-        let byi = blk / gx;
-        for w in 0..warps_per_block {
-            let wm = WarpMachine {
-                dev,
-                plan,
-                base: &base,
-                elem_bytes: &elem_bytes,
-                traces: (0..plan.site_count).map(|_| SiteWarpTrace::new(warp)).collect(),
-                lane: 0,
-                lane_ops: vec![0; warp as usize],
-                in_critical: false,
-                atomic_accesses: 0,
-                priv_bufs: HashMap::new(),
-                tid_linear: 0,
-                total_threads,
-                warp_size: warp,
-            };
-            let _ = wm.warp_size;
-            let mut it = Interp::with_env(prog, wm, base_env.clone());
-            let mut any_active = false;
-            for lane in 0..warp as u64 {
-                let t = w * warp as u64 + lane;
-                if t >= tpb as u64 {
-                    break;
+    // Engine dispatch: the bytecode engine handles everything its compiler
+    // accepts; bodies out of scope (e.g. with calls) fall back to the tree
+    // walker even when the bytecode engine is selected.
+    let bc = if eng == Engine::Bytecode { plan.engine_cache.get_or_compile(prog, plan) } else { None };
+
+    if let Some(bc) = bc {
+        assert!(warp as usize <= 64, "active-lane masks hold at most 64 lanes");
+        let mut expansion: Vec<Option<Expansion>> = vec![None; prog.arrays.len()];
+        let mut priv_slot: Vec<i32> = vec![-1; prog.arrays.len()];
+        for (k, &(a, _, _)) in priv_shapes.iter().enumerate() {
+            priv_slot[a.0 as usize] = k as i32;
+            expansion[a.0 as usize] = plan.expansion_of(a);
+        }
+        let priv_elems: Vec<(ElemType, usize)> =
+            priv_shapes.iter().map(|&(a, len, _)| (prog.array_elem(a), len)).collect();
+        // Axis bounds are launch constants here: the compiler bails when a
+        // second axis depends on the first axis variable, so evaluating
+        // against the base env matches the tree path's per-lane evaluation.
+        let lo0 = eval_pure(&plan.axes[0].lo, &base_env).as_i();
+        let st0 = eval_pure(&plan.axes[0].step, &base_env).as_i();
+        let (lo1, st1) = if plan.axes.len() > 1 {
+            (eval_pure(&plan.axes[1].lo, &base_env).as_i(), eval_pure(&plan.axes[1].step, &base_env).as_i())
+        } else {
+            (0, 0)
+        };
+        let atomic_serial = matches!(plan.reduce_strategy, ReduceStrategy::AtomicSerial);
+        let DeviceState { bufs, tex_cache } = dev;
+        // Pricing recipe per fast site: global sites reduce through the
+        // segment memo; shared-tiled sites through the bank-conflict memo
+        // plus the reuse-discounted fill charge (the same arithmetic
+        // `price_warp` applies to a traced shared site).
+        let fast_pricing: Vec<(u64, Option<f64>)> = bc
+            .fast_sites
+            .iter()
+            .map(|&site| {
+                let SiteKind::Mem(arr) = site_kinds[site as usize] else {
+                    unreachable!("fast site must be a memory site")
+                };
+                let eb = elem_bytes[arr.0 as usize] as u64;
+                match plan.space_of(arr) {
+                    MemSpace::SharedTiled { reuse } => (eb, Some(reuse)),
+                    _ => (eb, None),
                 }
-                let tx = t % bx;
-                let ty = t / bx;
-                let ix = bxi * bx + tx;
-                let iy = byi * by + ty;
-                if ix >= n0 || iy >= n1 {
-                    continue;
-                }
-                any_active = true;
-                active_threads += 1;
-                it.m.lane = lane as u32;
-                it.m.tid_linear = blk * tpb as u64 + t;
-                it.m.in_critical = false;
-                // Fresh private buffers for this thread.
-                it.m.priv_bufs.clear();
-                for &(a, len, isf) in &priv_shapes {
-                    let elem = prog.array_elem(a);
-                    let mut b = Buffer::zeroed(elem, len);
-                    if let Some(&(_, op)) = red_arrays.iter().find(|(id, _)| *id == a) {
-                        for i in 0..len {
-                            if isf {
-                                b.set_f(i, op.identity_f());
-                            } else {
-                                b.set_i(i, op.identity_i());
-                            }
+            })
+            .collect();
+        bytecode::with_scratch(|scratch| {
+            let wu = warp as usize;
+            scratch.begin_launch(&bc, wu, plan.site_count as usize, &priv_elems, &base_env, cfg.segment_bytes);
+            let mut ax0 = vec![0i64; wu];
+            let mut ax1 = vec![0i64; wu];
+            let mut row: Vec<(u32, u64)> = Vec::with_capacity(wu);
+            for blk in 0..total_blocks {
+                let bxi = blk % gx;
+                let byi = blk / gx;
+                for w in 0..warps_per_block {
+                    let mut mask = 0u64;
+                    for lane in 0..warp as u64 {
+                        let t = w * warp as u64 + lane;
+                        if t >= tpb as u64 {
+                            break;
                         }
-                    }
-                    it.m.priv_bufs.insert(a, b);
-                }
-                // Thread environment.
-                it.scal.clone_from(&base_env);
-                let v0 = eval_pure(&plan.axes[0].lo, &it.scal).as_i()
-                    + ix as i64 * eval_pure(&plan.axes[0].step, &it.scal).as_i();
-                it.scal[plan.axes[0].var.0 as usize] = Value::I(v0);
-                if plan.axes.len() > 1 {
-                    let v1 = eval_pure(&plan.axes[1].lo, &it.scal).as_i()
-                        + iy as i64 * eval_pure(&plan.axes[1].step, &it.scal).as_i();
-                    it.scal[plan.axes[1].var.0 as usize] = Value::I(v1);
-                }
-                // Scalar reduction identities.
-                for (k, &(slot, op, isf)) in red_scalar.iter().enumerate() {
-                    let _ = k;
-                    it.scal[slot] = if isf { Value::F(op.identity_f()) } else { Value::I(op.identity_i()) };
-                }
-                // Execute the body.
-                for s in &plan.body {
-                    it.exec_plain(s);
-                }
-                // Fold reductions.
-                for (k, &(slot, op, _)) in red_scalar.iter().enumerate() {
-                    scal_acc[k] = op.combine(scal_acc[k], it.scal[slot]);
-                }
-                for &(a, op) in &red_arrays {
-                    let src = &it.m.priv_bufs[&a];
-                    let acc = arr_acc.get_mut(&a).expect("acc");
-                    for i in 0..src.len() {
-                        let cur = if acc.elem.is_float() { Value::F(acc.get_f(i)) } else { Value::I(acc.get_i(i)) };
-                        let nv = if src.elem.is_float() { Value::F(src.get_f(i)) } else { Value::I(src.get_i(i)) };
-                        let c = op.combine(cur, nv);
-                        if acc.elem.is_float() {
-                            acc.set_f(i, c.as_f());
-                        } else {
-                            acc.set_i(i, c.as_i());
+                        let tx = t % bx;
+                        let ty = t / bx;
+                        let ix = bxi * bx + tx;
+                        let iy = byi * by + ty;
+                        if ix >= n0 || iy >= n1 {
+                            continue;
                         }
+                        mask |= 1u64 << lane;
+                        ax0[lane as usize] = lo0 + ix as i64 * st0;
+                        ax1[lane as usize] = lo1 + iy as i64 * st1;
                     }
-                    if matches!(plan.reduce_strategy, ReduceStrategy::AtomicSerial) {
-                        it.m.atomic_accesses += src.len() as u64;
-                    }
-                }
-                if matches!(plan.reduce_strategy, ReduceStrategy::AtomicSerial) && !red_scalar.is_empty() {
-                    it.m.atomic_accesses += red_scalar.len() as u64;
-                }
-            }
-            // Reduce the warp's traces into totals.
-            let wm = it.m;
-            if any_active {
-                totals.warps += 1;
-                let mut divergent_rows = 0u64;
-                let mut extra_issue = 0.0f64;
-                for (i, tr) in wm.traces.iter().enumerate() {
-                    if tr.is_empty() {
+                    if mask == 0 {
                         continue;
                     }
-                    match site_kinds[i] {
-                        SiteKind::Branch => divergent_rows += tr.reduce_divergent_rows(),
-                        SiteKind::Mem(arr) => {
-                            let eb = elem_bytes[arr.0 as usize] as u64;
-                            let space = if plan.expansion_of(arr).is_some() {
-                                // Reduction partials may be staged in shared.
-                                if partials_in_shared && red_arrays.iter().any(|(a, _)| *a == arr) {
-                                    MemSpace::SharedTiled { reuse: 1.0 }
+                    active_threads += mask.count_ones() as u64;
+                    scratch.begin_warp(&bc, &base_env);
+                    // Per-lane prologue: axis variables, scalar-reduction
+                    // identities, private-array scratch reset.
+                    let a0 = bc.axis_regs[0] as usize;
+                    let mut m = mask;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        scratch.regs[a0 * wu + l] = Value::I(ax0[l]);
+                    }
+                    if plan.axes.len() > 1 {
+                        let a1 = bc.axis_regs[1] as usize;
+                        let mut m = mask;
+                        while m != 0 {
+                            let l = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            scratch.regs[a1 * wu + l] = Value::I(ax1[l]);
+                        }
+                    }
+                    for (k, &(_, op, isf)) in red_scalar.iter().enumerate() {
+                        let r = bc.red_scalar_regs[k] as usize;
+                        let idv = if isf { Value::F(op.identity_f()) } else { Value::I(op.identity_i()) };
+                        let mut m = mask;
+                        while m != 0 {
+                            let l = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            scratch.regs[r * wu + l] = idv;
+                        }
+                    }
+                    for &(a, len, isf) in &priv_shapes {
+                        let slot = priv_slot[a.0 as usize] as usize;
+                        let ident = red_arrays.iter().find(|(id, _)| *id == a).map(|&(_, op)| op);
+                        let fill_f = ident.map_or(0.0, |op| op.identity_f());
+                        let fill_i = ident.map_or(0, |op| op.identity_i());
+                        let mut m = mask;
+                        while m != 0 {
+                            let l = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let b = &mut scratch.priv_bufs[slot * wu + l];
+                            for e in 0..len {
+                                if isf {
+                                    b.set_f(e, fill_f);
                                 } else {
-                                    MemSpace::Global
-                                }
-                            } else {
-                                plan.space_of(arr)
-                            };
-                            match space {
-                                MemSpace::Global => {
-                                    let s = tr.reduce_global(cfg.segment_bytes);
-                                    totals.global_requests += s.requests;
-                                    totals.global_transactions += s.transactions;
-                                    totals.useful_bytes += s.lane_accesses * eb;
-                                    if traced {
-                                        site_global[i].merge(&s);
-                                    }
-                                }
-                                MemSpace::SharedTiled { reuse } => {
-                                    let sh = tr.reduce_shared(cfg.shared_banks, 4);
-                                    totals.shared_slots += sh.slots;
-                                    let s = tr.reduce_global(cfg.segment_bytes);
-                                    let fill_bytes = (s.lane_accesses * eb) as f64 / reuse.max(1.0);
-                                    let fill_tx = (fill_bytes / cfg.segment_bytes as f64).ceil() as u64;
-                                    totals.global_transactions += fill_tx;
-                                    totals.global_requests += fill_tx;
-                                    totals.useful_bytes += fill_bytes as u64;
-                                    if traced {
-                                        site_shared[i].merge(&sh);
-                                        site_global[i].merge(&AccessSummary {
-                                            requests: fill_tx,
-                                            transactions: fill_tx,
-                                            lane_accesses: s.lane_accesses,
-                                        });
-                                    }
-                                }
-                                MemSpace::Constant => {
-                                    // Distinct words per row serialize.
-                                    let s = tr.reduce_global(eb.max(4) as u32);
-                                    extra_issue += (s.transactions - s.requests) as f64;
-                                    if traced {
-                                        site_global[i].merge(&s);
-                                    }
-                                }
-                                MemSpace::Texture => {
-                                    let line = cfg.tex_line_bytes as u64;
-                                    let (req0, miss0) = (totals.tex_requests, totals.tex_miss_lines);
-                                    tr.for_each_row(|row| {
-                                        totals.tex_requests += 1;
-                                        let mut lines: Vec<u64> = row.iter().map(|a| a / line).collect();
-                                        lines.sort_unstable();
-                                        lines.dedup();
-                                        for l in lines {
-                                            if !wm.dev.tex_cache.access(l * line) {
-                                                totals.tex_miss_lines += 1;
-                                            }
-                                        }
-                                    });
-                                    if traced {
-                                        site_global[i].merge(&AccessSummary {
-                                            requests: totals.tex_requests - req0,
-                                            transactions: totals.tex_miss_lines - miss0,
-                                            lane_accesses: 0,
-                                        });
-                                    }
+                                    b.set_i(e, fill_i);
                                 }
                             }
                         }
-                        SiteKind::Unused => {}
+                    }
+                    // Execute the warp in lockstep.
+                    let tid_base = blk * tpb as u64 + w * warp as u64;
+                    let atomic = {
+                        let mut ctx = bytecode::ExecCtx {
+                            prog,
+                            bufs,
+                            base: &base,
+                            elem_bytes: &elem_bytes,
+                            extents: &extents,
+                            strides: &strides,
+                            expansion: &expansion,
+                            priv_slot: &priv_slot,
+                            total_threads,
+                        };
+                        bytecode::exec_warp(&bc, scratch, &mut ctx, mask, tid_base)
+                    };
+                    // Fold reductions in ascending lane order — the same
+                    // combine sequence the tree path produces.
+                    let mut extra_atomic = 0u64;
+                    let mut m = mask;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        for (k, &(_, op, _)) in red_scalar.iter().enumerate() {
+                            let v = scratch.regs[bc.red_scalar_regs[k] as usize * wu + l];
+                            scal_acc[k] = op.combine(scal_acc[k], v);
+                        }
+                        for &(a, op) in &red_arrays {
+                            let slot = priv_slot[a.0 as usize] as usize;
+                            let src = &scratch.priv_bufs[slot * wu + l];
+                            let acc = arr_acc.get_mut(&a).expect("acc");
+                            for i in 0..src.len() {
+                                let cur =
+                                    if acc.elem.is_float() { Value::F(acc.get_f(i)) } else { Value::I(acc.get_i(i)) };
+                                let nv =
+                                    if src.elem.is_float() { Value::F(src.get_f(i)) } else { Value::I(src.get_i(i)) };
+                                let c = op.combine(cur, nv);
+                                if acc.elem.is_float() {
+                                    acc.set_f(i, c.as_f());
+                                } else {
+                                    acc.set_i(i, c.as_i());
+                                }
+                            }
+                            if atomic_serial {
+                                extra_atomic += src.len() as u64;
+                            }
+                        }
+                        if atomic_serial && !red_scalar.is_empty() {
+                            extra_atomic += red_scalar.len() as u64;
+                        }
+                    }
+                    // Price the warp's evidence.
+                    price_warp(
+                        plan,
+                        cfg,
+                        &site_kinds,
+                        &elem_bytes,
+                        partials_in_shared,
+                        &red_arrays,
+                        &scratch.traces,
+                        Some(&scratch.site_touched),
+                        &scratch.lane_ops,
+                        atomic + extra_atomic,
+                        tex_cache,
+                        &mut totals,
+                        traced,
+                        &mut site_global,
+                        &mut site_shared,
+                    );
+                    // Affine fast-path sites: one address row per site,
+                    // summarised through the memo instead of a trace.
+                    for (fidx, &site) in bc.fast_sites.iter().enumerate() {
+                        row.clear();
+                        let mut m = mask;
+                        while m != 0 {
+                            let l = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            row.push((l as u32, scratch.fast_rows[fidx * wu + l]));
+                        }
+                        let (eb, shared_reuse) = fast_pricing[fidx];
+                        match shared_reuse {
+                            None => {
+                                let s = scratch.memo.reduce_row(site, &row);
+                                totals.global_requests += s.requests;
+                                totals.global_transactions += s.transactions;
+                                totals.useful_bytes += s.lane_accesses * eb;
+                                if traced {
+                                    site_global[site as usize].merge(&s);
+                                }
+                            }
+                            Some(reuse) => {
+                                let sh = scratch.memo.reduce_row_shared(site, &row, cfg.shared_banks, 4);
+                                totals.shared_slots += sh.slots;
+                                let lane_accesses = row.len() as u64;
+                                let fill_bytes = (lane_accesses * eb) as f64 / reuse.max(1.0);
+                                let fill_tx = (fill_bytes / cfg.segment_bytes as f64).ceil() as u64;
+                                totals.global_transactions += fill_tx;
+                                totals.global_requests += fill_tx;
+                                totals.useful_bytes += fill_bytes as u64;
+                                if traced {
+                                    site_shared[site as usize].merge(&sh);
+                                    site_global[site as usize].merge(&AccessSummary {
+                                        requests: fill_tx,
+                                        transactions: fill_tx,
+                                        lane_accesses,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
-                totals.issue_cycles += warp_issue_cycles(&wm.lane_ops, divergent_rows) + extra_issue;
-                totals.atomic_slots += wm.atomic_accesses;
+            }
+        });
+    } else {
+        // Reference tree-walking engine: one `Interp` per warp, one pass per lane.
+        for blk in 0..total_blocks {
+            let bxi = blk % gx;
+            let byi = blk / gx;
+            for w in 0..warps_per_block {
+                let wm = WarpMachine {
+                    dev,
+                    plan,
+                    base: &base,
+                    elem_bytes: &elem_bytes,
+                    traces: (0..plan.site_count).map(|_| SiteWarpTrace::new(warp)).collect(),
+                    lane: 0,
+                    lane_ops: vec![0; warp as usize],
+                    in_critical: false,
+                    atomic_accesses: 0,
+                    priv_bufs: HashMap::new(),
+                    tid_linear: 0,
+                    total_threads,
+                    warp_size: warp,
+                };
+                let _ = wm.warp_size;
+                let mut it = Interp::with_env(prog, wm, base_env.clone());
+                let mut any_active = false;
+                for lane in 0..warp as u64 {
+                    let t = w * warp as u64 + lane;
+                    if t >= tpb as u64 {
+                        break;
+                    }
+                    let tx = t % bx;
+                    let ty = t / bx;
+                    let ix = bxi * bx + tx;
+                    let iy = byi * by + ty;
+                    if ix >= n0 || iy >= n1 {
+                        continue;
+                    }
+                    any_active = true;
+                    active_threads += 1;
+                    it.m.lane = lane as u32;
+                    it.m.tid_linear = blk * tpb as u64 + t;
+                    it.m.in_critical = false;
+                    // Fresh private buffers for this thread.
+                    it.m.priv_bufs.clear();
+                    for &(a, len, isf) in &priv_shapes {
+                        let elem = prog.array_elem(a);
+                        let mut b = Buffer::zeroed(elem, len);
+                        if let Some(&(_, op)) = red_arrays.iter().find(|(id, _)| *id == a) {
+                            for i in 0..len {
+                                if isf {
+                                    b.set_f(i, op.identity_f());
+                                } else {
+                                    b.set_i(i, op.identity_i());
+                                }
+                            }
+                        }
+                        it.m.priv_bufs.insert(a, b);
+                    }
+                    // Thread environment.
+                    it.scal.clone_from(&base_env);
+                    let v0 = eval_pure(&plan.axes[0].lo, &it.scal).as_i()
+                        + ix as i64 * eval_pure(&plan.axes[0].step, &it.scal).as_i();
+                    it.scal[plan.axes[0].var.0 as usize] = Value::I(v0);
+                    if plan.axes.len() > 1 {
+                        let v1 = eval_pure(&plan.axes[1].lo, &it.scal).as_i()
+                            + iy as i64 * eval_pure(&plan.axes[1].step, &it.scal).as_i();
+                        it.scal[plan.axes[1].var.0 as usize] = Value::I(v1);
+                    }
+                    // Scalar reduction identities.
+                    for (k, &(slot, op, isf)) in red_scalar.iter().enumerate() {
+                        let _ = k;
+                        it.scal[slot] = if isf { Value::F(op.identity_f()) } else { Value::I(op.identity_i()) };
+                    }
+                    // Execute the body.
+                    for s in &plan.body {
+                        it.exec_plain(s);
+                    }
+                    // Fold reductions.
+                    for (k, &(slot, op, _)) in red_scalar.iter().enumerate() {
+                        scal_acc[k] = op.combine(scal_acc[k], it.scal[slot]);
+                    }
+                    for &(a, op) in &red_arrays {
+                        let src = &it.m.priv_bufs[&a];
+                        let acc = arr_acc.get_mut(&a).expect("acc");
+                        for i in 0..src.len() {
+                            let cur = if acc.elem.is_float() { Value::F(acc.get_f(i)) } else { Value::I(acc.get_i(i)) };
+                            let nv = if src.elem.is_float() { Value::F(src.get_f(i)) } else { Value::I(src.get_i(i)) };
+                            let c = op.combine(cur, nv);
+                            if acc.elem.is_float() {
+                                acc.set_f(i, c.as_f());
+                            } else {
+                                acc.set_i(i, c.as_i());
+                            }
+                        }
+                        if matches!(plan.reduce_strategy, ReduceStrategy::AtomicSerial) {
+                            it.m.atomic_accesses += src.len() as u64;
+                        }
+                    }
+                    if matches!(plan.reduce_strategy, ReduceStrategy::AtomicSerial) && !red_scalar.is_empty() {
+                        it.m.atomic_accesses += red_scalar.len() as u64;
+                    }
+                }
+                // Reduce the warp's traces into totals.
+                let wm = it.m;
+                if any_active {
+                    price_warp(
+                        plan,
+                        cfg,
+                        &site_kinds,
+                        &elem_bytes,
+                        partials_in_shared,
+                        &red_arrays,
+                        &wm.traces,
+                        None,
+                        &wm.lane_ops,
+                        wm.atomic_accesses,
+                        &mut wm.dev.tex_cache,
+                        &mut totals,
+                        traced,
+                        &mut site_global,
+                        &mut site_shared,
+                    );
+                }
             }
         }
     }
@@ -631,17 +913,122 @@ pub fn launch_traced(
     LaunchResult { cost, totals, footprint, active_threads }
 }
 
-/// Machine used only to probe extents (never executes anything).
-struct NullMachine;
-impl Machine for NullMachine {
-    fn load(&mut self, _: ArrayId, _: usize, _: SiteId) -> Value {
-        panic!("NullMachine cannot load")
+/// Price one warp's worth of execution evidence into `totals`.
+///
+/// Shared by both engines: the tree walker feeds it from `WarpMachine`
+/// state, the bytecode engine from its thread-local `WarpScratch`. Keeping
+/// a single pricing routine is what makes the two engines bit-identical on
+/// everything downstream of the traces.
+#[allow(clippy::too_many_arguments)]
+fn price_warp(
+    plan: &KernelPlan,
+    cfg: &DeviceConfig,
+    site_kinds: &[SiteKind],
+    elem_bytes: &[u32],
+    partials_in_shared: bool,
+    red_arrays: &[(ArrayId, crate::types::ReduceOp)],
+    traces: &[SiteWarpTrace],
+    touched: Option<&[bool]>,
+    lane_ops: &[u64],
+    atomic_accesses: u64,
+    tex_cache: &mut Cache,
+    totals: &mut KernelTotals,
+    traced: bool,
+    site_global: &mut [AccessSummary],
+    site_shared: &mut [SharedSummary],
+) {
+    totals.warps += 1;
+    let mut divergent_rows = 0u64;
+    let mut extra_issue = 0.0f64;
+    for (i, tr) in traces.iter().enumerate() {
+        // The bytecode engine tracks which sites recorded anything this
+        // warp; skipping the rest changes nothing (empty traces price to
+        // zero) but avoids scanning every lane stream of every site.
+        if touched.is_some_and(|t| !t[i]) {
+            continue;
+        }
+        if tr.is_empty() {
+            continue;
+        }
+        match site_kinds[i] {
+            SiteKind::Branch => divergent_rows += tr.reduce_divergent_rows(),
+            SiteKind::Mem(arr) => {
+                let eb = elem_bytes[arr.0 as usize] as u64;
+                let space = if plan.expansion_of(arr).is_some() {
+                    // Reduction partials may be staged in shared.
+                    if partials_in_shared && red_arrays.iter().any(|(a, _)| *a == arr) {
+                        MemSpace::SharedTiled { reuse: 1.0 }
+                    } else {
+                        MemSpace::Global
+                    }
+                } else {
+                    plan.space_of(arr)
+                };
+                match space {
+                    MemSpace::Global => {
+                        let s = tr.reduce_global(cfg.segment_bytes);
+                        totals.global_requests += s.requests;
+                        totals.global_transactions += s.transactions;
+                        totals.useful_bytes += s.lane_accesses * eb;
+                        if traced {
+                            site_global[i].merge(&s);
+                        }
+                    }
+                    MemSpace::SharedTiled { reuse } => {
+                        let sh = tr.reduce_shared(cfg.shared_banks, 4);
+                        totals.shared_slots += sh.slots;
+                        let s = tr.reduce_global(cfg.segment_bytes);
+                        let fill_bytes = (s.lane_accesses * eb) as f64 / reuse.max(1.0);
+                        let fill_tx = (fill_bytes / cfg.segment_bytes as f64).ceil() as u64;
+                        totals.global_transactions += fill_tx;
+                        totals.global_requests += fill_tx;
+                        totals.useful_bytes += fill_bytes as u64;
+                        if traced {
+                            site_shared[i].merge(&sh);
+                            site_global[i].merge(&AccessSummary {
+                                requests: fill_tx,
+                                transactions: fill_tx,
+                                lane_accesses: s.lane_accesses,
+                            });
+                        }
+                    }
+                    MemSpace::Constant => {
+                        // Distinct words per row serialize.
+                        let s = tr.reduce_global(eb.max(4) as u32);
+                        extra_issue += (s.transactions - s.requests) as f64;
+                        if traced {
+                            site_global[i].merge(&s);
+                        }
+                    }
+                    MemSpace::Texture => {
+                        let line = cfg.tex_line_bytes as u64;
+                        let (req0, miss0) = (totals.tex_requests, totals.tex_miss_lines);
+                        tr.for_each_row(|row| {
+                            totals.tex_requests += 1;
+                            let mut lines: Vec<u64> = row.iter().map(|a| a / line).collect();
+                            lines.sort_unstable();
+                            lines.dedup();
+                            for l in lines {
+                                if !tex_cache.access(l * line) {
+                                    totals.tex_miss_lines += 1;
+                                }
+                            }
+                        });
+                        if traced {
+                            site_global[i].merge(&AccessSummary {
+                                requests: totals.tex_requests - req0,
+                                transactions: totals.tex_miss_lines - miss0,
+                                lane_accesses: 0,
+                            });
+                        }
+                    }
+                }
+            }
+            SiteKind::Unused => {}
+        }
     }
-    fn store(&mut self, _: ArrayId, _: usize, _: Value, _: SiteId) {
-        panic!("NullMachine cannot store")
-    }
-    fn ops(&mut self, _: u64) {}
-    fn intrin(&mut self, _: Intrin) {}
+    totals.issue_cycles += warp_issue_cycles(lane_ops, divergent_rows) + extra_issue;
+    totals.atomic_slots += atomic_accesses;
 }
 
 /// Convenience for tests: allocate+upload every array the kernel touches.

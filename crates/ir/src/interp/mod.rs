@@ -9,6 +9,7 @@
 //!   body through this evaluator against a warp-level machine that records
 //!   address traces.
 
+pub mod bytecode;
 pub mod cpu;
 pub mod gpu;
 
@@ -402,6 +403,7 @@ pub fn row_major_strides(extents: &[usize]) -> Vec<usize> {
 }
 
 /// Evaluate a binary operation with C-like promotion.
+#[inline]
 pub fn eval_bin(op: BinOp, x: Value, y: Value) -> Value {
     use BinOp::*;
     let both_int = matches!(x, Value::I(_) | Value::B(_)) && matches!(y, Value::I(_) | Value::B(_));
@@ -470,6 +472,7 @@ pub fn eval_bin(op: BinOp, x: Value, y: Value) -> Value {
 }
 
 /// Evaluate an intrinsic.
+#[inline]
 pub fn eval_intrin(f: Intrin, args: &[Value]) -> Value {
     match f {
         Intrin::Sqrt => Value::F(args[0].as_f().sqrt()),

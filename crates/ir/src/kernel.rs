@@ -6,9 +6,13 @@
 //! expansion layout, and memory-space placements. The GPU executor
 //! ([`crate::interp::gpu`]) runs plans functionally and prices them.
 
+use std::sync::{Arc, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use crate::expr::Expr;
+use crate::interp::bytecode::{compile, KernelBytecode};
+use crate::program::Program;
 use crate::stmt::Stmt;
 use crate::types::{ArrayId, ReduceOp, ScalarId, VarRef};
 
@@ -118,7 +122,54 @@ pub struct KernelPlan {
     /// footprint was derived from the tuning block geometry; `None` when
     /// `shared_bytes_per_block` is geometry-independent.
     pub tuned_shared_elem: Option<u32>,
+    /// Lazily compiled bytecode for the execution engine. Not part of the
+    /// plan's identity: compares equal, serializes as null, and is shared
+    /// (not recompiled) across clones — geometry retargeting keeps it valid
+    /// because the bytecode is block-shape-independent.
+    pub engine_cache: EngineCache,
 }
+
+/// Shared once-per-plan bytecode cache (see [`KernelPlan::engine_cache`]).
+///
+/// The slot holds `None` once compilation has been attempted and bailed
+/// (bodies with calls fall back to the tree engine), so the bail is also
+/// computed only once.
+#[derive(Clone, Default)]
+pub struct EngineCache {
+    slot: Arc<OnceLock<Option<Arc<KernelBytecode>>>>,
+}
+
+impl EngineCache {
+    /// The compiled bytecode for `plan`, compiling on first use. Returns
+    /// `None` when the body is out of the bytecode engine's scope.
+    pub fn get_or_compile(&self, prog: &Program, plan: &KernelPlan) -> Option<Arc<KernelBytecode>> {
+        self.slot.get_or_init(|| compile(prog, plan).map(Arc::new)).clone()
+    }
+}
+
+impl std::fmt::Debug for EngineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.slot.get() {
+            None => write!(f, "EngineCache(empty)"),
+            Some(None) => write!(f, "EngineCache(tree-fallback)"),
+            Some(Some(bc)) => write!(f, "EngineCache({} ops)", bc.op_count()),
+        }
+    }
+}
+
+impl PartialEq for EngineCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for EngineCache {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::Null
+    }
+}
+
+impl Deserialize for EngineCache {}
 
 impl KernelPlan {
     /// A plan with defaults: 1-D 256-thread blocks, no reductions, global
@@ -138,6 +189,7 @@ impl KernelPlan {
             site_count: 0,
             block_from_tuning: false,
             tuned_shared_elem: None,
+            engine_cache: EngineCache::default(),
         }
     }
 

@@ -1,0 +1,330 @@
+//! Engine equivalence: the bytecode kernel engine must be observationally
+//! identical to the reference tree-walker — same buffer bits, same scalar
+//! bits, same execution evidence (`KernelTotals`), same priced cost, on
+//! every kernel shape the lowering can produce.
+//!
+//! Handcrafted kernels pin down each feature (divergence, loops, private
+//! expansions, placements, reductions, critical sections, lane-serial
+//! hazard bodies); a property test then sweeps randomized race-free bodies.
+
+use acceval_ir::builder::*;
+use acceval_ir::expr::{ld, v};
+use acceval_ir::interp::gpu::{env_from_dataset, launch_with_engine, upload_all, DeviceState, Engine, LaunchResult};
+use acceval_ir::kernel::{axis, Expansion, KernelPlan, MemSpace, ReduceStrategy};
+use acceval_ir::program::{DataSet, HostData, Program};
+use acceval_ir::types::{ReduceOp, Value, VarRef};
+use acceval_sim::{Buffer, DeviceConfig, ElemType, Payload};
+use proptest::prelude::*;
+
+/// Run `plan` under one engine from a fresh device/scalar state.
+fn run_one(p: &Program, ds: &DataSet, plan: &KernelPlan, eng: Engine) -> (DeviceState, Vec<Value>, LaunchResult) {
+    let cfg = DeviceConfig::tesla_m2090();
+    let host = HostData::materialize(p, ds);
+    let mut dev = DeviceState::new(p, &cfg);
+    upload_all(p, &mut dev, &host);
+    let mut scal = env_from_dataset(p, ds);
+    let r = launch_with_engine(p, plan, &mut dev, &mut scal, &cfg, eng);
+    (dev, scal, r)
+}
+
+fn buffers_bit_equal(a: &Buffer, b: &Buffer) -> bool {
+    match (&a.data, &b.data) {
+        (Payload::F(x), Payload::F(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        (Payload::I(x), Payload::I(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn values_bit_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Launch under both engines and assert every observable matches bit-exact.
+fn assert_engines_agree(p: &Program, ds: &DataSet, plan: &KernelPlan) {
+    let (dt, st, rt) = run_one(p, ds, plan, Engine::Tree);
+    let (db, sb, rb) = run_one(p, ds, plan, Engine::Bytecode);
+    for (i, (ta, ba)) in dt.bufs.iter().zip(db.bufs.iter()).enumerate() {
+        match (ta, ba) {
+            (None, None) => {}
+            (Some(ta), Some(ba)) => {
+                assert!(buffers_bit_equal(ta, ba), "kernel {}: buffer {i} diverges between engines", plan.name)
+            }
+            _ => panic!("kernel {}: buffer {i} allocated under one engine only", plan.name),
+        }
+    }
+    for (i, (a, b)) in st.iter().zip(sb.iter()).enumerate() {
+        assert!(values_bit_equal(a, b), "kernel {}: scalar {i} diverges: {a:?} vs {b:?}", plan.name);
+    }
+    assert_eq!(rt.totals, rb.totals, "kernel {}: totals diverge", plan.name);
+    assert_eq!(rt.footprint, rb.footprint, "kernel {}: footprint diverges", plan.name);
+    assert_eq!(rt.active_threads, rb.active_threads, "kernel {}: active threads diverge", plan.name);
+    assert_eq!(rt.cost.time_secs.to_bits(), rb.cost.time_secs.to_bits(), "kernel {}: priced time diverges", plan.name);
+    assert_eq!(rt.cost, rb.cost, "kernel {}: cost breakdown diverges", plan.name);
+}
+
+/// n, x[n] (ramp), y[n] (zero), plus scratch scalars i/j/s/t.
+fn fixture(n: i64) -> (Program, DataSet) {
+    let mut pb = ProgramBuilder::new("eq");
+    let nn = pb.iscalar("n");
+    let _i = pb.iscalar("i");
+    let _j = pb.iscalar("j");
+    let _s = pb.fscalar("s");
+    let _t = pb.fscalar("t");
+    let x = pb.farray("x", vec![v(nn)]);
+    let _y = pb.farray("y", vec![v(nn)]);
+    let _q = pb.farray("q", vec![8i64.into()]);
+    let _a2 = pb.farray("a2", vec![v(nn), v(nn)]);
+    pb.main(vec![]);
+    let p = pb.build();
+    let ds = DataSet {
+        scalars: vec![(nn, Value::I(n))],
+        arrays: vec![(x, Buffer::from_f64(ElemType::F64, (0..n).map(|k| (k % 97) as f64 * 0.5 + 1.0).collect()))],
+        label: "eq".into(),
+    };
+    (p, ds)
+}
+
+fn finalized(mut k: KernelPlan) -> KernelPlan {
+    k.finalize();
+    k
+}
+
+#[test]
+fn intrinsics_divergence_and_select_agree() {
+    let (p, ds) = fixture(2000);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let x = p.array_named("x");
+    let y = p.array_named("y");
+    let e = ld(x, vec![v(i)]);
+    let body = vec![
+        if_else(
+            (v(i) % 3i64).eq_(0i64),
+            vec![store(y, vec![v(i)], e.clone().sqrt() + e.clone().exp().log())],
+            vec![store(y, vec![v(i)], e.clone().abs().pow(1.5) - e.clone().floor())],
+        ),
+        store(y, vec![v(i)], (v(i) % 5i64).lt(2i64).select(ld(y, vec![v(i)]) * 2.0, ld(y, vec![v(i)]) - 1.0)),
+    ];
+    assert_engines_agree(&p, &ds, &finalized(KernelPlan::new("intrin", vec![axis(i, v(n))], body)));
+}
+
+#[test]
+fn sequential_and_while_loops_agree() {
+    let (p, ds) = fixture(700);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let j = p.scalar_named("j");
+    let s = p.scalar_named("s");
+    let x = p.array_named("x");
+    let y = p.array_named("y");
+    // Per-thread accumulation with a data-dependent while: lanes exit at
+    // different trip counts, exercising mask churn in both loop forms.
+    let body = vec![
+        assign(s, 0.0),
+        sfor(j, 0i64, (v(i) % 7i64) + 1i64, vec![assign(s, v(s) + ld(x, vec![(v(i) + v(j)) % v(n)]))]),
+        wloop(v(s).lt(20.0), vec![assign(s, v(s) * 1.5 + 1.0)]),
+        store(y, vec![v(i)], v(s)),
+    ];
+    assert_engines_agree(&p, &ds, &finalized(KernelPlan::new("loops", vec![axis(i, v(n))], body)));
+}
+
+#[test]
+fn two_d_grid_and_multi_dim_index_agree() {
+    let (p, ds) = fixture(60);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let j = p.scalar_named("j");
+    let a2 = p.array_named("a2");
+    let body = vec![store(a2, vec![v(i), v(j)], (v(i) * 31i64 + v(j)).to_f() * 0.25)];
+    let k = KernelPlan::new("fill2d", vec![axis(i, v(n)), axis(j, v(n))], body).with_block(16, 8);
+    assert_engines_agree(&p, &ds, &finalized(k));
+}
+
+#[test]
+fn reductions_agree_under_both_strategies() {
+    let (p, ds) = fixture(3000);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let s = p.scalar_named("s");
+    let x = p.array_named("x");
+    let body = vec![assign(s, v(s) + ld(x, vec![v(i)]).sqrt())];
+    for strat in [ReduceStrategy::TwoLevelTree { partials_in_shared: true }, ReduceStrategy::AtomicSerial] {
+        let k = KernelPlan::new("red", vec![axis(i, v(n))], body.clone())
+            .with_reduction(ReduceOp::Add, VarRef::Scalar(s))
+            .with_reduce_strategy(strat);
+        assert_engines_agree(&p, &ds, &finalized(k));
+    }
+}
+
+#[test]
+fn array_reduction_agrees() {
+    let (p, ds) = fixture(2048);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let x = p.array_named("x");
+    let q = p.array_named("q");
+    // Histogram into an 8-bin reduction array (reduction arrays are
+    // privatized per thread and combined by the runtime).
+    let body = vec![store(q, vec![v(i) % 8i64], ld(q, vec![v(i) % 8i64]) + ld(x, vec![v(i)]))];
+    let k = KernelPlan::new("hist", vec![axis(i, v(n))], body)
+        .with_private(q, Expansion::Register)
+        .with_reduction(ReduceOp::Add, VarRef::Array(q));
+    assert_engines_agree(&p, &ds, &finalized(k));
+}
+
+#[test]
+fn private_expansions_agree() {
+    let (p, ds) = fixture(1024);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let j = p.scalar_named("j");
+    let s = p.scalar_named("s");
+    let y = p.array_named("y");
+    let q = p.array_named("q");
+    let body = vec![
+        sfor(j, 0i64, 8i64, vec![store(q, vec![v(j)], (v(i) * 3i64 + v(j)).to_f())]),
+        assign(s, 0.0),
+        sfor(j, 0i64, 8i64, vec![assign(s, v(s) + ld(q, vec![v(j)]) * ld(q, vec![(v(j) + 1i64) % 8i64]))]),
+        store(y, vec![v(i)], v(s)),
+    ];
+    for exp in [Expansion::RowWise, Expansion::ColumnWise, Expansion::Register] {
+        let k = KernelPlan::new("priv", vec![axis(i, v(n))], body.clone()).with_private(q, exp);
+        assert_engines_agree(&p, &ds, &finalized(k));
+    }
+}
+
+#[test]
+fn placements_agree() {
+    let (p, ds) = fixture(2048);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let x = p.array_named("x");
+    let y = p.array_named("y");
+    let body = vec![store(y, vec![v(i)], ld(x, vec![v(i) % 128i64]) + ld(x, vec![v(i)]))];
+    for space in [MemSpace::Constant, MemSpace::Texture, MemSpace::SharedTiled { reuse: 8.0 }] {
+        let k = KernelPlan::new("place", vec![axis(i, v(n))], body.clone()).with_placement(x, space);
+        assert_engines_agree(&p, &ds, &finalized(k));
+    }
+}
+
+#[test]
+fn critical_section_and_barrier_agree() {
+    let (p, ds) = fixture(512);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let y = p.array_named("y");
+    let body = vec![
+        store(y, vec![v(i)], v(i).to_f()),
+        barrier(),
+        critical(vec![store(y, vec![v(i)], ld(y, vec![v(i)]) + 1.0)]),
+    ];
+    assert_engines_agree(&p, &ds, &finalized(KernelPlan::new("crit", vec![axis(i, v(n))], body)));
+}
+
+#[test]
+fn lane_serial_hazard_body_agrees() {
+    // A body that both loads and stores the same global array (a blocked
+    // in-place update, like LUD's panels) must trip the bytecode engine's
+    // lane-serial hazard mode and still match the tree schedule exactly.
+    let (p, ds) = fixture(256);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let j = p.scalar_named("j");
+    let x = p.array_named("x");
+    let body =
+        vec![sfor(j, 0i64, 4i64, vec![store(x, vec![v(i)], ld(x, vec![(v(i) + v(j) * 17i64) % v(n)]) * 0.5 + 1.0)])];
+    assert_engines_agree(&p, &ds, &finalized(KernelPlan::new("hazard", vec![axis(i, v(n))], body)));
+}
+
+#[test]
+fn geometry_retarget_reuses_compiled_body() {
+    // with_geometry shares the engine cache; the retargeted plan must stay
+    // bit-identical under both engines and across block shapes.
+    let (p, ds) = fixture(999);
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let x = p.array_named("x");
+    let y = p.array_named("y");
+    let body = vec![store(y, vec![v(i)], ld(x, vec![v(i)]) * 3.0)];
+    let base = finalized(KernelPlan::new("geom", vec![axis(i, v(n))], body));
+    assert_engines_agree(&p, &ds, &base);
+    for bx in [32u32, 64, 256] {
+        // Same re-pointing the sweep's `retarget_block_geometry` performs:
+        // geometry changes, the cloned plan keeps the shared engine cache.
+        let mut re = base.clone();
+        re.block = (bx, 1);
+        assert_engines_agree(&p, &ds, &re);
+    }
+}
+
+// ---- randomized race-free kernel bodies -----------------------------------
+
+/// Build a race-free kernel body from a DNA vector: each gene appends one
+/// statement reading `x` and writing only `y[i]` or thread-local scalars,
+/// so lockstep and lane-serial schedules must agree no matter the order.
+fn dna_kernel(p: &Program, dna: &[(u8, i64)]) -> KernelPlan {
+    let n = p.scalar_named("n");
+    let i = p.scalar_named("i");
+    let j = p.scalar_named("j");
+    let s = p.scalar_named("s");
+    let x = p.array_named("x");
+    let y = p.array_named("y");
+    let mut body: Vec<_> = vec![assign(s, ld(x, vec![v(i)]))];
+    for &(op, c) in dna {
+        let c = c.rem_euclid(13) + 1;
+        let stmt = match op % 6 {
+            0 => assign(s, v(s) + ld(x, vec![(v(i) * c) % v(n)])),
+            1 => assign(s, (v(s) * 0.75).max(v(i).to_f() / c as f64)),
+            2 => iff((v(i) % c).eq_(0i64), vec![assign(s, v(s).sqrt() + 1.0)]),
+            3 => sfor(j, 0i64, c, vec![assign(s, v(s) + ld(x, vec![(v(i) + v(j)) % v(n)]) * 0.125)]),
+            4 => if_else(
+                v(s).lt(c as f64),
+                vec![assign(s, v(s) + 2.0)],
+                vec![assign(s, v(s) - ld(x, vec![v(i) % v(n)]))],
+            ),
+            _ => assign(s, (v(i) % c).lt(c / 2 + 1).select(v(s) * 1.25, v(s).abs() + 0.5)),
+        };
+        body.push(stmt);
+    }
+    body.push(store(y, vec![v(i)], v(s)));
+    finalized(KernelPlan::new("dna", vec![axis(i, v(n))], body))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized race-free bodies: both engines agree bit-for-bit on
+    /// buffers, scalars, evidence totals, and priced time.
+    #[test]
+    fn random_bodies_agree(dna in prop::collection::vec((0u8..6, 0i64..100), 1..10), n in 33i64..500) {
+        let (p, ds) = fixture(n);
+        let k = dna_kernel(&p, &dna);
+        assert_engines_agree(&p, &ds, &k);
+    }
+}
+
+// ---- unsupported-by-bytecode fallback --------------------------------------
+
+#[test]
+fn call_body_falls_back_to_tree() {
+    // Bodies with calls can't compile to bytecode; the bytecode engine must
+    // fall back to the tree walker transparently (same results, no panic).
+    let mut pb = ProgramBuilder::new("fb");
+    let n = pb.iscalar("n");
+    let i = pb.iscalar("i");
+    let a = pb.iscalar("a");
+    let t = pb.fscalar("t");
+    let y = pb.farray("y", vec![v(n)]);
+    let f = pb.func("sq", vec![a], vec![], vec![assign(t, (v(a) * v(a)).to_f() + 0.5)]);
+    pb.main(vec![]);
+    let p = pb.build();
+    let ds = DataSet { scalars: vec![(n, Value::I(100))], arrays: vec![], label: "fb".into() };
+    let body = vec![call(f, vec![v(i)], vec![]), store(y, vec![v(i)], v(t))];
+    let k = finalized(KernelPlan::new("call", vec![axis(i, v(n))], body));
+    assert_engines_agree(&p, &ds, &k);
+}

@@ -342,6 +342,14 @@ fn lower_loop(
         plan = plan.with_placement(a, sp);
     }
     plan.finalize();
+    // Compile the body to bytecode eagerly while the plan is hot: the
+    // sweep's compile memoization shares lowered plans (and this cache,
+    // through its `Arc`) across tuning points, and `retarget_block_geometry`
+    // re-points geometry without invalidating the geometry-independent
+    // bytecode.
+    if acceval_ir::interp::gpu::engine() == acceval_ir::interp::gpu::Engine::Bytecode {
+        let _ = plan.engine_cache.get_or_compile(prog, &plan);
+    }
     Ok(plan)
 }
 

@@ -158,6 +158,24 @@ impl Buffer {
         }
     }
 
+    /// Copy the contents of `src` into this buffer in place, reusing the
+    /// existing allocation. Both buffers must have the same element type and
+    /// length (use `clone()` when shapes may differ).
+    pub fn copy_from(&mut self, src: &Buffer) {
+        assert_eq!(self.elem, src.elem, "copy_from: element type mismatch");
+        match (&mut self.data, &src.data) {
+            (Payload::F(d), Payload::F(s)) => {
+                assert_eq!(d.len(), s.len(), "copy_from: length mismatch");
+                d.copy_from_slice(s);
+            }
+            (Payload::I(d), Payload::I(s)) => {
+                assert_eq!(d.len(), s.len(), "copy_from: length mismatch");
+                d.copy_from_slice(s);
+            }
+            _ => panic!("copy_from: payload kind mismatch"),
+        }
+    }
+
     /// Byte address of element `i` within this buffer (base 0).
     #[inline]
     pub fn elem_addr(&self, i: usize) -> u64 {

@@ -123,6 +123,20 @@ impl SiteWarpTrace {
         self.lane_addrs.iter().all(|v| v.is_empty())
     }
 
+    /// Number of lanes this trace was sized for.
+    pub fn lanes(&self) -> usize {
+        self.lane_addrs.len()
+    }
+
+    /// Clear all lane streams in place, keeping their allocations. Lets an
+    /// executor reuse one arena of traces across warps instead of
+    /// reallocating per warp.
+    pub fn clear(&mut self) {
+        for v in &mut self.lane_addrs {
+            v.clear();
+        }
+    }
+
     /// Reduce to global-memory transaction counts.
     pub fn reduce_global(&self, segment_bytes: u32) -> AccessSummary {
         let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
@@ -197,6 +211,187 @@ impl SiteWarpTrace {
             out.slots += bank_conflict_slots(&row, banks, word_bytes) as u64;
         }
         out
+    }
+}
+
+/// Multiply-xor hasher for the memo's small fixed-size keys. SipHash (the
+/// std default) costs more than the lookups it protects here; the memo is
+/// rebuilt per launch from trusted simulator state, so HashDoS resistance
+/// buys nothing.
+#[derive(Default)]
+pub struct FoldHasher(u64);
+
+impl std::hash::Hasher for FoldHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; hashbrown
+        // picks buckets from the low bits, so fold them down.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type MemoMap = std::collections::HashMap<(u32, u64, i64, u64), u64, std::hash::BuildHasherDefault<FoldHasher>>;
+
+/// Memoized reduction of *affine* per-warp address rows.
+///
+/// For an access site whose lane addresses form an arithmetic progression
+/// `addr(lane) = A + B·(lane − lane₀)` over the active lanes, the number of
+/// segments the row touches depends only on `A mod segment_bytes`, the
+/// stride `B`, and the set of active lanes — not on `A` itself (the segment
+/// partition is invariant under translation by whole segments). A launch
+/// executes thousands of warps whose rows differ only by such a translation,
+/// so one sort-and-dedup reduction per distinct signature serves all of
+/// them.
+///
+/// Every row is *verified* exactly before the memo is consulted; rows that
+/// are not an exact arithmetic progression fall back to
+/// [`segments_touched`]. The result is therefore bit-identical to
+/// [`SiteWarpTrace::reduce_global`] on the same row.
+#[derive(Debug)]
+pub struct AffineRowMemo {
+    segment_bytes: u32,
+    map: MemoMap,
+    /// Bank-conflict slot counts for shared-memory rows. Keyed like `map`
+    /// but with the base address taken modulo the bank-cycle width
+    /// (`banks * word_bytes`): the bank of `addr` is `(addr / word) % banks`,
+    /// so the conflict pattern of an affine row is invariant under
+    /// translation by whole bank cycles.
+    map_shared: MemoMap,
+    scratch: Vec<u64>,
+    /// Rows answered from the memo.
+    pub hits: u64,
+    /// Rows reduced the slow way (first sight of a signature, or non-affine).
+    pub misses: u64,
+}
+
+impl AffineRowMemo {
+    /// Empty memo for `segment_bytes`-sized transactions.
+    pub fn new(segment_bytes: u32) -> Self {
+        AffineRowMemo {
+            segment_bytes,
+            map: MemoMap::default(),
+            map_shared: MemoMap::default(),
+            scratch: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drop all memoized signatures (site numbering is only meaningful
+    /// within one launch) and set the segment size for the next launch.
+    pub fn reset(&mut self, segment_bytes: u32) {
+        self.segment_bytes = segment_bytes;
+        self.map.clear();
+        self.map_shared.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Reduce one occurrence row of `(lane, addr)` pairs (lane-ascending,
+    /// one access per active lane) for `site`. Returns the same summary
+    /// `reduce_global` would produce for a single-occurrence trace.
+    pub fn reduce_row(&mut self, site: u32, row: &[(u32, u64)]) -> AccessSummary {
+        let lanes = row.len() as u64;
+        if row.len() >= 2 {
+            let (l0, a0) = row[0];
+            let (l1, a1) = row[1];
+            let db = a1 as i128 - a0 as i128;
+            let dl = (l1 - l0) as i128;
+            if db % dl == 0 {
+                let b = (db / dl) as i64;
+                // Verify in wrapping u64 arithmetic: addresses are far below
+                // 2^63, so wrapping equality can only hold when the exact
+                // i128 equality does.
+                let affine = row
+                    .iter()
+                    .all(|&(l, a)| a == a0.wrapping_add((b as u64).wrapping_mul((l as u64).wrapping_sub(l0 as u64))));
+                if affine {
+                    let mut mask = 0u64;
+                    for &(l, _) in row {
+                        mask |= 1u64 << l;
+                    }
+                    let key = (site, a0 % self.segment_bytes as u64, b, mask);
+                    if let Some(&tx) = self.map.get(&key) {
+                        self.hits += 1;
+                        return AccessSummary { requests: 1, transactions: tx, lane_accesses: lanes };
+                    }
+                    let tx = self.reduce_slow(row);
+                    self.map.insert(key, tx);
+                    self.misses += 1;
+                    return AccessSummary { requests: 1, transactions: tx, lane_accesses: lanes };
+                }
+            }
+        }
+        self.misses += 1;
+        let tx = self.reduce_slow(row);
+        AccessSummary { requests: 1, transactions: tx, lane_accesses: lanes }
+    }
+
+    fn reduce_slow(&mut self, row: &[(u32, u64)]) -> u64 {
+        self.scratch.clear();
+        self.scratch.extend(row.iter().map(|&(_, a)| a));
+        segments_touched(&mut self.scratch, self.segment_bytes) as u64
+    }
+
+    /// Reduce one occurrence row as shared-memory traffic: the serialized
+    /// slot count [`bank_conflict_slots`] would produce, memoized for affine
+    /// rows. Bit-identical to `reduce_shared` on a single-occurrence trace.
+    pub fn reduce_row_shared(&mut self, site: u32, row: &[(u32, u64)], banks: u32, word_bytes: u32) -> SharedSummary {
+        let cycle = (banks * word_bytes) as u64;
+        if row.len() >= 2 {
+            let (l0, a0) = row[0];
+            let (l1, a1) = row[1];
+            let db = a1 as i128 - a0 as i128;
+            let dl = (l1 - l0) as i128;
+            if db % dl == 0 {
+                let b = (db / dl) as i64;
+                let affine = row
+                    .iter()
+                    .all(|&(l, a)| a == a0.wrapping_add((b as u64).wrapping_mul((l as u64).wrapping_sub(l0 as u64))));
+                if affine {
+                    let mut mask = 0u64;
+                    for &(l, _) in row {
+                        mask |= 1u64 << l;
+                    }
+                    let key = (site, a0 % cycle, b, mask);
+                    if let Some(&slots) = self.map_shared.get(&key) {
+                        self.hits += 1;
+                        return SharedSummary { slots, requests: 1 };
+                    }
+                    let slots = self.shared_slow(row, banks, word_bytes);
+                    self.map_shared.insert(key, slots);
+                    self.misses += 1;
+                    return SharedSummary { slots, requests: 1 };
+                }
+            }
+        }
+        self.misses += 1;
+        let slots = self.shared_slow(row, banks, word_bytes);
+        SharedSummary { slots, requests: 1 }
+    }
+
+    fn shared_slow(&mut self, row: &[(u32, u64)], banks: u32, word_bytes: u32) -> u64 {
+        self.scratch.clear();
+        self.scratch.extend(row.iter().map(|&(_, a)| a));
+        bank_conflict_slots(&self.scratch, banks, word_bytes) as u64
     }
 }
 
@@ -296,5 +491,38 @@ mod tests {
     #[test]
     fn segments_touched_handles_empty() {
         assert_eq!(segments_touched(&mut [], 128), 0);
+    }
+
+    #[test]
+    fn affine_memo_matches_reduce_global() {
+        let mut memo = AffineRowMemo::new(128);
+        let cases: Vec<Vec<u64>> = vec![
+            (0..32u64).map(|l| l * 4).collect(),        // unit stride f32
+            (0..32u64).map(|l| 4096 + l * 4).collect(), // same, translated by whole segments
+            (0..32u64).map(|l| 100 + l * 8).collect(),  // misaligned f64 stride
+            (0..32u64).map(|l| l * 1024).collect(),     // fully uncoalesced
+            vec![64; 32],                               // broadcast (stride 0)
+            (0..32u64).map(|l| l * l).collect(),        // non-affine fallback
+        ];
+        for addrs in cases {
+            let row: Vec<(u32, u64)> = addrs.iter().enumerate().map(|(l, &a)| (l as u32, a)).collect();
+            let got = memo.reduce_row(7, &row);
+            let want = trace_from_rows(&[addrs]).reduce_global(128);
+            assert_eq!(got, want);
+        }
+        assert!(memo.hits >= 1, "translated row should hit the memo");
+    }
+
+    #[test]
+    fn affine_memo_partial_warp() {
+        let mut memo = AffineRowMemo::new(128);
+        // Only odd lanes active, stride 4 between *consecutive lane numbers*.
+        let row: Vec<(u32, u64)> = (0..16u32).map(|i| (2 * i + 1, 256 + (2 * i + 1) as u64 * 4)).collect();
+        let got = memo.reduce_row(0, &row);
+        let mut t = SiteWarpTrace::new(32);
+        for &(l, a) in &row {
+            t.record(l, a);
+        }
+        assert_eq!(got, t.reduce_global(128));
     }
 }

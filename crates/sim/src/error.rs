@@ -1,0 +1,32 @@
+//! Simulation errors surfaced to the runtime instead of panicking.
+//!
+//! The functional device model distinguishes *model bugs* (which still
+//! assert/panic, e.g. out-of-bounds kernel accesses — those indicate a
+//! broken lowering) from *runtime protocol errors* that a real driver would
+//! report through a status code, such as downloading an array that was
+//! never allocated on the device. The latter are represented here and
+//! propagated through `acceval`'s GPU runtime into the model-run validation
+//! result.
+
+/// An error reported by the simulated device/runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device-to-host download was requested for an array that was never
+    /// allocated on the device.
+    DownloadUnallocated {
+        /// Name (or index, when the caller has no symbol table) of the array.
+        array: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::DownloadUnallocated { array } => {
+                write!(f, "download of unallocated device array `{array}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

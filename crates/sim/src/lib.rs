@@ -28,14 +28,16 @@ pub mod buffer;
 pub mod cache;
 pub mod coalesce;
 pub mod config;
+pub mod error;
 pub mod exec;
 pub mod stats;
 pub mod trace;
 
 pub use buffer::{Buffer, ElemType, Payload};
 pub use cache::{Cache, Hierarchy};
-pub use coalesce::{bank_conflict_slots, segments_touched, AccessSummary, SharedSummary, SiteWarpTrace};
+pub use coalesce::{bank_conflict_slots, segments_touched, AccessSummary, AffineRowMemo, SharedSummary, SiteWarpTrace};
 pub use config::{DeviceConfig, HostConfig, LinkConfig, MachineConfig, Occupancy};
+pub use error::SimError;
 pub use exec::{
     estimate_kernel, estimate_kernel_traced, warp_issue_cycles, Bound, KernelCost, KernelFootprint, KernelTotals,
 };

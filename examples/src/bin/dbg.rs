@@ -15,7 +15,7 @@ fn main() {
     for kind in ModelKind::figure1_models() {
         let port = b.port(kind);
         let c = acceval::compile_port(&port, kind, &ds, None);
-        let run = acceval::run_gpu_program(&c, &ds, &cfg);
+        let run = acceval::run_gpu_program(&c, &ds, &cfg).expect("gpu run");
         println!("== {:?} {:.3}ms (speedup {:.2})", kind, run.secs * 1e3, oracle.secs / run.secs);
         let mut agg: std::collections::BTreeMap<String, (u64, f64, u64)> = Default::default();
         for e in &run.timeline.events {

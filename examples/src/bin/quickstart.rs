@@ -41,7 +41,7 @@ fn main() {
     }
 
     // 5. Run the GPU version and walk its timeline.
-    let run = run_gpu_program(&compiled, &ds, &cfg);
+    let run = run_gpu_program(&compiled, &ds, &cfg).expect("gpu run");
     println!("GPU version: {:.3} ms  => speedup {:.2}x", run.secs * 1e3, oracle.secs / run.secs);
     let s = run.timeline.summary();
     println!(

@@ -14,13 +14,18 @@ use acceval::coverage::coverage_table;
 use acceval::figures::{figure1_subset_with_manifest, figure1_with_manifest};
 use acceval::models::ModelKind;
 use acceval::profile::{chrome_trace, RunProfile};
-use acceval::report::{figure1_csv, render_figure1, render_profile, render_sweep_summary, render_table2};
+use acceval::report::{
+    bench_sweep_json, figure1_csv, render_figure1, render_profile, render_sweep_summary, render_table2,
+};
 use acceval::sim::{MachineConfig, RecordingSink, TraceEvent};
 use acceval::sweep::{cached_compile, cached_dataset, cached_oracle};
 use acceval::tables::render_table1;
 
 /// Where the sweep manifest lands, next to `results/figure1.csv`.
 const MANIFEST_PATH: &str = "results/figure1_sweep.json";
+/// Machine-readable sweep benchmark record (total wall time, per-benchmark
+/// task times, engine name). Schema: see EXPERIMENTS.md.
+const BENCH_PATH: &str = "results/BENCH_sweep.json";
 
 const USAGE: &str = "usage: report -- <command> [flags]
 commands:
@@ -115,6 +120,11 @@ fn main() {
         {
             Ok(()) => eprintln!("{}wrote {MANIFEST_PATH}", render_sweep_summary(&manifest)),
             Err(e) => eprintln!("warning: could not write {MANIFEST_PATH}: {e}"),
+        }
+        let engine = acceval::ir::interp::gpu::engine_name();
+        match std::fs::write(BENCH_PATH, bench_sweep_json(&manifest, engine)) {
+            Ok(()) => eprintln!("wrote {BENCH_PATH} (engine: {engine})"),
+            Err(e) => eprintln!("warning: could not write {BENCH_PATH}: {e}"),
         }
     }
 }

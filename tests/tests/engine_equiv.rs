@@ -1,0 +1,67 @@
+//! Sweep-level engine equivalence: the bytecode kernel engine and the
+//! reference tree-walker must produce byte-identical artifacts — the
+//! Figure 1 CSV, sweep simulated quantities, and run profiles — so that
+//! `ACCEVAL_ENGINE=tree` is a pure speed knob, never a results knob.
+
+use std::sync::Mutex;
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::figures::figure1;
+use acceval::ir::interp::gpu::{set_engine_override, Engine};
+use acceval::models::ModelKind;
+use acceval::profile::chrome_trace;
+use acceval::report::figure1_csv;
+use acceval::sim::{MachineConfig, RecordingSink};
+use acceval::sweep::{cached_compile, cached_dataset, cached_oracle};
+
+/// The engine override is process-global; serialize the tests that flip it.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the engine pinned, restoring the default on exit (also on
+/// panic, so one failing test can't poison the engine for the others).
+fn with_engine<T>(eng: Engine, f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_engine_override(None);
+        }
+    }
+    let _guard = ENGINE_LOCK.lock().unwrap();
+    let _reset = Reset;
+    set_engine_override(Some(eng));
+    f()
+}
+
+/// The full Figure 1 sweep (tuning on) renders to a byte-identical CSV
+/// under both engines.
+#[test]
+fn figure1_csv_is_engine_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let tree = with_engine(Engine::Tree, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+    let byte = with_engine(Engine::Bytecode, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+    assert_eq!(tree, byte, "figure1.csv must be byte-identical across engines");
+}
+
+/// A profiled single run emits the same Chrome trace (every span, transfer,
+/// kernel cost, and coalescing evidence event) under both engines.
+#[test]
+fn run_profile_is_engine_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named("jacobi").expect("jacobi exists");
+    let trace_under = |eng: Engine| {
+        with_engine(eng, || {
+            let ds = cached_dataset(b.as_ref(), Scale::Test);
+            let oracle = cached_oracle(b.as_ref(), Scale::Test, &cfg);
+            let compiled = cached_compile(b.as_ref(), ModelKind::ManualCuda, Scale::Test, None);
+            let mut sink = RecordingSink::new();
+            let run = acceval::run_compiled_traced(b.as_ref(), &compiled, &ds, &cfg, &oracle.run, &mut sink);
+            assert!(run.valid.is_ok(), "jacobi must validate: {:?}", run.valid);
+            (chrome_trace(&sink.take()), run.secs.to_bits(), run.speedup.to_bits())
+        })
+    };
+    let (tt, ts, tsp) = trace_under(Engine::Tree);
+    let (bt, bs, bsp) = trace_under(Engine::Bytecode);
+    assert_eq!(ts, bs, "simulated seconds must be bit-identical across engines");
+    assert_eq!(tsp, bsp, "speedup must be bit-identical across engines");
+    assert_eq!(tt, bt, "chrome trace must be byte-identical across engines");
+}
