@@ -26,6 +26,38 @@ pub struct ModelRun {
     pub valid: Result<(), String>,
     /// Regions that stayed on the host.
     pub unsupported_regions: usize,
+    /// The costliest kernel of the run's timeline (None if the run failed
+    /// or launched no kernels) — the next optimization target.
+    pub kernel_hotspot: Option<KernelHotspot>,
+}
+
+/// The costliest kernel of one run: simulated seconds and launch count
+/// summed over every launch with the same kernel name.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelHotspot {
+    pub kernel: String,
+    /// Simulated seconds across all launches of this kernel.
+    pub secs: f64,
+    pub launches: u64,
+}
+
+/// Aggregate a timeline's kernel launches by name (first-launch order) and
+/// return the costliest one by total simulated seconds (ties keep the
+/// earlier kernel, so the answer is deterministic).
+fn kernel_hotspot_of(timeline: &acceval_sim::Timeline) -> Option<KernelHotspot> {
+    let mut agg: Vec<KernelHotspot> = Vec::new();
+    for e in &timeline.events {
+        if let acceval_sim::Event::Kernel { name, cost, .. } = e {
+            match agg.iter_mut().find(|h| h.kernel == *name) {
+                Some(h) => {
+                    h.secs += cost.time_secs;
+                    h.launches += 1;
+                }
+                None => agg.push(KernelHotspot { kernel: name.clone(), secs: cost.time_secs, launches: 1 }),
+            }
+        }
+    }
+    agg.into_iter().reduce(|best, h| if h.secs > best.secs { h } else { best })
 }
 
 /// All results for one benchmark.
@@ -128,6 +160,7 @@ pub fn run_compiled_traced(
                 summary: acceval_sim::Timeline::new().summary(),
                 valid: Err(format!("runtime error: {e}")),
                 unsupported_regions: compiled.unsupported.len(),
+                kernel_hotspot: None,
             }
         }
     };
@@ -147,6 +180,7 @@ pub fn run_compiled_traced(
         summary: run.timeline.summary(),
         valid,
         unsupported_regions: compiled.unsupported.len(),
+        kernel_hotspot: kernel_hotspot_of(&run.timeline),
     }
 }
 

@@ -116,6 +116,17 @@ pub fn render_sweep_summary(m: &SweepManifest) -> String {
         let _ =
             writeln!(out, "    #{:<4} {:10} {:18} {:.3}s", s.task, s.benchmark, format!("{:?}", s.model), s.wall_secs);
     }
+    // Name the dominant kernel inside the critical-path task so the next
+    // optimization target is visible without a separate profile run.
+    if let Some(s) = m.slowest_tasks.first() {
+        if let Some(h) = m.records.iter().find(|r| r.task == s.task).and_then(|r| r.kernel_hotspot.as_ref()) {
+            let _ = writeln!(
+                out,
+                "  slowest kernel in #{}: {} ({:.3}s simulated over {} launch(es))",
+                s.task, h.kernel, h.secs, h.launches
+            );
+        }
+    }
     out.push_str("  wall seconds by model:\n");
     for g in &m.by_model {
         let _ = writeln!(out, "    {:18} {:4} tasks  {:.3}s", g.name, g.tasks, g.wall_secs);
@@ -221,6 +232,9 @@ pub struct BenchSweep {
     pub wall_secs: f64,
     /// Sum of per-task wall seconds (serial-equivalent cost).
     pub task_wall_secs: f64,
+    /// The longest oracle-then-slowest-task chain in wall seconds: the
+    /// floor any schedule (and intra-launch parallelism) is chipping at.
+    pub critical_path_secs: f64,
     /// Per-benchmark wall/sim accounting, one entry per benchmark.
     pub benchmarks: Vec<crate::sweep::GroupTotals>,
 }
@@ -228,7 +242,7 @@ pub struct BenchSweep {
 /// Build the `results/BENCH_sweep.json` payload from a sweep manifest.
 pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
     let payload = BenchSweep {
-        schema: "acceval-bench-sweep/1".to_string(),
+        schema: "acceval-bench-sweep/2".to_string(),
         engine: engine.to_string(),
         scale: m.scale.clone(),
         with_tuning: m.with_tuning,
@@ -236,6 +250,7 @@ pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
         tasks: m.tasks,
         wall_secs: m.wall_secs,
         task_wall_secs: m.task_wall_secs,
+        critical_path_secs: m.critical_path_secs,
         benchmarks: m.by_benchmark.clone(),
     };
     serde_json::to_string_pretty(&payload).expect("bench sweep serializes")

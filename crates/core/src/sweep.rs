@@ -15,11 +15,13 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::CpuRun;
+use acceval_ir::interp::gpu::{launch_par, set_launch_par_hint, LaunchPar};
 use acceval_ir::program::DataSet;
 use acceval_models::{model, ModelKind, TuningPoint};
 use acceval_sim::{MachineConfig, RecordingSink, Summary, TraceEvent, TraceSink};
@@ -207,6 +209,12 @@ pub struct RunRecord {
     pub compile_cached: bool,
     /// The folded run profile (only when the sweep ran with profiling).
     pub profile: Option<crate::profile::RunProfile>,
+    /// Whether the scheduler enabled intra-launch (block-chunk) parallelism
+    /// for this task — true on the sweep tail, where finished workers would
+    /// otherwise idle. Scheduling metadata only; never affects results.
+    pub launch_parallel: bool,
+    /// The costliest kernel of this task's simulated timeline.
+    pub kernel_hotspot: Option<crate::eval::KernelHotspot>,
     /// Wall-clock seconds this task spent simulating (harness time, not
     /// simulated time; nondeterministic and excluded from figure output).
     pub wall_secs: f64,
@@ -286,8 +294,20 @@ fn run_task(
     cfg: &MachineConfig,
     scale: Scale,
     with_profile: bool,
+    launch_parallel: bool,
 ) -> RunRecord {
     let t0 = Instant::now();
+    // Two-level parallelism policy: hint the launch executor (thread-local,
+    // so it only affects this task's launches) and reset on every exit path
+    // — the worker thread is reused for later tasks.
+    struct HintReset;
+    impl Drop for HintReset {
+        fn drop(&mut self) {
+            set_launch_par_hint(None);
+        }
+    }
+    set_launch_par_hint(Some(launch_parallel));
+    let _reset = HintReset;
     let ds = cached_dataset(bench, scale);
     let (oracle, oracle_cached) = cached_oracle_tracked(bench, scale, cfg);
     let (compiled, compile_cached) = cached_compile_tracked(bench, task.model, scale, task.tuning.as_ref());
@@ -322,6 +342,8 @@ fn run_task(
         oracle_cached,
         compile_cached,
         profile,
+        launch_parallel,
+        kernel_hotspot: r.kernel_hotspot,
         wall_secs: t0.elapsed().as_secs_f64(),
     }
 }
@@ -350,10 +372,30 @@ pub fn run_sweep_profiled(
     let tasks = enumerate_tasks(benches, with_tuning);
     let by_name: HashMap<&str, &dyn Benchmark> = benches.iter().map(|b| (b.spec().name, *b)).collect();
 
+    // The worker count the pool will actually use for this task list (the
+    // shim caps its pool at the task count) — computed up front so the
+    // manifest records what ran, not what a later env read would claim.
+    let workers = rayon::current_num_threads().min(tasks.len().max(1)).max(1);
+    // Two-level parallelism: while every worker has queued tasks, each task
+    // runs its launches serially (task-level parallelism already saturates
+    // the pool). Once the not-yet-started tail is at most one task per
+    // worker, finishing workers start idling — from there each task may
+    // also chunk its kernel launches across blocks. `launch_par()` On/Off
+    // overrides the policy in both directions.
+    let started = AtomicUsize::new(0);
+    let tail_from = tasks.len().saturating_sub(workers);
     let indexed: Vec<(usize, &SweepTask)> = tasks.iter().enumerate().collect();
     let records: Vec<RunRecord> = indexed
         .par_iter()
-        .map(|(i, t)| run_task(by_name[t.benchmark.as_str()], t, *i, cfg, scale, with_profile))
+        .map(|(i, t)| {
+            let tail = started.fetch_add(1, Ordering::Relaxed) >= tail_from;
+            let launch_parallel = match launch_par() {
+                LaunchPar::On => true,
+                LaunchPar::Off => false,
+                LaunchPar::Auto => tail,
+            };
+            run_task(by_name[t.benchmark.as_str()], t, *i, cfg, scale, with_profile, launch_parallel)
+        })
         .collect();
     let wall_secs = t0.elapsed().as_secs_f64();
 
@@ -418,7 +460,6 @@ pub fn run_sweep_profiled(
             o.wall_secs + slowest_task
         })
         .fold(0.0f64, f64::max);
-    let workers = rayon::current_num_threads().max(1);
     let parallel_efficiency =
         if wall_secs > 0.0 { (task_wall_secs / (wall_secs * workers as f64)).min(1.0) } else { 1.0 };
 
@@ -467,6 +508,7 @@ pub fn bench_results(manifest: &SweepManifest) -> Vec<BenchResult> {
                         summary: d.summary,
                         valid: d.valid.clone(),
                         unsupported_regions: d.unsupported_regions,
+                        kernel_hotspot: d.kernel_hotspot.clone(),
                     });
                 }
                 let of_kind: Vec<&&RunRecord> = recs.iter().filter(|r| r.model == kind).collect();

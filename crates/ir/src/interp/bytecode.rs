@@ -36,10 +36,10 @@
 //! analytic fast path: their single per-warp address row is captured
 //! directly and summarised through [`acceval_sim::AffineRowMemo`].
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Mutex;
 
-use acceval_sim::{AffineRowMemo, Buffer, ElemType, SiteWarpTrace};
+use acceval_sim::{AffineRowMemo, Buffer, ElemType, Payload, SiteWarpTrace};
 
 use crate::analysis::affine::expr_affine;
 use crate::expr::{BinOp, Expr, Intrin, UnOp};
@@ -276,6 +276,23 @@ pub struct KernelBytecode {
     /// reproduces that ordering exactly while keeping the compiled
     /// dispatch and the allocation-free register file.
     pub(crate) serial_lanes: bool,
+    /// Blocks of this kernel may execute concurrently: every store to a
+    /// shared (non-private) array is lane-disjoint, and so is every load of
+    /// a stored array, so no simulated thread can observe another thread's
+    /// writes through device memory. Any block partition then produces the
+    /// functional outcome of the serial block walk. One tangled access to a
+    /// stored array (even when lane-serial execution would still be sound
+    /// within a warp) makes the outcome depend on block execution order and
+    /// disqualifies the launch.
+    pub(crate) par_blocks_ok: bool,
+    /// Every block with the same active-lane shape prices identically up to
+    /// address translation: all memory accesses ride the affine fast path,
+    /// there is no data-dependent control flow (`If`/`While`/`Select`) or
+    /// critical section, and every `For` bound (including the loop-variable
+    /// init) is launch-uniform. Under this flag the per-block pricing is a
+    /// pure function of (active width, per-site base address mod its
+    /// translation modulus), which enables representative-block dedup.
+    pub(crate) uniform_pricing: bool,
 }
 
 impl KernelBytecode {
@@ -400,6 +417,11 @@ pub fn compile(prog: &Program, plan: &KernelPlan) -> Option<KernelBytecode> {
         }
     });
     let serial_lanes = store_sites.iter().any(|(a, &n)| (n > 1 || loaded.contains(a)) && tangled.contains(a));
+    // Block-level parallelism needs the stronger form of the same analysis:
+    // every stored array must be untangled outright (`tangled` already folds
+    // in the load indexings), so each thread touches only elements owned by
+    // its unique global id and block order cannot matter.
+    let par_blocks_ok = store_sites.keys().all(|a| !tangled.contains(a));
 
     let scal_reg: BTreeMap<u32, u16> = scal_ids.iter().enumerate().map(|(k, &s)| (s, k as u16)).collect();
     let temp_base = (scal_reg.len() + const_count) as u16;
@@ -420,6 +442,7 @@ pub fn compile(prog: &Program, plan: &KernelPlan) -> Option<KernelBytecode> {
         fast_sites: Vec::new(),
         depth: 0,
         pending: 0,
+        price_uniform: true,
     };
     c.next_const = c.scal_reg.len() as u16;
     for s in &plan.body {
@@ -455,6 +478,18 @@ pub fn compile(prog: &Program, plan: &KernelPlan) -> Option<KernelBytecode> {
         })
         .collect();
 
+    // Uniform pricing: every access on the fast path, no mask-splitting or
+    // data-dependent ops in the stream. `For` bounds were vetted at emission
+    // (`price_uniform`): launch-uniform init/hi/step make every lane of
+    // every block run the same trip counts, so per-block op charges depend
+    // only on the block's active-lane shape.
+    let uniform_pricing = c.price_uniform
+        && c.code.iter().all(|op| match *op {
+            Op::Load { fast, .. } | Op::Store { fast, .. } => fast >= 0,
+            Op::If { .. } | Op::While { .. } | Op::Select { .. } | Op::CritEnter | Op::CritExit => false,
+            _ => true,
+        });
+
     Some(KernelBytecode {
         code: c.code,
         pool: c.pool,
@@ -466,6 +501,8 @@ pub fn compile(prog: &Program, plan: &KernelPlan) -> Option<KernelBytecode> {
         red_scalar_regs,
         fast_sites: c.fast_sites,
         serial_lanes,
+        par_blocks_ok,
+        uniform_pricing,
     })
 }
 
@@ -497,6 +534,9 @@ struct Compiler<'a> {
     /// Structural nesting depth; only depth-0 accesses execute exactly once
     /// per lane and qualify for the affine fast path.
     depth: u32,
+    /// Cleared when a `For` bound (init/hi/step) is not launch-uniform;
+    /// feeds `KernelBytecode::uniform_pricing`.
+    price_uniform: bool,
 }
 
 impl Compiler<'_> {
@@ -698,6 +738,18 @@ impl Compiler<'_> {
         f
     }
 
+    /// Launch-uniform: no loads, no axis variables, no body-assigned
+    /// scalars — the value is identical for every lane of every block.
+    fn launch_uniform(&self, e: &Expr) -> bool {
+        let mut ok = true;
+        e.visit(&mut |x| match x {
+            Expr::Load { .. } => ok = false,
+            Expr::Var(s) if self.assigned.contains(&s.0) || self.axis_vars.contains(s) => ok = false,
+            _ => {}
+        });
+        ok
+    }
+
     fn stmt(&mut self, s: &Stmt) {
         let tb = self.temp_base;
         match s {
@@ -748,6 +800,11 @@ impl Compiler<'_> {
                 }
             }
             Stmt::For { var, lo, hi, step, body, .. } => {
+                if !(self.launch_uniform(lo) && self.launch_uniform(hi) && self.launch_uniform(step)) {
+                    // Trip counts vary per lane or block: per-block op
+                    // charges are no longer a pure function of lane shape.
+                    self.price_uniform = false;
+                }
                 let vr = self.reg(*var);
                 // `lo` may mention the loop variable; expressions never
                 // write scalar registers, so route through a temp.
@@ -940,19 +997,154 @@ impl WarpScratch {
     }
 }
 
-thread_local! {
-    static SCRATCH: RefCell<WarpScratch> = RefCell::new(WarpScratch::new());
+/// Pool of warp-scratch arenas. A checkout pops an arena (or builds a fresh
+/// one) and returns it when done, which — unlike the previous single
+/// thread-local slot — is re-entrant: a nested launch on the same thread
+/// simply checks out a second arena instead of aliasing the first, and the
+/// short-lived block-chunk workers of a parallel launch share warmed arenas
+/// instead of rebuilding one behind each new thread's thread-local.
+static SCRATCH_POOL: Mutex<Vec<WarpScratch>> = Mutex::new(Vec::new());
+
+/// Arenas kept warm across launches; enough for a large worker pool plus
+/// nesting, while bounding steady-state memory.
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// Run `f` against a warp scratch arena checked out of the process pool.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut WarpScratch) -> R) -> R {
+    let mut s = {
+        let mut pool = SCRATCH_POOL.lock().unwrap();
+        pool.pop().unwrap_or_else(WarpScratch::new)
+    };
+    let r = f(&mut s);
+    // Unwinds (a kernel panic inside `f`) simply drop the arena; the pool
+    // lock is never held across user code, so it cannot be poisoned.
+    let mut pool = SCRATCH_POOL.lock().unwrap();
+    if pool.len() < SCRATCH_POOL_CAP {
+        pool.push(s);
+    }
+    r
 }
 
-/// Run `f` against this worker thread's warp scratch arena.
-pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut WarpScratch) -> R) -> R {
-    SCRATCH.with(|c| f(&mut c.borrow_mut()))
+/// Raw view of one device buffer, shared by every warp executor of a
+/// launch. Exactly one of `f`/`i` is non-null for an allocated buffer;
+/// accessors bounds-check against `len` so out-of-range indices still panic
+/// (never UB), matching the `Vec`-indexing discipline of [`Buffer`].
+///
+/// # Safety
+/// `RawBuf` is `Send + Sync` so block chunks can execute on scoped worker
+/// threads while all viewing the same buffers. That is sound only under the
+/// launch eligibility rule enforced in `gpu.rs`: a launch runs
+/// block-parallel only when [`KernelBytecode::par_blocks_ok`] proved every
+/// access to every stored array lane-disjoint, so no element is ever
+/// touched by two threads with at least one writing it. The serial path
+/// uses the same views with a single executor, where aliasing is moot.
+#[derive(Clone, Copy)]
+pub(crate) struct RawBuf {
+    f: *mut f64,
+    i: *mut i64,
+    len: usize,
+    is_f: bool,
+    alloc: bool,
+}
+
+#[allow(unsafe_code)]
+unsafe impl Send for RawBuf {}
+#[allow(unsafe_code)]
+unsafe impl Sync for RawBuf {}
+
+#[allow(unsafe_code)]
+impl RawBuf {
+    /// View an optional device buffer slot.
+    pub(crate) fn of(slot: &mut Option<Buffer>) -> RawBuf {
+        match slot {
+            None => RawBuf { f: std::ptr::null_mut(), i: std::ptr::null_mut(), len: 0, is_f: false, alloc: false },
+            Some(b) => {
+                let is_f = b.elem.is_float();
+                match &mut b.data {
+                    Payload::F(v) => {
+                        RawBuf { f: v.as_mut_ptr(), i: std::ptr::null_mut(), len: v.len(), is_f, alloc: true }
+                    }
+                    Payload::I(v) => {
+                        RawBuf { f: std::ptr::null_mut(), i: v.as_mut_ptr(), len: v.len(), is_f, alloc: true }
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_alloc(&self) -> bool {
+        self.alloc
+    }
+
+    /// Element type is float (drives `Value` wrapping, like `Buffer::elem`).
+    #[inline]
+    pub(crate) fn elem_is_float(&self) -> bool {
+        self.is_f
+    }
+
+    #[inline]
+    fn check(&self, idx: usize) {
+        assert!(idx < self.len, "buffer index {idx} out of range (len {})", self.len);
+    }
+
+    /// Read as f64 (integer payloads cast, mirroring [`Buffer::get_f`]).
+    #[inline]
+    pub(crate) fn get_f(&self, idx: usize) -> f64 {
+        self.check(idx);
+        unsafe {
+            if self.f.is_null() {
+                *self.i.add(idx) as f64
+            } else {
+                *self.f.add(idx)
+            }
+        }
+    }
+
+    /// Read as i64 (float payloads cast, mirroring [`Buffer::get_i`]).
+    #[inline]
+    pub(crate) fn get_i(&self, idx: usize) -> i64 {
+        self.check(idx);
+        unsafe {
+            if self.f.is_null() {
+                *self.i.add(idx)
+            } else {
+                *self.f.add(idx) as i64
+            }
+        }
+    }
+
+    /// Write an f64 (integer payloads cast, mirroring [`Buffer::set_f`]).
+    #[inline]
+    pub(crate) fn set_f(&self, idx: usize, x: f64) {
+        self.check(idx);
+        unsafe {
+            if self.f.is_null() {
+                *self.i.add(idx) = x as i64;
+            } else {
+                *self.f.add(idx) = x;
+            }
+        }
+    }
+
+    /// Write an i64 (float payloads cast, mirroring [`Buffer::set_i`]).
+    #[inline]
+    pub(crate) fn set_i(&self, idx: usize, x: i64) {
+        self.check(idx);
+        unsafe {
+            if self.f.is_null() {
+                *self.i.add(idx) = x;
+            } else {
+                *self.f.add(idx) = x as f64;
+            }
+        }
+    }
 }
 
 /// Launch-wide immutable context the executor needs besides the scratch.
 pub(crate) struct ExecCtx<'a> {
     pub prog: &'a Program,
-    pub bufs: &'a mut [Option<Buffer>],
+    pub bufs: &'a [RawBuf],
     pub base: &'a [u64],
     pub elem_bytes: &'a [u32],
     pub extents: &'a [Vec<usize>],
@@ -969,13 +1161,7 @@ use super::gpu::PRIV_BASE;
 /// Execute the compiled body for one warp. `mask` holds the active lanes,
 /// `tid_base` is the linear thread id of lane 0. Returns the number of
 /// atomic accesses performed inside critical sections.
-pub(crate) fn exec_warp(
-    bc: &KernelBytecode,
-    s: &mut WarpScratch,
-    ctx: &mut ExecCtx<'_>,
-    mask: u64,
-    tid_base: u64,
-) -> u64 {
+pub(crate) fn exec_warp(bc: &KernelBytecode, s: &mut WarpScratch, ctx: &ExecCtx<'_>, mask: u64, tid_base: u64) -> u64 {
     let warp = s.warp;
     let mut vm = Vm {
         code: &bc.code,
@@ -1018,7 +1204,7 @@ struct Vm<'a, 'b> {
     touched: &'a mut [bool],
     fast_rows: &'a mut [u64],
     priv_bufs: &'a mut [Buffer],
-    ctx: &'a mut ExecCtx<'b>,
+    ctx: &'a ExecCtx<'b>,
     tid_base: u64,
     in_critical: bool,
     atomic: u64,
@@ -1182,10 +1368,11 @@ impl Vm<'_, '_> {
                         let base = self.ctx.base[a];
                         let strides = &self.ctx.strides[a];
                         let extents = &self.ctx.extents[a];
-                        let buf = self.ctx.bufs[a]
-                            .as_ref()
-                            .unwrap_or_else(|| panic!("kernel read of unallocated device array {a}"));
-                        let isf = buf.elem.is_float();
+                        let buf = self.ctx.bufs[a];
+                        if !buf.is_alloc() {
+                            panic!("kernel read of unallocated device array {a}");
+                        }
+                        let isf = buf.elem_is_float();
                         let wu = self.w;
                         let fo = fast as usize * wu;
                         let dof = dst as usize * wu;
@@ -1270,10 +1457,11 @@ impl Vm<'_, '_> {
                         let strides = &self.ctx.strides[a];
                         let extents = &self.ctx.extents[a];
                         let name = self.ctx.prog.array_name(ArrayId(a as u32));
-                        let buf = self.ctx.bufs[a]
-                            .as_mut()
-                            .unwrap_or_else(|| panic!("kernel write of unallocated device array {a}"));
-                        let isf = buf.elem.is_float();
+                        let buf = self.ctx.bufs[a];
+                        if !buf.is_alloc() {
+                            panic!("kernel write of unallocated device array {a}");
+                        }
+                        let isf = buf.elem_is_float();
                         let wu = self.w;
                         let fo = fast as usize * wu;
                         let so = src as usize * wu;
@@ -1517,28 +1705,44 @@ impl Vm<'_, '_> {
     }
 
     fn read(&self, a: usize, flat: usize, l: usize) -> Value {
-        let b = if self.ctx.priv_slot[a] >= 0 {
-            &self.priv_bufs[self.ctx.priv_slot[a] as usize * self.w + l]
+        if self.ctx.priv_slot[a] >= 0 {
+            let b = &self.priv_bufs[self.ctx.priv_slot[a] as usize * self.w + l];
+            if b.elem.is_float() {
+                Value::F(b.get_f(flat))
+            } else {
+                Value::I(b.get_i(flat))
+            }
         } else {
-            self.ctx.bufs[a].as_ref().unwrap_or_else(|| panic!("kernel read of unallocated device array {}", a))
-        };
-        if b.elem.is_float() {
-            Value::F(b.get_f(flat))
-        } else {
-            Value::I(b.get_i(flat))
+            let b = self.ctx.bufs[a];
+            if !b.is_alloc() {
+                panic!("kernel read of unallocated device array {a}");
+            }
+            if b.elem_is_float() {
+                Value::F(b.get_f(flat))
+            } else {
+                Value::I(b.get_i(flat))
+            }
         }
     }
 
     fn write(&mut self, a: usize, flat: usize, v: Value, l: usize) {
-        let b = if self.ctx.priv_slot[a] >= 0 {
-            &mut self.priv_bufs[self.ctx.priv_slot[a] as usize * self.w + l]
+        if self.ctx.priv_slot[a] >= 0 {
+            let b = &mut self.priv_bufs[self.ctx.priv_slot[a] as usize * self.w + l];
+            if b.elem.is_float() {
+                b.set_f(flat, v.as_f());
+            } else {
+                b.set_i(flat, v.as_i());
+            }
         } else {
-            self.ctx.bufs[a].as_mut().unwrap_or_else(|| panic!("kernel write of unallocated device array {}", a))
-        };
-        if b.elem.is_float() {
-            b.set_f(flat, v.as_f());
-        } else {
-            b.set_i(flat, v.as_i());
+            let b = self.ctx.bufs[a];
+            if !b.is_alloc() {
+                panic!("kernel write of unallocated device array {a}");
+            }
+            if b.elem_is_float() {
+                b.set_f(flat, v.as_f());
+            } else {
+                b.set_i(flat, v.as_i());
+            }
         }
     }
 }

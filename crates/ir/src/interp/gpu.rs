@@ -9,7 +9,9 @@
 //! texture-cache misses, constant serialization and divergence penalties,
 //! then fed to [`acceval_sim::estimate_kernel`].
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -78,6 +80,105 @@ pub fn engine_name() -> &'static str {
         Engine::Bytecode => "bytecode",
     }
 }
+
+/// Intra-launch block-parallelism policy (`ACCEVAL_LAUNCH_PAR`). Applies
+/// only to the bytecode engine and only to launches the hazard analysis
+/// proves block-independent ([`crate::interp::bytecode`]'s `par_blocks_ok`);
+/// everything else runs the serial block walk regardless of policy. Results
+/// are bit-identical either way — parallel chunks journal every
+/// order-sensitive accumulation and fold in block order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchPar {
+    /// Parallel when eligible and the scheduling context asks for it: the
+    /// sweep flips the [`set_launch_par_hint`] hint on its task tail; with
+    /// no hint installed (standalone runs), eligible launches go parallel.
+    Auto,
+    /// Parallel whenever the launch is eligible.
+    On,
+    /// Always serial.
+    Off,
+}
+
+/// Process-wide override: 0 = unset (use env), 1 = auto, 2 = on, 3 = off.
+static LAUNCH_PAR_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static LAUNCH_PAR_FROM_ENV: OnceLock<LaunchPar> = OnceLock::new();
+
+thread_local! {
+    static LAUNCH_PAR_HINT: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// The intra-launch parallelism policy: an override installed by
+/// [`set_launch_par_override`] wins, else the `ACCEVAL_LAUNCH_PAR`
+/// environment variable (`auto` | `on` | `off`), else [`LaunchPar::Auto`].
+pub fn launch_par() -> LaunchPar {
+    match LAUNCH_PAR_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return LaunchPar::Auto,
+        2 => return LaunchPar::On,
+        3 => return LaunchPar::Off,
+        _ => {}
+    }
+    *LAUNCH_PAR_FROM_ENV.get_or_init(|| match std::env::var("ACCEVAL_LAUNCH_PAR") {
+        Ok(s) if s == "auto" => LaunchPar::Auto,
+        Ok(s) if s == "on" => LaunchPar::On,
+        Ok(s) if s == "off" => LaunchPar::Off,
+        Ok(s) => panic!("ACCEVAL_LAUNCH_PAR must be `auto`, `on` or `off`, got `{s}`"),
+        Err(_) => LaunchPar::Auto,
+    })
+}
+
+/// Force a launch-parallelism policy for this process (tests/benches),
+/// overriding the environment. `None` returns control to
+/// `ACCEVAL_LAUNCH_PAR`.
+pub fn set_launch_par_override(p: Option<LaunchPar>) {
+    let v = match p {
+        None => 0,
+        Some(LaunchPar::Auto) => 1,
+        Some(LaunchPar::On) => 2,
+        Some(LaunchPar::Off) => 3,
+    };
+    LAUNCH_PAR_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Scheduler hint consumed by [`LaunchPar::Auto`]: the sweep sets
+/// `Some(false)` while its task queue is deeper than the worker pool (task
+/// parallelism already saturates the machine) and `Some(true)` on the tail,
+/// where workers would otherwise idle. Thread-local, so each sweep worker
+/// steers only the launches of the task it is running.
+pub fn set_launch_par_hint(h: Option<bool>) {
+    LAUNCH_PAR_HINT.with(|c| c.set(h));
+}
+
+fn launch_par_hint() -> Option<bool> {
+    LAUNCH_PAR_HINT.with(|c| c.get())
+}
+
+/// Worker threads available to one launch: `RAYON_NUM_THREADS` when set
+/// (the same knob the sweep's thread pool honors, re-read per call so tests
+/// can vary it), else the machine's available parallelism.
+pub fn launch_par_workers() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Short name of the active launch-parallelism policy, for manifests.
+pub fn launch_par_name() -> &'static str {
+    match launch_par() {
+        LaunchPar::Auto => "auto",
+        LaunchPar::On => "on",
+        LaunchPar::Off => "off",
+    }
+}
+
+/// Cap on scalar-reduction journal entries a parallel launch may buffer
+/// (per-lane values replayed in block order at fold time); launches that
+/// would exceed it run serially instead of ballooning memory.
+const RED_JOURNAL_CAP: u64 = 1 << 23;
 
 /// Device memory image: one optional buffer per program array, plus the
 /// simulated texture cache.
@@ -453,6 +554,7 @@ fn launch_impl(
     let bc = if eng == Engine::Bytecode { plan.engine_cache.get_or_compile(prog, plan) } else { None };
 
     if let Some(bc) = bc {
+        let bc: &bytecode::KernelBytecode = &bc;
         assert!(warp as usize <= 64, "active-lane masks hold at most 64 lanes");
         let mut expansion: Vec<Option<Expansion>> = vec![None; prog.arrays.len()];
         let mut priv_slot: Vec<i32> = vec![-1; prog.arrays.len()];
@@ -492,198 +594,153 @@ fn launch_impl(
                 }
             })
             .collect();
-        bytecode::with_scratch(|scratch| {
-            let wu = warp as usize;
-            scratch.begin_launch(&bc, wu, plan.site_count as usize, &priv_elems, &base_env, cfg.segment_bytes);
-            let mut ax0 = vec![0i64; wu];
-            let mut ax1 = vec![0i64; wu];
-            let mut row: Vec<(u32, u64)> = Vec::with_capacity(wu);
-            for blk in 0..total_blocks {
-                let bxi = blk % gx;
-                let byi = blk / gx;
-                for w in 0..warps_per_block {
-                    let mut mask = 0u64;
-                    for lane in 0..warp as u64 {
-                        let t = w * warp as u64 + lane;
-                        if t >= tpb as u64 {
-                            break;
-                        }
-                        let tx = t % bx;
-                        let ty = t / bx;
-                        let ix = bxi * bx + tx;
-                        let iy = byi * by + ty;
-                        if ix >= n0 || iy >= n1 {
-                            continue;
-                        }
-                        mask |= 1u64 << lane;
-                        ax0[lane as usize] = lo0 + ix as i64 * st0;
-                        ax1[lane as usize] = lo1 + iy as i64 * st1;
-                    }
-                    if mask == 0 {
-                        continue;
-                    }
-                    active_threads += mask.count_ones() as u64;
-                    scratch.begin_warp(&bc, &base_env);
-                    // Per-lane prologue: axis variables, scalar-reduction
-                    // identities, private-array scratch reset.
-                    let a0 = bc.axis_regs[0] as usize;
-                    let mut m = mask;
-                    while m != 0 {
-                        let l = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        scratch.regs[a0 * wu + l] = Value::I(ax0[l]);
-                    }
-                    if plan.axes.len() > 1 {
-                        let a1 = bc.axis_regs[1] as usize;
-                        let mut m = mask;
-                        while m != 0 {
-                            let l = m.trailing_zeros() as usize;
-                            m &= m - 1;
-                            scratch.regs[a1 * wu + l] = Value::I(ax1[l]);
-                        }
-                    }
-                    for (k, &(_, op, isf)) in red_scalar.iter().enumerate() {
-                        let r = bc.red_scalar_regs[k] as usize;
-                        let idv = if isf { Value::F(op.identity_f()) } else { Value::I(op.identity_i()) };
-                        let mut m = mask;
-                        while m != 0 {
-                            let l = m.trailing_zeros() as usize;
-                            m &= m - 1;
-                            scratch.regs[r * wu + l] = idv;
-                        }
-                    }
-                    for &(a, len, isf) in &priv_shapes {
-                        let slot = priv_slot[a.0 as usize] as usize;
-                        let ident = red_arrays.iter().find(|(id, _)| *id == a).map(|&(_, op)| op);
-                        let fill_f = ident.map_or(0.0, |op| op.identity_f());
-                        let fill_i = ident.map_or(0, |op| op.identity_i());
-                        let mut m = mask;
-                        while m != 0 {
-                            let l = m.trailing_zeros() as usize;
-                            m &= m - 1;
-                            let b = &mut scratch.priv_bufs[slot * wu + l];
-                            for e in 0..len {
-                                if isf {
-                                    b.set_f(e, fill_f);
-                                } else {
-                                    b.set_i(e, fill_i);
-                                }
-                            }
-                        }
-                    }
-                    // Execute the warp in lockstep.
-                    let tid_base = blk * tpb as u64 + w * warp as u64;
-                    let atomic = {
-                        let mut ctx = bytecode::ExecCtx {
-                            prog,
-                            bufs,
-                            base: &base,
-                            elem_bytes: &elem_bytes,
-                            extents: &extents,
-                            strides: &strides,
-                            expansion: &expansion,
-                            priv_slot: &priv_slot,
-                            total_threads,
-                        };
-                        bytecode::exec_warp(&bc, scratch, &mut ctx, mask, tid_base)
-                    };
-                    // Fold reductions in ascending lane order — the same
-                    // combine sequence the tree path produces.
-                    let mut extra_atomic = 0u64;
-                    let mut m = mask;
-                    while m != 0 {
-                        let l = m.trailing_zeros() as usize;
-                        m &= m - 1;
-                        for (k, &(_, op, _)) in red_scalar.iter().enumerate() {
-                            let v = scratch.regs[bc.red_scalar_regs[k] as usize * wu + l];
-                            scal_acc[k] = op.combine(scal_acc[k], v);
-                        }
-                        for &(a, op) in &red_arrays {
-                            let slot = priv_slot[a.0 as usize] as usize;
-                            let src = &scratch.priv_bufs[slot * wu + l];
-                            let acc = arr_acc.get_mut(&a).expect("acc");
-                            for i in 0..src.len() {
-                                let cur =
-                                    if acc.elem.is_float() { Value::F(acc.get_f(i)) } else { Value::I(acc.get_i(i)) };
-                                let nv =
-                                    if src.elem.is_float() { Value::F(src.get_f(i)) } else { Value::I(src.get_i(i)) };
-                                let c = op.combine(cur, nv);
-                                if acc.elem.is_float() {
-                                    acc.set_f(i, c.as_f());
-                                } else {
-                                    acc.set_i(i, c.as_i());
-                                }
-                            }
-                            if atomic_serial {
-                                extra_atomic += src.len() as u64;
-                            }
-                        }
-                        if atomic_serial && !red_scalar.is_empty() {
-                            extra_atomic += red_scalar.len() as u64;
-                        }
-                    }
-                    // Price the warp's evidence.
-                    price_warp(
-                        plan,
-                        cfg,
-                        &site_kinds,
-                        &elem_bytes,
-                        partials_in_shared,
-                        &red_arrays,
-                        &scratch.traces,
-                        Some(&scratch.site_touched),
-                        &scratch.lane_ops,
-                        atomic + extra_atomic,
-                        tex_cache,
-                        &mut totals,
-                        traced,
-                        &mut site_global,
-                        &mut site_shared,
-                    );
-                    // Affine fast-path sites: one address row per site,
-                    // summarised through the memo instead of a trace.
-                    for (fidx, &site) in bc.fast_sites.iter().enumerate() {
-                        row.clear();
-                        let mut m = mask;
-                        while m != 0 {
-                            let l = m.trailing_zeros() as usize;
-                            m &= m - 1;
-                            row.push((l as u32, scratch.fast_rows[fidx * wu + l]));
-                        }
-                        let (eb, shared_reuse) = fast_pricing[fidx];
-                        match shared_reuse {
-                            None => {
-                                let s = scratch.memo.reduce_row(site, &row);
-                                totals.global_requests += s.requests;
-                                totals.global_transactions += s.transactions;
-                                totals.useful_bytes += s.lane_accesses * eb;
-                                if traced {
-                                    site_global[site as usize].merge(&s);
-                                }
-                            }
-                            Some(reuse) => {
-                                let sh = scratch.memo.reduce_row_shared(site, &row, cfg.shared_banks, 4);
-                                totals.shared_slots += sh.slots;
-                                let lane_accesses = row.len() as u64;
-                                let fill_bytes = (lane_accesses * eb) as f64 / reuse.max(1.0);
-                                let fill_tx = (fill_bytes / cfg.segment_bytes as f64).ceil() as u64;
-                                totals.global_transactions += fill_tx;
-                                totals.global_requests += fill_tx;
-                                totals.useful_bytes += fill_bytes as u64;
-                                if traced {
-                                    site_shared[site as usize].merge(&sh);
-                                    site_global[site as usize].merge(&AccessSummary {
-                                        requests: fill_tx,
-                                        transactions: fill_tx,
-                                        lane_accesses,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+        let views: Vec<bytecode::RawBuf> = bufs.iter_mut().map(bytecode::RawBuf::of).collect();
+        // Representative-block pricing dedup: under `uniform_pricing` a
+        // block's entire pricing (totals deltas, per-warp issue cycles,
+        // per-site evidence) is a pure function of its active-lane shape
+        // and each fast site's block-base address modulo the site's
+        // translation modulus — the coalescing segment for global sites,
+        // the bank cycle for shared-tiled ones. Addresses are affine in the
+        // block indices and both summaries are translation-invariant, so
+        // the probe extracts the per-block address steps once; the executor
+        // then prices one representative per equivalence class and replays
+        // the cached deltas for the rest, while still executing every
+        // block's functional effects.
+        let dedup = if bc.uniform_pricing && total_blocks > 1 {
+            Some(site_affine_probe(
+                plan,
+                bc,
+                &site_kinds,
+                &base,
+                &elem_bytes,
+                &strides,
+                &base_env,
+                lo0,
+                st0,
+                lo1,
+                st1,
+                bx,
+                by,
+                cfg,
+            ))
+        } else {
+            None
+        };
+        // Parallel eligibility: block-independent stores, no accumulator
+        // that cannot be journaled cheaply (array reductions fold per
+        // element; texture sites mutate a shared cache), a grid worth
+        // splitting, and a bounded scalar-reduction journal.
+        let has_tex = site_kinds.iter().any(|k| {
+            matches!(k, SiteKind::Mem(a)
+                if plan.expansion_of(*a).is_none() && matches!(plan.space_of(*a), MemSpace::Texture))
         });
+        let journal_ok = total_threads.saturating_mul(red_scalar.len() as u64) <= RED_JOURNAL_CAP;
+        let eligible = bc.par_blocks_ok && red_arrays.is_empty() && !has_tex && total_blocks >= 2 && journal_ok;
+        let want = match launch_par() {
+            LaunchPar::Off => false,
+            LaunchPar::On => true,
+            LaunchPar::Auto => launch_par_hint().unwrap_or(true),
+        };
+        let workers = if want && eligible { launch_par_workers().min(total_blocks as usize) } else { 1 };
+
+        let g = GridCtx {
+            prog,
+            plan,
+            bc,
+            cfg,
+            site_kinds: &site_kinds,
+            views: &views,
+            base: &base,
+            elem_bytes: &elem_bytes,
+            extents: &extents,
+            strides: &strides,
+            expansion: &expansion,
+            priv_slot: &priv_slot,
+            priv_elems: &priv_elems,
+            priv_shapes: &priv_shapes,
+            base_env: &base_env,
+            red_scalar: &red_scalar,
+            red_arrays: &red_arrays,
+            fast_pricing: &fast_pricing,
+            dedup,
+            atomic_serial,
+            partials_in_shared,
+            traced,
+            n0,
+            n1,
+            bx,
+            by,
+            gx,
+            tpb,
+            warp,
+            warps_per_block,
+            total_threads,
+            lo0,
+            st0,
+            lo1,
+            st1,
+        };
+        if workers <= 1 {
+            // Serial block walk (also the reference for the parallel fold).
+            let mut out = ChunkOut::new(plan.site_count as usize, traced);
+            bytecode::with_scratch(|scratch| {
+                let mut sink = RedSink::Direct { scal: &mut scal_acc, arrs: &mut arr_acc };
+                run_block_range(&g, 0..total_blocks, scratch, tex_cache, &mut sink, &mut out);
+            });
+            fold_chunk(
+                out,
+                &mut totals,
+                &mut active_threads,
+                &mut site_global,
+                &mut site_shared,
+                &mut scal_acc,
+                &red_scalar,
+            );
+        } else {
+            // Deterministic contiguous chunks, one scoped worker each. The
+            // join collects chunk outputs in block order and `fold_chunk`
+            // replays every order-sensitive accumulation in that order, so
+            // the result is bit-identical to `workers == 1`.
+            let mut ranges: Vec<Range<u64>> = Vec::with_capacity(workers);
+            let per = total_blocks / workers as u64;
+            let rem = total_blocks % workers as u64;
+            let mut at = 0u64;
+            for k in 0..workers as u64 {
+                let len = per + u64::from(k < rem);
+                ranges.push(at..at + len);
+                at += len;
+            }
+            let outs: Vec<ChunkOut> = std::thread::scope(|scope| {
+                let g = &g;
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        scope.spawn(move || {
+                            // Texture sites are ineligible for parallel
+                            // launches, so this cache is never consulted.
+                            let mut tex = Cache::new(g.cfg.tex_line_bytes, 1, g.cfg.tex_line_bytes);
+                            let mut out = ChunkOut::new(g.plan.site_count as usize, g.traced);
+                            bytecode::with_scratch(|scratch| {
+                                run_block_range(g, r, scratch, &mut tex, &mut RedSink::Journal, &mut out);
+                            });
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))).collect()
+            });
+            for out in outs {
+                fold_chunk(
+                    out,
+                    &mut totals,
+                    &mut active_threads,
+                    &mut site_global,
+                    &mut site_shared,
+                    &mut scal_acc,
+                    &red_scalar,
+                );
+            }
+        }
     } else {
         // Reference tree-walking engine: one `Interp` per warp, one pass per lane.
         for blk in 0..total_blocks {
@@ -788,7 +845,7 @@ fn launch_impl(
                 // Reduce the warp's traces into totals.
                 let wm = it.m;
                 if any_active {
-                    price_warp(
+                    let issue = price_warp(
                         plan,
                         cfg,
                         &site_kinds,
@@ -805,6 +862,7 @@ fn launch_impl(
                         &mut site_global,
                         &mut site_shared,
                     );
+                    totals.issue_cycles += issue;
                 }
             }
         }
@@ -913,6 +971,553 @@ fn launch_impl(
     LaunchResult { cost, totals, footprint, active_threads }
 }
 
+/// Launch-wide immutable context shared by every block-chunk executor of
+/// one bytecode launch. Everything is a plain borrow or `Copy` geometry, so
+/// a reference to it crosses scoped-thread boundaries.
+struct GridCtx<'a> {
+    prog: &'a Program,
+    plan: &'a KernelPlan,
+    bc: &'a bytecode::KernelBytecode,
+    cfg: &'a DeviceConfig,
+    site_kinds: &'a [SiteKind],
+    views: &'a [bytecode::RawBuf],
+    base: &'a [u64],
+    elem_bytes: &'a [u32],
+    extents: &'a [Vec<usize>],
+    strides: &'a [Vec<usize>],
+    expansion: &'a [Option<Expansion>],
+    priv_slot: &'a [i32],
+    priv_elems: &'a [(ElemType, usize)],
+    priv_shapes: &'a [(ArrayId, usize, bool)],
+    base_env: &'a [Value],
+    red_scalar: &'a [(usize, crate::types::ReduceOp, bool)],
+    red_arrays: &'a [(ArrayId, crate::types::ReduceOp)],
+    fast_pricing: &'a [(u64, Option<f64>)],
+    /// Per-fast-site affine address steps for representative-block pricing
+    /// dedup (`None` disables dedup).
+    dedup: Option<Vec<SiteAffine>>,
+    atomic_serial: bool,
+    partials_in_shared: bool,
+    traced: bool,
+    n0: u64,
+    n1: u64,
+    bx: u64,
+    by: u64,
+    gx: u64,
+    tpb: u32,
+    warp: u32,
+    warps_per_block: u64,
+    total_threads: u64,
+    lo0: i64,
+    st0: i64,
+    lo1: i64,
+    st1: i64,
+}
+
+/// Where scalar/array reduction partials go during block execution.
+enum RedSink<'a> {
+    /// Serial path: fold straight into the launch accumulators in
+    /// (block, warp, lane) order, exactly as the tree engine does.
+    Direct { scal: &'a mut [Value], arrs: &'a mut HashMap<ArrayId, Buffer> },
+    /// Parallel chunks: journal per-lane values in (block, warp, lane)
+    /// order; [`fold_chunk`] replays them serially so the combine sequence
+    /// is identical to the serial path. (Array reductions are ineligible
+    /// for parallel launches, so only scalars journal.)
+    Journal,
+}
+
+/// One chunk's accumulated results, foldable in block order.
+struct ChunkOut {
+    totals: KernelTotals,
+    active_threads: u64,
+    /// Per-priced-warp issue-cycle increments, in block order. Folded into
+    /// `KernelTotals::issue_cycles` by serial left-to-right addition at
+    /// merge time, so the f64 sum is independent of the chunking.
+    issue: Vec<f64>,
+    /// Scalar-reduction journal (see [`RedSink::Journal`]).
+    red_journal: Vec<Value>,
+    site_global: Vec<AccessSummary>,
+    site_shared: Vec<SharedSummary>,
+}
+
+impl ChunkOut {
+    fn new(site_count: usize, traced: bool) -> ChunkOut {
+        ChunkOut {
+            totals: KernelTotals::default(),
+            active_threads: 0,
+            issue: Vec::new(),
+            red_journal: Vec::new(),
+            site_global: if traced { vec![AccessSummary::default(); site_count] } else { Vec::new() },
+            site_shared: if traced { vec![SharedSummary::default(); site_count] } else { Vec::new() },
+        }
+    }
+}
+
+/// Affine address behaviour of one fast site across the grid: the whole
+/// block's address set translates by `dx`/`dy` per block-index step, and
+/// its pricing is invariant under translation by multiples of `modulus`
+/// (the coalescing segment for global sites, the bank cycle for
+/// shared-tiled ones).
+struct SiteAffine {
+    addr0: i128,
+    dx: i128,
+    dy: i128,
+    modulus: u64,
+}
+
+/// Probe each fast site's index expressions at (ix, iy) in
+/// {(0,0), (1,0), (0,1)} to extract its affine address coefficients.
+/// `uniform_pricing` guarantees every such index is affine in the axis
+/// variables with launch-uniform remaining terms, so three pure
+/// evaluations determine the whole map exactly.
+#[allow(clippy::too_many_arguments)]
+fn site_affine_probe(
+    plan: &KernelPlan,
+    bc: &bytecode::KernelBytecode,
+    site_kinds: &[SiteKind],
+    base: &[u64],
+    elem_bytes: &[u32],
+    strides: &[Vec<usize>],
+    base_env: &[Value],
+    lo0: i64,
+    st0: i64,
+    lo1: i64,
+    st1: i64,
+    bx: u64,
+    by: u64,
+    cfg: &DeviceConfig,
+) -> Vec<SiteAffine> {
+    let mut site_idx: HashMap<u32, &Vec<Expr>> = HashMap::new();
+    visit_stmts(&plan.body, &mut |s| {
+        if let Stmt::Store { index, site, .. } = s {
+            site_idx.insert(site.0, index);
+        }
+    });
+    visit_exprs(&plan.body, &mut |e| {
+        if let Expr::Load { index, site, .. } = e {
+            site_idx.insert(site.0, index);
+        }
+    });
+    let ax0 = plan.axes[0].var.0 as usize;
+    let ax1 = if plan.axes.len() > 1 { Some(plan.axes[1].var.0 as usize) } else { None };
+    let mut env = base_env.to_vec();
+    bc.fast_sites
+        .iter()
+        .map(|&site| {
+            let SiteKind::Mem(arr) = site_kinds[site as usize] else { unreachable!("fast site must be a memory site") };
+            let a = arr.0 as usize;
+            let idx = site_idx[&site];
+            let mut flat_at = |ixv: i64, iyv: i64| -> i128 {
+                env[ax0] = Value::I(lo0 + st0 * ixv);
+                if let Some(a1) = ax1 {
+                    env[a1] = Value::I(lo1 + st1 * iyv);
+                }
+                idx.iter().zip(&strides[a]).map(|(e, st)| eval_pure(e, &env).as_i() as i128 * *st as i128).sum()
+            };
+            let f00 = flat_at(0, 0);
+            let fx = flat_at(1, 0) - f00;
+            let fy = if ax1.is_some() { flat_at(0, 1) - f00 } else { 0 };
+            let eb = elem_bytes[a] as i128;
+            let modulus = match plan.space_of(arr) {
+                MemSpace::SharedTiled { .. } => (cfg.shared_banks * 4) as u64,
+                _ => cfg.segment_bytes as u64,
+            };
+            SiteAffine {
+                addr0: base[a] as i128 + f00 * eb,
+                dx: fx * bx as i128 * eb,
+                dy: fy * by as i128 * eb,
+                modulus,
+            }
+        })
+        .collect()
+}
+
+/// Pre-block snapshot of a chunk's pricing accumulators; [`PriceSnap::diff`]
+/// turns it into the block's pricing delta once the representative block
+/// has been priced.
+struct PriceSnap {
+    warps: u64,
+    greq: u64,
+    gtx: u64,
+    ubytes: u64,
+    sslots: u64,
+    aslots: u64,
+    treq: u64,
+    tmiss: u64,
+    issue_len: usize,
+    sites: Vec<(u32, AccessSummary, SharedSummary)>,
+}
+
+impl PriceSnap {
+    fn take(out: &ChunkOut, g: &GridCtx<'_>) -> PriceSnap {
+        let t = &out.totals;
+        PriceSnap {
+            warps: t.warps,
+            greq: t.global_requests,
+            gtx: t.global_transactions,
+            ubytes: t.useful_bytes,
+            sslots: t.shared_slots,
+            aslots: t.atomic_slots,
+            treq: t.tex_requests,
+            tmiss: t.tex_miss_lines,
+            issue_len: out.issue.len(),
+            sites: if g.traced {
+                g.bc.fast_sites.iter().map(|&s| (s, out.site_global[s as usize], out.site_shared[s as usize])).collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn diff(self, out: &ChunkOut) -> BlockPricing {
+        let t = &out.totals;
+        BlockPricing {
+            warps: t.warps - self.warps,
+            greq: t.global_requests - self.greq,
+            gtx: t.global_transactions - self.gtx,
+            ubytes: t.useful_bytes - self.ubytes,
+            sslots: t.shared_slots - self.sslots,
+            aslots: t.atomic_slots - self.aslots,
+            treq: t.tex_requests - self.treq,
+            tmiss: t.tex_miss_lines - self.tmiss,
+            issue: out.issue[self.issue_len..].to_vec(),
+            sites: self
+                .sites
+                .into_iter()
+                .map(|(s, g0, s0)| {
+                    let g1 = out.site_global[s as usize];
+                    let s1 = out.site_shared[s as usize];
+                    (
+                        s,
+                        AccessSummary {
+                            requests: g1.requests - g0.requests,
+                            transactions: g1.transactions - g0.transactions,
+                            lane_accesses: g1.lane_accesses - g0.lane_accesses,
+                        },
+                        SharedSummary { slots: s1.slots - s0.slots, requests: s1.requests - s0.requests },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Cached pricing delta of one block equivalence class.
+struct BlockPricing {
+    warps: u64,
+    greq: u64,
+    gtx: u64,
+    ubytes: u64,
+    sslots: u64,
+    aslots: u64,
+    treq: u64,
+    tmiss: u64,
+    issue: Vec<f64>,
+    sites: Vec<(u32, AccessSummary, SharedSummary)>,
+}
+
+impl BlockPricing {
+    fn replay(&self, out: &mut ChunkOut, traced: bool) {
+        let t = &mut out.totals;
+        t.warps += self.warps;
+        t.global_requests += self.greq;
+        t.global_transactions += self.gtx;
+        t.useful_bytes += self.ubytes;
+        t.shared_slots += self.sslots;
+        t.atomic_slots += self.aslots;
+        t.tex_requests += self.treq;
+        t.tex_miss_lines += self.tmiss;
+        out.issue.extend_from_slice(&self.issue);
+        if traced {
+            for &(s, ga, sh) in &self.sites {
+                out.site_global[s as usize].merge(&ga);
+                out.site_shared[s as usize].merge(&sh);
+            }
+        }
+    }
+}
+
+/// Fold one chunk's results into the launch accumulators. Called in block
+/// (chunk) order: u64 counters and per-site summaries merge associatively,
+/// while the f64 issue-cycle increments and the scalar-reduction journal
+/// replay serially so every order-sensitive fold reproduces the serial
+/// path bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn fold_chunk(
+    out: ChunkOut,
+    totals: &mut KernelTotals,
+    active_threads: &mut u64,
+    site_global: &mut [AccessSummary],
+    site_shared: &mut [SharedSummary],
+    scal_acc: &mut [Value],
+    red_scalar: &[(usize, crate::types::ReduceOp, bool)],
+) {
+    debug_assert!(out.totals.issue_cycles == 0.0, "issue cycles travel via the per-warp journal");
+    totals.warps += out.totals.warps;
+    totals.global_requests += out.totals.global_requests;
+    totals.global_transactions += out.totals.global_transactions;
+    totals.useful_bytes += out.totals.useful_bytes;
+    totals.shared_slots += out.totals.shared_slots;
+    totals.atomic_slots += out.totals.atomic_slots;
+    totals.tex_requests += out.totals.tex_requests;
+    totals.tex_miss_lines += out.totals.tex_miss_lines;
+    for x in &out.issue {
+        totals.issue_cycles += *x;
+    }
+    *active_threads += out.active_threads;
+    for (d, s) in site_global.iter_mut().zip(&out.site_global) {
+        d.merge(s);
+    }
+    for (d, s) in site_shared.iter_mut().zip(&out.site_shared) {
+        d.merge(s);
+    }
+    if !red_scalar.is_empty() {
+        for lane_vals in out.red_journal.chunks_exact(red_scalar.len()) {
+            for (k, &(_, op, _)) in red_scalar.iter().enumerate() {
+                scal_acc[k] = op.combine(scal_acc[k], lane_vals[k]);
+            }
+        }
+    }
+}
+
+/// Execute a contiguous range of blocks against shared buffer views,
+/// accumulating pricing into `out` and reduction partials into `sink`.
+/// Both the serial path (one call covering the whole grid) and every
+/// parallel chunk run exactly this code, so the paths cannot drift.
+fn run_block_range(
+    g: &GridCtx<'_>,
+    blocks: Range<u64>,
+    scratch: &mut bytecode::WarpScratch,
+    tex_cache: &mut Cache,
+    sink: &mut RedSink<'_>,
+    out: &mut ChunkOut,
+) {
+    let bc = g.bc;
+    let wu = g.warp as usize;
+    scratch.begin_launch(bc, wu, g.plan.site_count as usize, g.priv_elems, g.base_env, g.cfg.segment_bytes);
+    let mut ax0 = vec![0i64; wu];
+    let mut ax1 = vec![0i64; wu];
+    let mut row: Vec<(u32, u64)> = Vec::with_capacity(wu);
+    let mut price_cache: HashMap<Vec<u64>, BlockPricing> = HashMap::new();
+    let mut key: Vec<u64> = Vec::new();
+    let ctx = bytecode::ExecCtx {
+        prog: g.prog,
+        bufs: g.views,
+        base: g.base,
+        elem_bytes: g.elem_bytes,
+        extents: g.extents,
+        strides: g.strides,
+        expansion: g.expansion,
+        priv_slot: g.priv_slot,
+        total_threads: g.total_threads,
+    };
+    for blk in blocks {
+        let bxi = blk % g.gx;
+        let byi = blk / g.gx;
+        // Representative-block dedup: a block's pricing class is its
+        // active-lane shape plus each fast site's base address residue.
+        // On a class hit, replay the cached deltas; execution of the
+        // block's functional effects still runs below — only the pricing
+        // work is skipped.
+        let mut cached = false;
+        if let Some(aff) = &g.dedup {
+            key.clear();
+            key.push(g.n0.saturating_sub(bxi * g.bx).min(g.bx));
+            key.push(g.n1.saturating_sub(byi * g.by).min(g.by));
+            for s in aff {
+                let addr = s.addr0 + s.dx * bxi as i128 + s.dy * byi as i128;
+                key.push(addr.rem_euclid(s.modulus as i128) as u64);
+            }
+            if let Some(bp) = price_cache.get(&key) {
+                bp.replay(out, g.traced);
+                cached = true;
+            }
+        }
+        let snap = if g.dedup.is_some() && !cached { Some(PriceSnap::take(out, g)) } else { None };
+        for w in 0..g.warps_per_block {
+            let mut mask = 0u64;
+            for lane in 0..g.warp as u64 {
+                let t = w * g.warp as u64 + lane;
+                if t >= g.tpb as u64 {
+                    break;
+                }
+                let tx = t % g.bx;
+                let ty = t / g.bx;
+                let ix = bxi * g.bx + tx;
+                let iy = byi * g.by + ty;
+                if ix >= g.n0 || iy >= g.n1 {
+                    continue;
+                }
+                mask |= 1u64 << lane;
+                ax0[lane as usize] = g.lo0 + ix as i64 * g.st0;
+                ax1[lane as usize] = g.lo1 + iy as i64 * g.st1;
+            }
+            if mask == 0 {
+                continue;
+            }
+            out.active_threads += mask.count_ones() as u64;
+            scratch.begin_warp(bc, g.base_env);
+            // Per-lane prologue: axis variables, scalar-reduction
+            // identities, private-array scratch reset.
+            let a0 = bc.axis_regs[0] as usize;
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                scratch.regs[a0 * wu + l] = Value::I(ax0[l]);
+            }
+            if g.plan.axes.len() > 1 {
+                let a1 = bc.axis_regs[1] as usize;
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    scratch.regs[a1 * wu + l] = Value::I(ax1[l]);
+                }
+            }
+            for (k, &(_, op, isf)) in g.red_scalar.iter().enumerate() {
+                let r = bc.red_scalar_regs[k] as usize;
+                let idv = if isf { Value::F(op.identity_f()) } else { Value::I(op.identity_i()) };
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    scratch.regs[r * wu + l] = idv;
+                }
+            }
+            for &(a, len, isf) in g.priv_shapes {
+                let slot = g.priv_slot[a.0 as usize] as usize;
+                let ident = g.red_arrays.iter().find(|(id, _)| *id == a).map(|&(_, op)| op);
+                let fill_f = ident.map_or(0.0, |op| op.identity_f());
+                let fill_i = ident.map_or(0, |op| op.identity_i());
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let b = &mut scratch.priv_bufs[slot * wu + l];
+                    for e in 0..len {
+                        if isf {
+                            b.set_f(e, fill_f);
+                        } else {
+                            b.set_i(e, fill_i);
+                        }
+                    }
+                }
+            }
+            // Execute the warp in lockstep.
+            let tid_base = blk * g.tpb as u64 + w * g.warp as u64;
+            let atomic = bytecode::exec_warp(bc, scratch, &ctx, mask, tid_base);
+            // Fold reductions in ascending lane order — the same combine
+            // sequence the tree path produces (journaled chunks replay it
+            // at fold time).
+            let mut extra_atomic = 0u64;
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                for (k, &(_, op, _)) in g.red_scalar.iter().enumerate() {
+                    let v = scratch.regs[bc.red_scalar_regs[k] as usize * wu + l];
+                    match sink {
+                        RedSink::Direct { scal, .. } => scal[k] = op.combine(scal[k], v),
+                        RedSink::Journal => out.red_journal.push(v),
+                    }
+                }
+                for &(a, op) in g.red_arrays {
+                    let slot = g.priv_slot[a.0 as usize] as usize;
+                    let src = &scratch.priv_bufs[slot * wu + l];
+                    let RedSink::Direct { arrs, .. } = &mut *sink else {
+                        unreachable!("array reductions are ineligible for parallel launches")
+                    };
+                    let acc = arrs.get_mut(&a).expect("acc");
+                    for i in 0..src.len() {
+                        let cur = if acc.elem.is_float() { Value::F(acc.get_f(i)) } else { Value::I(acc.get_i(i)) };
+                        let nv = if src.elem.is_float() { Value::F(src.get_f(i)) } else { Value::I(src.get_i(i)) };
+                        let c = op.combine(cur, nv);
+                        if acc.elem.is_float() {
+                            acc.set_f(i, c.as_f());
+                        } else {
+                            acc.set_i(i, c.as_i());
+                        }
+                    }
+                    if g.atomic_serial {
+                        extra_atomic += src.len() as u64;
+                    }
+                }
+                if g.atomic_serial && !g.red_scalar.is_empty() {
+                    extra_atomic += g.red_scalar.len() as u64;
+                }
+            }
+            if cached {
+                continue;
+            }
+            // Price the warp's evidence; the issue-cycle increment is
+            // journaled so chunk folding replays the serial f64 left-fold.
+            let issue = price_warp(
+                g.plan,
+                g.cfg,
+                g.site_kinds,
+                g.elem_bytes,
+                g.partials_in_shared,
+                g.red_arrays,
+                &scratch.traces,
+                Some(&scratch.site_touched),
+                &scratch.lane_ops,
+                atomic + extra_atomic,
+                tex_cache,
+                &mut out.totals,
+                g.traced,
+                &mut out.site_global,
+                &mut out.site_shared,
+            );
+            out.issue.push(issue);
+            // Affine fast-path sites: one address row per site, summarised
+            // through the memo instead of a trace.
+            for (fidx, &site) in bc.fast_sites.iter().enumerate() {
+                row.clear();
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    row.push((l as u32, scratch.fast_rows[fidx * wu + l]));
+                }
+                let (eb, shared_reuse) = g.fast_pricing[fidx];
+                match shared_reuse {
+                    None => {
+                        let s = scratch.memo.reduce_row(site, &row);
+                        out.totals.global_requests += s.requests;
+                        out.totals.global_transactions += s.transactions;
+                        out.totals.useful_bytes += s.lane_accesses * eb;
+                        if g.traced {
+                            out.site_global[site as usize].merge(&s);
+                        }
+                    }
+                    Some(reuse) => {
+                        let sh = scratch.memo.reduce_row_shared(site, &row, g.cfg.shared_banks, 4);
+                        out.totals.shared_slots += sh.slots;
+                        let lane_accesses = row.len() as u64;
+                        let fill_bytes = (lane_accesses * eb) as f64 / reuse.max(1.0);
+                        let fill_tx = (fill_bytes / g.cfg.segment_bytes as f64).ceil() as u64;
+                        out.totals.global_transactions += fill_tx;
+                        out.totals.global_requests += fill_tx;
+                        out.totals.useful_bytes += fill_bytes as u64;
+                        if g.traced {
+                            out.site_shared[site as usize].merge(&sh);
+                            out.site_global[site as usize].merge(&AccessSummary {
+                                requests: fill_tx,
+                                transactions: fill_tx,
+                                lane_accesses,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(sn) = snap {
+            price_cache.insert(key.clone(), sn.diff(out));
+        }
+    }
+}
+
 /// Price one warp's worth of execution evidence into `totals`.
 ///
 /// Shared by both engines: the tree walker feeds it from `WarpMachine`
@@ -936,7 +1541,7 @@ fn price_warp(
     traced: bool,
     site_global: &mut [AccessSummary],
     site_shared: &mut [SharedSummary],
-) {
+) -> f64 {
     totals.warps += 1;
     let mut divergent_rows = 0u64;
     let mut extra_issue = 0.0f64;
@@ -1027,8 +1632,10 @@ fn price_warp(
             SiteKind::Unused => {}
         }
     }
-    totals.issue_cycles += warp_issue_cycles(lane_ops, divergent_rows) + extra_issue;
     totals.atomic_slots += atomic_accesses;
+    // Returned, not accumulated: callers journal the increment so parallel
+    // chunk folding can replay the serial f64 left-fold exactly.
+    warp_issue_cycles(lane_ops, divergent_rows) + extra_issue
 }
 
 /// Convenience for tests: allocate+upload every array the kernel touches.

@@ -15,7 +15,10 @@
 //! * the compiled **kernel plan** representation ([`kernel`]) and the GPU
 //!   executor ([`interp::gpu`]).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the `RawBuf`
+// shared-buffer view in `interp::bytecode` that block-parallel kernel
+// launches need (see its safety comment); everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod analysis;
 pub mod builder;
