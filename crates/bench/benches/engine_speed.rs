@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use acceval::benchmarks::{all_benchmarks, Benchmark, Scale};
 use acceval::ir::interp::gpu::{env_from_dataset, launch_with_engine, upload_all, DeviceState, Engine};
+use acceval::ir::interp::launch_cache::{set_launch_cache_override, LaunchCache};
 use acceval::ir::program::HostData;
 use acceval::models::ModelKind;
 use acceval::sim::MachineConfig;
@@ -47,6 +48,11 @@ fn launch_all_kernels(name: &str, eng: Engine, reps: u32, cfg: &MachineConfig) -
 
 fn bench(c: &mut Criterion) {
     let cfg = MachineConfig::keeneland_node();
+
+    // This bench measures raw engine execution; with the launch cache live,
+    // repeated identical launches replay from the cache on both sides and
+    // the ratio collapses toward 1x. Pin it off for the whole process.
+    set_launch_cache_override(Some(LaunchCache::Off));
 
     // The acceptance gate, measured outside criterion so it also runs (and
     // fails loudly) in `cargo bench -- --test` smoke mode. Best-of-3 per

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use acceval::benchmarks::{all_benchmarks, Benchmark, Scale};
 use acceval::ir::interp::gpu::{env_from_dataset, launch, set_launch_par_override, upload_all, DeviceState, LaunchPar};
+use acceval::ir::interp::launch_cache::{set_launch_cache_override, LaunchCache};
 use acceval::ir::program::HostData;
 use acceval::models::ModelKind;
 use acceval::sim::MachineConfig;
@@ -54,6 +55,11 @@ fn bench(c: &mut Criterion) {
     // Pin the worker count the launch executor will use (the env is read
     // per launch, so setting it here covers every measurement below).
     std::env::set_var("RAYON_NUM_THREADS", "4");
+
+    // This bench measures the block executor; with the launch cache live,
+    // repeated identical launches replay from the cache in both modes and
+    // the ratio collapses toward 1x. Pin it off for the whole process.
+    set_launch_cache_override(Some(LaunchCache::Off));
 
     // The acceptance gate, measured outside criterion so it also runs (and
     // fails loudly) in `cargo bench -- --test` smoke mode. Best-of-3 per

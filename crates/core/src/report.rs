@@ -131,6 +131,38 @@ pub fn render_sweep_summary(m: &SweepManifest) -> String {
     for g in &m.by_model {
         let _ = writeln!(out, "    {:18} {:4} tasks  {:.3}s", g.name, g.tasks, g.wall_secs);
     }
+    let probes = m.launch_cache_hits + m.launch_cache_misses;
+    let rate = |h: u64, miss: u64| {
+        let n = h + miss;
+        if n > 0 {
+            h as f64 / n as f64 * 100.0
+        } else {
+            0.0
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  launch cache ({}): {} hits / {} misses ({:.0}% hit rate), {} eviction(s), {:.3}s hashing",
+        m.launch_cache,
+        m.launch_cache_hits,
+        m.launch_cache_misses,
+        rate(m.launch_cache_hits, m.launch_cache_misses),
+        m.launch_cache_evictions,
+        m.launch_cache_digest_secs
+    );
+    if probes > 0 {
+        out.push_str("  launch cache by benchmark:\n");
+        for g in &m.by_benchmark {
+            let _ = writeln!(
+                out,
+                "    {:10} {:>6} hits / {:>6} misses ({:.0}%)",
+                g.name,
+                g.launch_cache_hits,
+                g.launch_cache_misses,
+                rate(g.launch_cache_hits, g.launch_cache_misses)
+            );
+        }
+    }
     out
 }
 
@@ -237,12 +269,22 @@ pub struct BenchSweep {
     pub critical_path_secs: f64,
     /// Per-benchmark wall/sim accounting, one entry per benchmark.
     pub benchmarks: Vec<crate::sweep::GroupTotals>,
+    /// Launch-cache policy the sweep ran under (`auto`/`on`/`off`).
+    pub launch_cache: String,
+    /// Launch-cache hits summed over the sweep's tasks.
+    pub launch_cache_hits: u64,
+    /// Launch-cache misses summed over the sweep's tasks.
+    pub launch_cache_misses: u64,
+    /// Launch-cache evictions (process-lifetime total).
+    pub launch_cache_evictions: u64,
+    /// Wall seconds spent hashing buffer contents for cache keys/captures.
+    pub launch_cache_digest_secs: f64,
 }
 
 /// Build the `results/BENCH_sweep.json` payload from a sweep manifest.
 pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
     let payload = BenchSweep {
-        schema: "acceval-bench-sweep/2".to_string(),
+        schema: "acceval-bench-sweep/3".to_string(),
         engine: engine.to_string(),
         scale: m.scale.clone(),
         with_tuning: m.with_tuning,
@@ -252,6 +294,11 @@ pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
         task_wall_secs: m.task_wall_secs,
         critical_path_secs: m.critical_path_secs,
         benchmarks: m.by_benchmark.clone(),
+        launch_cache: m.launch_cache.clone(),
+        launch_cache_hits: m.launch_cache_hits,
+        launch_cache_misses: m.launch_cache_misses,
+        launch_cache_evictions: m.launch_cache_evictions,
+        launch_cache_digest_secs: m.launch_cache_digest_secs,
     };
     serde_json::to_string_pretty(&payload).expect("bench sweep serializes")
 }

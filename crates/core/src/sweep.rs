@@ -22,6 +22,7 @@ use std::time::Instant;
 use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::CpuRun;
 use acceval_ir::interp::gpu::{launch_par, set_launch_par_hint, LaunchPar};
+use acceval_ir::interp::launch_cache::{launch_cache_name, launch_cache_totals, thread_cache_counters};
 use acceval_ir::program::DataSet;
 use acceval_models::{model, ModelKind, TuningPoint};
 use acceval_sim::{MachineConfig, RecordingSink, Summary, TraceEvent, TraceSink};
@@ -218,6 +219,13 @@ pub struct RunRecord {
     /// Wall-clock seconds this task spent simulating (harness time, not
     /// simulated time; nondeterministic and excluded from figure output).
     pub wall_secs: f64,
+    /// Launch-cache hits scored by this task's kernel launches.
+    pub launch_cache_hits: u64,
+    /// Launch-cache misses (captures) charged to this task's launches.
+    pub launch_cache_misses: u64,
+    /// Wall seconds this task spent hashing buffer contents for cache keys
+    /// and captures (harness time; nondeterministic).
+    pub launch_cache_digest_secs: f64,
 }
 
 /// The oracle cost entry of the manifest.
@@ -244,6 +252,10 @@ pub struct GroupTotals {
     pub kernels_launched: u64,
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
+    /// Launch-cache hits scored by the group's tasks.
+    pub launch_cache_hits: u64,
+    /// Launch-cache misses charged to the group's tasks.
+    pub launch_cache_misses: u64,
 }
 
 /// One entry of the slowest-task report.
@@ -281,6 +293,17 @@ pub struct SweepManifest {
     pub by_model: Vec<GroupTotals>,
     /// The five slowest tasks by wall clock.
     pub slowest_tasks: Vec<SlowTask>,
+    /// The launch-cache policy the sweep ran under (`auto`/`on`/`off`).
+    pub launch_cache: String,
+    /// Launch-cache hits summed over the sweep's tasks.
+    pub launch_cache_hits: u64,
+    /// Launch-cache misses summed over the sweep's tasks.
+    pub launch_cache_misses: u64,
+    /// Entries evicted from the process-global launch cache (process
+    /// lifetime total, not per-sweep — the cache outlives sweeps).
+    pub launch_cache_evictions: u64,
+    /// Wall seconds spent hashing buffer contents, summed over tasks.
+    pub launch_cache_digest_secs: f64,
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +331,9 @@ fn run_task(
     }
     set_launch_par_hint(Some(launch_parallel));
     let _reset = HintReset;
+    // Launch-cache accounting: the counters are thread-local and tasks never
+    // migrate threads mid-run, so the before/after delta is this task's.
+    let (h0, m0, d0) = thread_cache_counters();
     let ds = cached_dataset(bench, scale);
     let (oracle, oracle_cached) = cached_oracle_tracked(bench, scale, cfg);
     let (compiled, compile_cached) = cached_compile_tracked(bench, task.model, scale, task.tuning.as_ref());
@@ -328,6 +354,7 @@ fn run_task(
     } else {
         (run_compiled(bench, &compiled, &ds, cfg, &oracle.run), None)
     };
+    let (h1, m1, d1) = thread_cache_counters();
     RunRecord {
         task: index,
         benchmark: task.benchmark.clone(),
@@ -345,6 +372,9 @@ fn run_task(
         launch_parallel,
         kernel_hotspot: r.kernel_hotspot,
         wall_secs: t0.elapsed().as_secs_f64(),
+        launch_cache_hits: h1 - h0,
+        launch_cache_misses: m1 - m0,
+        launch_cache_digest_secs: (d1 - d0) as f64 * 1e-9,
     }
 }
 
@@ -424,6 +454,8 @@ pub fn run_sweep_profiled(
             kernels_launched: 0,
             h2d_bytes: 0,
             d2h_bytes: 0,
+            launch_cache_hits: 0,
+            launch_cache_misses: 0,
         };
         for r in records.iter().filter(|r| sel(r)) {
             g.tasks += 1;
@@ -434,6 +466,8 @@ pub fn run_sweep_profiled(
             g.kernels_launched += r.summary.kernels_launched;
             g.h2d_bytes += r.summary.h2d_bytes;
             g.d2h_bytes += r.summary.d2h_bytes;
+            g.launch_cache_hits += r.launch_cache_hits;
+            g.launch_cache_misses += r.launch_cache_misses;
         }
         g
     };
@@ -463,6 +497,10 @@ pub fn run_sweep_profiled(
     let parallel_efficiency =
         if wall_secs > 0.0 { (task_wall_secs / (wall_secs * workers as f64)).min(1.0) } else { 1.0 };
 
+    let launch_cache_hits: u64 = records.iter().map(|r| r.launch_cache_hits).sum();
+    let launch_cache_misses: u64 = records.iter().map(|r| r.launch_cache_misses).sum();
+    let launch_cache_digest_secs: f64 = records.iter().map(|r| r.launch_cache_digest_secs).sum();
+
     SweepManifest {
         scale: format!("{scale:?}"),
         with_tuning,
@@ -478,6 +516,11 @@ pub fn run_sweep_profiled(
         by_benchmark,
         by_model,
         slowest_tasks,
+        launch_cache: launch_cache_name().to_string(),
+        launch_cache_hits,
+        launch_cache_misses,
+        launch_cache_evictions: launch_cache_totals().evictions,
+        launch_cache_digest_secs,
     }
 }
 

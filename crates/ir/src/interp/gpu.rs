@@ -16,12 +16,14 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use acceval_sim::{
-    estimate_kernel, warp_issue_cycles, AccessSummary, Buffer, Cache, DeviceConfig, ElemType, KernelCost,
-    KernelFootprint, KernelTotals, NullSink, SharedSummary, SimError, SiteWarpTrace, TraceEvent, TraceSink,
+    estimate_kernel, warp_issue_cycles, AccessSummary, BufGen, Buffer, Cache, DeviceConfig, Digest128, ElemType,
+    KernelCost, KernelFootprint, KernelTotals, NullSink, Payload, SharedSummary, SimError, SiteWarpTrace, TraceEvent,
+    TraceSink,
 };
 
 use crate::expr::{Expr, Intrin};
 use crate::interp::bytecode::{self, intrin_cost};
+use crate::interp::launch_cache::{self, ArrayOut, LaunchEffect, LaunchKey};
 use crate::interp::{eval_pure, row_major_strides, Interp, Machine};
 use crate::kernel::{Expansion, KernelPlan, MemSpace, ReduceStrategy};
 use crate::program::{eval_const, Program};
@@ -182,9 +184,17 @@ const RED_JOURNAL_CAP: u64 = 1 << 23;
 
 /// Device memory image: one optional buffer per program array, plus the
 /// simulated texture cache.
+///
+/// Every buffer carries a monotonic generation tag ([`BufGen`]) bumped on
+/// each mutation; the launch cache memoizes content digests per
+/// (buffer, generation), so probes over unchanged buffers hash nothing.
+/// All mutation goes through the methods here or through [`launch`]; code
+/// that writes `bufs` directly must bump the matching tag itself.
 pub struct DeviceState {
     pub bufs: Vec<Option<Buffer>>,
     pub tex_cache: Cache,
+    /// Generation tags, parallel to `bufs`.
+    pub tags: Vec<BufGen>,
 }
 
 impl DeviceState {
@@ -193,21 +203,65 @@ impl DeviceState {
         DeviceState {
             bufs: vec![None; prog.arrays.len()],
             tex_cache: Cache::new(cfg.tex_cache_bytes * cfg.num_sms, 8, cfg.tex_line_bytes),
+            tags: vec![BufGen::new(); prog.arrays.len()],
         }
     }
 
     /// Upload a host buffer (allocate + copy contents). Reuses an existing
-    /// same-shape allocation in place instead of cloning a fresh buffer.
+    /// same-shape allocation in place instead of cloning a fresh buffer, and
+    /// skips the copy entirely when the device copy's memoized content
+    /// digest already matches the incoming host contents (the content-level
+    /// extension of the redundant-copy skip; the transfer is still charged
+    /// by the caller — this is purely a host-side memory optimization).
     pub fn upload(&mut self, id: ArrayId, host: &Buffer) {
-        match &mut self.bufs[id.0 as usize] {
-            Some(b) if b.elem == host.elem && b.len() == host.len() => b.copy_from(host),
-            slot => *slot = Some(host.clone()),
+        let i = id.0 as usize;
+        match &mut self.bufs[i] {
+            Some(b) if b.elem == host.elem && b.len() == host.len() => {
+                if let Some(d) = self.tags[i].memoized() {
+                    let hd = launch_cache::timed_digest(|| host.content_digest());
+                    if hd == d {
+                        return;
+                    }
+                    b.copy_from(host);
+                    self.tags[i].bump();
+                    self.tags[i].prime(hd);
+                } else {
+                    b.copy_from(host);
+                    self.tags[i].bump();
+                }
+            }
+            slot => {
+                *slot = Some(host.clone());
+                self.tags[i].bump();
+            }
         }
     }
 
-    /// Allocate zeroed device storage without a transfer.
+    /// Allocate zeroed device storage without a transfer. Skips the clear
+    /// when the device copy's memoized digest proves it already holds zeros
+    /// of the right shape.
     pub fn alloc(&mut self, id: ArrayId, host: &Buffer) {
-        self.bufs[id.0 as usize] = Some(Buffer::zeroed(host.elem, host.len()));
+        let i = id.0 as usize;
+        match &mut self.bufs[i] {
+            Some(b) if b.elem == host.elem && b.len() == host.len() => {
+                if self.tags[i].memoized().is_some() {
+                    let zd = launch_cache::timed_digest(|| acceval_sim::zero_digest(host.elem, host.len()));
+                    if self.tags[i].memoized() == Some(zd) {
+                        return;
+                    }
+                    *b = Buffer::zeroed(host.elem, host.len());
+                    self.tags[i].bump();
+                    self.tags[i].prime(zd);
+                } else {
+                    *b = Buffer::zeroed(host.elem, host.len());
+                    self.tags[i].bump();
+                }
+            }
+            slot => {
+                *slot = Some(Buffer::zeroed(host.elem, host.len()));
+                self.tags[i].bump();
+            }
+        }
     }
 
     /// Download device contents into a host buffer, copying in place when
@@ -542,6 +596,41 @@ fn launch_impl(
         arr_acc.insert(a, b);
     }
 
+    // Texture sites mutate the cross-launch texture cache, which makes the
+    // launch both ineligible for memoization (state the key cannot cover)
+    // and for intra-launch parallelism (shared mutable cache).
+    let has_tex = site_kinds.iter().any(|k| {
+        matches!(k, SiteKind::Mem(a)
+            if plan.expansion_of(*a).is_none() && matches!(plan.space_of(*a), MemSpace::Texture))
+    });
+
+    // ---- launch memoization ------------------------------------------------
+    // A launch's effects are a pure function of (plan, geometry, config,
+    // scalars, readable array contents): probe the content-addressed cache
+    // and replay the captured effect on a hit. Opaque bodies (calls into
+    // program functions) have an unbounded effect set and always execute.
+    let arrays = body_arrays(plan, &red_arrays);
+    let cache_key = if launch_cache::launch_cache_enabled() && !arrays.opaque && !has_tex {
+        Some(build_launch_key(plan, dev, cfg, scal, &extents, eng, traced, &arrays))
+    } else {
+        None
+    };
+    if let Some(key) = &cache_key {
+        if let Some(effect) = launch_cache::probe(key) {
+            launch_cache::note_hit();
+            return replay_effect(&effect, dev, scal, sink, traced);
+        }
+        launch_cache::note_miss();
+    }
+    // Pre-launch contents of the write set, diffed into deltas on capture.
+    let pre_writes: Vec<(usize, Option<Buffer>)> = if cache_key.is_some() {
+        arrays.writes.iter().map(|&i| (i, dev.bufs[i].clone())).collect()
+    } else {
+        Vec::new()
+    };
+    let capturing = cache_key.is_some();
+    let mut captured_events: Vec<TraceEvent> = Vec::new();
+
     let warp = cfg.warp_size;
     let warps_per_block = (tpb as u64).div_ceil(warp as u64);
     let mut totals = KernelTotals::default();
@@ -575,7 +664,7 @@ fn launch_impl(
             (0, 0)
         };
         let atomic_serial = matches!(plan.reduce_strategy, ReduceStrategy::AtomicSerial);
-        let DeviceState { bufs, tex_cache } = dev;
+        let DeviceState { bufs, tex_cache, .. } = dev;
         // Pricing recipe per fast site: global sites reduce through the
         // segment memo; shared-tiled sites through the bank-conflict memo
         // plus the reuse-discounted fill charge (the same arithmetic
@@ -630,10 +719,6 @@ fn launch_impl(
         // that cannot be journaled cheaply (array reductions fold per
         // element; texture sites mutate a shared cache), a grid worth
         // splitting, and a bounded scalar-reduction journal.
-        let has_tex = site_kinds.iter().any(|k| {
-            matches!(k, SiteKind::Mem(a)
-                if plan.expansion_of(*a).is_none() && matches!(plan.space_of(*a), MemSpace::Texture))
-        });
         let journal_ok = total_threads.saturating_mul(red_scalar.len() as u64) <= RED_JOURNAL_CAP;
         let eligible = bc.par_blocks_ok && red_arrays.is_empty() && !has_tex && total_blocks >= 2 && journal_ok;
         let want = match launch_par() {
@@ -952,7 +1037,7 @@ fn launch_impl(
                     MemSpace::Texture => "texture",
                 }
             };
-            sink.emit(TraceEvent::CoalesceSite {
+            let ev = TraceEvent::CoalesceSite {
                 kernel: plan.name.clone(),
                 site: i as u32,
                 array: prog.array_name(*arr).to_string(),
@@ -961,14 +1046,292 @@ fn launch_impl(
                 transactions: g.transactions,
                 lane_accesses: g.lane_accesses,
                 shared_slots: sh.slots,
-            });
+            };
+            if capturing {
+                captured_events.push(ev.clone());
+            }
+            sink.emit(ev);
         }
         if dev.tex_cache.hits != tex_hits0 || dev.tex_cache.misses != tex_misses0 {
+            // Texture launches are never memoized, so this event is not captured.
             sink.emit(dev.tex_cache.trace_event(&format!("{}/texture", plan.name)));
         }
-        sink.emit(cost.trace_event(&plan.name, &footprint, &totals, cfg));
+        let ev = cost.trace_event(&plan.name, &footprint, &totals, cfg);
+        if capturing {
+            captured_events.push(ev.clone());
+        }
+        sink.emit(ev);
     }
-    LaunchResult { cost, totals, footprint, active_threads }
+
+    // Generation bookkeeping: the launch mutated its write set, so those
+    // digest memos are stale (opaque bodies invalidate every allocated
+    // array — the write set cannot be bounded statically).
+    if arrays.opaque {
+        for (i, b) in dev.bufs.iter().enumerate() {
+            if b.is_some() {
+                dev.tags[i].bump();
+            }
+        }
+    } else {
+        for &i in &arrays.writes {
+            dev.tags[i].bump();
+        }
+    }
+
+    let result = LaunchResult { cost, totals, footprint, active_threads };
+    if let Some(key) = cache_key {
+        // Capture the launch's complete effect: output deltas + digests
+        // (which also prime the freshly bumped generation memos), scalar
+        // writebacks, the result, and the trace-event slice.
+        let mut outputs: Vec<(u32, ArrayOut, u128)> = Vec::with_capacity(pre_writes.len());
+        launch_cache::timed_digest(|| {
+            for (i, pre) in &pre_writes {
+                let Some(post) = dev.bufs[*i].as_ref() else { continue };
+                let (out, d) = diff_and_digest(pre.as_ref(), post);
+                dev.tags[*i].prime(d);
+                outputs.push((*i as u32, out, d));
+            }
+        });
+        let scalar_writes: Vec<(usize, Value)> = red_scalar.iter().map(|&(slot, _, _)| (slot, scal[slot])).collect();
+        launch_cache::insert(
+            key,
+            LaunchEffect { outputs, scalar_writes, result: result.clone(), events: captured_events },
+        );
+    }
+    result
+}
+
+/// Readable/writable device arrays of a kernel body, for launch memoization.
+struct BodyArrays {
+    /// Non-private arrays the body can observe — loads and (partial-write)
+    /// store targets — plus reduction targets: the content read set.
+    reads: Vec<usize>,
+    /// Non-private store targets plus reduction targets: everything the
+    /// launch may mutate on the device.
+    writes: Vec<usize>,
+    /// The body contains constructs whose effect set this walk cannot bound
+    /// (calls into program functions and other non-kernel constructs).
+    opaque: bool,
+}
+
+fn body_arrays(plan: &KernelPlan, red_arrays: &[(ArrayId, crate::types::ReduceOp)]) -> BodyArrays {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut opaque = false;
+    visit_stmts(&plan.body, &mut |s| match s {
+        Stmt::Store { array, .. } if plan.expansion_of(*array).is_none() => {
+            writes.push(array.0 as usize);
+            reads.push(array.0 as usize);
+        }
+        Stmt::Call { .. } | Stmt::DataRegion { .. } | Stmt::Update { .. } | Stmt::Parallel(_) => opaque = true,
+        _ => {}
+    });
+    visit_exprs(&plan.body, &mut |e| {
+        if let Expr::Load { array, .. } = e {
+            if plan.expansion_of(*array).is_none() {
+                reads.push(array.0 as usize);
+            }
+        }
+    });
+    for &(a, _) in red_arrays {
+        reads.push(a.0 as usize);
+        writes.push(a.0 as usize);
+    }
+    reads.sort_unstable();
+    reads.dedup();
+    writes.sort_unstable();
+    writes.dedup();
+    BodyArrays { reads, writes, opaque }
+}
+
+/// Fold a debug representation into a digest, 8 bytes at a time.
+fn fold_str(d: &mut Digest128, s: &str) {
+    let bytes = s.as_bytes();
+    d.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        d.push(u64::from_le_bytes(w));
+    }
+}
+
+/// Assemble the content-addressed key of this launch. Buffer digests go
+/// through the generation memos, so a steady-state probe hashes nothing but
+/// the (small) config/layout/scalar material.
+#[allow(clippy::too_many_arguments)]
+fn build_launch_key(
+    plan: &KernelPlan,
+    dev: &mut DeviceState,
+    cfg: &DeviceConfig,
+    scal: &[Value],
+    extents: &[Vec<usize>],
+    eng: Engine,
+    traced: bool,
+    arrays: &BodyArrays,
+) -> LaunchKey {
+    launch_cache::timed_digest(|| {
+        let plan_fp = plan.engine_cache.fingerprint(plan);
+        let mut cfgd = Digest128::new();
+        fold_str(&mut cfgd, &format!("{cfg:?}"));
+        // Address layout: the device base of every array depends on the
+        // allocation state, length, and element size of all the arrays
+        // before it; extents additionally pin index linearisation.
+        let mut lay = Digest128::new();
+        for (i, b) in dev.bufs.iter().enumerate() {
+            match b {
+                Some(b) => {
+                    lay.push(1);
+                    lay.push(b.len() as u64);
+                    lay.push(b.elem.size_bytes() as u64);
+                    lay.push(b.elem.is_float() as u64);
+                }
+                None => lay.push(0),
+            }
+            for &e in &extents[i] {
+                lay.push(e as u64);
+            }
+            lay.push(u64::MAX); // extent-list terminator
+        }
+        let scalars: Vec<(u8, u64)> = scal
+            .iter()
+            .map(|v| match v {
+                Value::F(x) => (1u8, x.to_bits()),
+                Value::I(x) => (2u8, *x as u64),
+                Value::B(x) => (3u8, *x as u64),
+            })
+            .collect();
+        let inputs: Vec<(u32, Option<u128>)> = arrays
+            .reads
+            .iter()
+            .map(|&i| {
+                let d = match dev.bufs[i].as_ref() {
+                    Some(b) => Some(dev.tags[i].digest(b).0),
+                    None => None,
+                };
+                (i as u32, d)
+            })
+            .collect();
+        LaunchKey {
+            plan_fp,
+            block: plan.block,
+            shared_bytes: plan.shared_bytes_per_block,
+            regs: plan.regs_per_thread,
+            engine: match eng {
+                Engine::Tree => 0,
+                Engine::Bytecode => 1,
+            },
+            traced,
+            cfg_digest: (cfgd.finish() >> 64) as u64 ^ cfgd.finish() as u64,
+            layout_digest: (lay.finish() >> 64) as u64 ^ lay.finish() as u64,
+            scalars,
+            inputs,
+        }
+    })
+}
+
+/// Apply a cached launch effect to the device and scalar environment,
+/// re-emitting the captured trace-event slice. Bit-identical to executing
+/// the launch.
+fn replay_effect(
+    effect: &LaunchEffect,
+    dev: &mut DeviceState,
+    scal: &mut [Value],
+    sink: &mut dyn TraceSink,
+    traced: bool,
+) -> LaunchResult {
+    for (ai, out, digest) in &effect.outputs {
+        let i = *ai as usize;
+        match out {
+            ArrayOut::Full(src) => match &mut dev.bufs[i] {
+                Some(b) if b.elem == src.elem && b.len() == src.len() => b.copy_from(src),
+                slot => *slot = Some((**src).clone()),
+            },
+            ArrayOut::Sparse(writes) => {
+                let b = dev.bufs[i].as_mut().expect("sparse replay target is allocated (keyed by layout)");
+                match &mut b.data {
+                    Payload::F(v) => {
+                        for &(idx, bits) in writes {
+                            v[idx as usize] = f64::from_bits(bits);
+                        }
+                    }
+                    Payload::I(v) => {
+                        for &(idx, bits) in writes {
+                            v[idx as usize] = bits as i64;
+                        }
+                    }
+                }
+            }
+        }
+        dev.tags[i].bump();
+        dev.tags[i].prime(*digest);
+    }
+    for &(slot, v) in &effect.scalar_writes {
+        scal[slot] = v;
+    }
+    if traced {
+        for e in &effect.events {
+            sink.emit(e.clone());
+        }
+    }
+    effect.result.clone()
+}
+
+/// Delta between pre- and post-launch contents of one buffer (sparse when at
+/// most a quarter of the elements changed, dense otherwise) fused with the
+/// post buffer's content digest, so capture walks each written buffer once
+/// instead of diffing and hashing in separate passes. The digest folds the
+/// same header and element bits as [`Buffer::content_digest`], so priming a
+/// generation memo with it is indistinguishable from re-hashing.
+fn diff_and_digest(pre: Option<&Buffer>, post: &Buffer) -> (ArrayOut, u128) {
+    let n = post.len();
+    let comparable = n <= u32::MAX as usize && matches!(pre, Some(p) if p.elem == post.elem && p.len() == n);
+    let cap = n / 4 + 1;
+    let mut d = post.digest_header();
+    let mut writes: Vec<(u32, u64)> = Vec::new();
+    let mut fits = comparable;
+    match (&post.data, pre.map(|p| &p.data)) {
+        (Payload::F(b), Some(Payload::F(a))) if comparable => {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                let bits = y.to_bits();
+                d.push(bits);
+                if fits && x.to_bits() != bits {
+                    if writes.len() >= cap {
+                        // Delta too dense for the sparse form: stop collecting
+                        // but keep folding the digest to finish the pass.
+                        fits = false;
+                    } else {
+                        writes.push((i as u32, bits));
+                    }
+                }
+            }
+        }
+        (Payload::I(b), Some(Payload::I(a))) if comparable => {
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                d.push(*y as u64);
+                if fits && x != y {
+                    if writes.len() >= cap {
+                        fits = false;
+                    } else {
+                        writes.push((i as u32, *y as u64));
+                    }
+                }
+            }
+        }
+        (Payload::F(b), _) => {
+            fits = false;
+            for y in b {
+                d.push(y.to_bits());
+            }
+        }
+        (Payload::I(b), _) => {
+            fits = false;
+            for y in b {
+                d.push(*y as u64);
+            }
+        }
+    }
+    let out = if fits { ArrayOut::Sparse(writes) } else { ArrayOut::Full(std::sync::Arc::new(post.clone())) };
+    (out, d.finish())
 }
 
 /// Launch-wide immutable context shared by every block-chunk executor of

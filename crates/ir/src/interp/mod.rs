@@ -12,6 +12,7 @@
 pub mod bytecode;
 pub mod cpu;
 pub mod gpu;
+pub mod launch_cache;
 
 use crate::expr::{BinOp, Expr, Intrin, UnOp};
 use crate::program::{eval_const, DataSet, Program};

@@ -137,6 +137,11 @@ pub struct KernelPlan {
 #[derive(Clone, Default)]
 pub struct EngineCache {
     slot: Arc<OnceLock<Option<Arc<KernelBytecode>>>>,
+    /// Memoized geometry-invariant plan fingerprint (see
+    /// [`EngineCache::fingerprint`]). Shares the engine cache's lifetime
+    /// contract: valid across clones because geometry retargeting never
+    /// touches the fingerprinted fields.
+    fp: Arc<OnceLock<u128>>,
 }
 
 impl EngineCache {
@@ -144,6 +149,38 @@ impl EngineCache {
     /// `None` when the body is out of the bytecode engine's scope.
     pub fn get_or_compile(&self, prog: &Program, plan: &KernelPlan) -> Option<Arc<KernelBytecode>> {
         self.slot.get_or_init(|| compile(prog, plan).map(Arc::new)).clone()
+    }
+
+    /// 128-bit fingerprint of `plan`'s geometry-*invariant* identity: name,
+    /// axes, body, reductions, strategy, private arrays, placements, and
+    /// site numbering. Computed once per plan and shared across clones —
+    /// sound because `retarget_block_geometry` mutates only `block` and
+    /// `shared_bytes_per_block`, which the launch cache keys live instead.
+    pub fn fingerprint(&self, plan: &KernelPlan) -> u128 {
+        *self.fp.get_or_init(|| {
+            let repr = format!(
+                "{:?}",
+                (
+                    &plan.name,
+                    &plan.axes,
+                    &plan.body,
+                    &plan.reductions,
+                    &plan.reduce_strategy,
+                    &plan.private_arrays,
+                    &plan.placement,
+                    plan.site_count,
+                )
+            );
+            let mut d = acceval_sim::Digest128::new();
+            let bytes = repr.as_bytes();
+            d.push(bytes.len() as u64);
+            for chunk in bytes.chunks(8) {
+                let mut w = [0u8; 8];
+                w[..chunk.len()].copy_from_slice(chunk);
+                d.push(u64::from_le_bytes(w));
+            }
+            d.finish()
+        })
     }
 }
 

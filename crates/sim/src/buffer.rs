@@ -198,6 +198,41 @@ impl Buffer {
         }
     }
 
+    /// 128-bit content digest of this buffer (element type, length, and
+    /// every element's raw bit pattern). Used as the content-addressing key
+    /// component for launch memoization; collisions would silently replay a
+    /// wrong launch, hence two independent 64-bit fold lanes rather than one.
+    pub fn content_digest(&self) -> u128 {
+        let mut d = Digest128::new();
+        d.push(elem_tag(self.elem));
+        d.push(self.len() as u64);
+        match &self.data {
+            Payload::F(v) => {
+                for x in v {
+                    d.push(x.to_bits());
+                }
+            }
+            Payload::I(v) => {
+                for x in v {
+                    d.push(*x as u64);
+                }
+            }
+        }
+        d.finish()
+    }
+
+    /// Seed a [`Digest128`] with this buffer's header (element-type tag and
+    /// length) exactly as [`Buffer::content_digest`] does. Callers that
+    /// already walk every element for another reason can fold the element
+    /// bits into the returned digest themselves and obtain the same value as
+    /// `content_digest` in a single pass.
+    pub fn digest_header(&self) -> Digest128 {
+        let mut d = Digest128::new();
+        d.push(elem_tag(self.elem));
+        d.push(self.len() as u64);
+        d
+    }
+
     /// Maximum absolute difference against another float buffer.
     pub fn max_abs_diff(&self, other: &Buffer) -> f64 {
         match (&self.data, &other.data) {
@@ -210,6 +245,130 @@ impl Buffer {
                 a.iter().zip(b).map(|(x, y)| (x - y).abs() as f64).fold(0.0, f64::max)
             }
             _ => panic!("payload kind mismatch"),
+        }
+    }
+}
+
+#[inline]
+fn elem_tag(elem: ElemType) -> u64 {
+    match elem {
+        ElemType::F32 => 1,
+        ElemType::F64 => 2,
+        ElemType::I32 => 3,
+        ElemType::I64 => 4,
+    }
+}
+
+/// Digest of the all-zero buffer of a given shape, without materializing it.
+/// Lets `DeviceState::alloc` recognize a device buffer that already holds
+/// zeros and skip the clear.
+pub fn zero_digest(elem: ElemType, len: usize) -> u128 {
+    let mut d = Digest128::new();
+    d.push(elem_tag(elem));
+    d.push(len as u64);
+    let word = if elem.is_float() { 0f64.to_bits() } else { 0u64 };
+    for _ in 0..len {
+        d.push(word);
+    }
+    d.finish()
+}
+
+/// Two-lane multiply-xor fold producing a 128-bit digest. Same per-lane
+/// recurrence as the coalescing layer's `FoldHasher`, run twice with
+/// distinct odd multipliers so the lanes decorrelate.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Digest128 {
+    const MUL_LO: u64 = 0x9e37_79b9_7f4a_7c15;
+    const MUL_HI: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+    /// Fresh digest state.
+    #[inline]
+    pub fn new() -> Self {
+        Digest128 { lo: 0x243f_6a88_85a3_08d3, hi: 0x1319_8a2e_0370_7344 }
+    }
+
+    /// Fold one 64-bit word into both lanes.
+    #[inline]
+    pub fn push(&mut self, w: u64) {
+        self.lo = (self.lo ^ w).wrapping_mul(Self::MUL_LO).rotate_left(29);
+        self.hi = (self.hi ^ w).wrapping_mul(Self::MUL_HI).rotate_left(31);
+    }
+
+    /// Final 128-bit value.
+    #[inline]
+    pub fn finish(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+impl Default for Digest128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Monotonic generation tag for one device buffer, with a lazily computed
+/// content digest memoized per generation. Every mutation of the buffer
+/// bumps the generation; a digest request re-hashes only when the memo is
+/// stale, so steady-state cache probes over unchanged buffers hash nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BufGen {
+    gen: u64,
+    memo: Option<(u64, u128)>,
+}
+
+impl BufGen {
+    /// Fresh tag at generation 0 with no memoized digest.
+    pub fn new() -> Self {
+        BufGen::default()
+    }
+
+    /// Current generation.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Record a mutation: advance the generation, invalidating the memo.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.gen += 1;
+        self.memo = None;
+    }
+
+    /// Content digest of `buf` at the current generation, re-hashing only
+    /// when no digest is memoized for this generation. Returns the digest
+    /// and whether a hash was actually computed (for cost accounting).
+    pub fn digest(&mut self, buf: &Buffer) -> (u128, bool) {
+        if let Some((g, d)) = self.memo {
+            if g == self.gen {
+                return (d, false);
+            }
+        }
+        let d = buf.content_digest();
+        self.memo = Some((self.gen, d));
+        (d, true)
+    }
+
+    /// Install a known digest for the current generation (e.g. after a
+    /// cache replay wrote contents whose digest was stored with the entry),
+    /// so the next probe doesn't re-hash.
+    #[inline]
+    pub fn prime(&mut self, digest: u128) {
+        self.memo = Some((self.gen, digest));
+    }
+
+    /// The memoized digest for the current generation, if any (no hashing).
+    #[inline]
+    pub fn memoized(&self) -> Option<u128> {
+        match self.memo {
+            Some((g, d)) if g == self.gen => Some(d),
+            _ => None,
         }
     }
 }
@@ -264,5 +423,47 @@ mod tests {
     #[should_panic]
     fn from_f64_rejects_int_type() {
         let _ = Buffer::from_f64(ElemType::I32, vec![1.0]);
+    }
+
+    #[test]
+    fn content_digest_separates_type_len_and_values() {
+        let a = Buffer::from_f64(ElemType::F64, vec![1.0, 2.0]);
+        let b = Buffer::from_f64(ElemType::F64, vec![1.0, 2.0]);
+        assert_eq!(a.content_digest(), b.content_digest());
+        let c = Buffer::from_f64(ElemType::F64, vec![1.0, 2.5]);
+        assert_ne!(a.content_digest(), c.content_digest());
+        let d = Buffer::from_f64(ElemType::F32, vec![1.0, 2.0]);
+        assert_ne!(a.content_digest(), d.content_digest());
+        let e = Buffer::from_f64(ElemType::F64, vec![1.0, 2.0, 0.0]);
+        assert_ne!(a.content_digest(), e.content_digest());
+    }
+
+    #[test]
+    fn zero_digest_matches_zeroed_buffer() {
+        for (elem, len) in [(ElemType::F64, 7), (ElemType::F32, 0), (ElemType::I32, 3), (ElemType::I64, 16)] {
+            assert_eq!(zero_digest(elem, len), Buffer::zeroed(elem, len).content_digest());
+        }
+    }
+
+    #[test]
+    fn bufgen_memoizes_per_generation() {
+        let mut b = Buffer::from_f64(ElemType::F64, vec![3.0, 4.0]);
+        let mut g = BufGen::new();
+        let (d0, hashed0) = g.digest(&b);
+        assert!(hashed0, "first probe must hash");
+        let (d1, hashed1) = g.digest(&b);
+        assert!(!hashed1, "second probe at same generation must be memoized");
+        assert_eq!(d0, d1);
+        b.set_f(0, 9.0);
+        g.bump();
+        assert_eq!(g.memoized(), None);
+        let (d2, hashed2) = g.digest(&b);
+        assert!(hashed2, "post-bump probe must re-hash");
+        assert_ne!(d0, d2);
+        g.bump();
+        g.prime(0xdead_beef);
+        let (d3, hashed3) = g.digest(&b);
+        assert!(!hashed3, "primed digest must be served without hashing");
+        assert_eq!(d3, 0xdead_beef);
     }
 }

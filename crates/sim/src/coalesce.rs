@@ -45,6 +45,33 @@ pub fn bank_conflict_slots(addrs: &[u64], banks: u32, word_bytes: u32) -> u32 {
     if addrs.is_empty() {
         return 0;
     }
+    // This runs once per warp shared-memory instruction — the hottest
+    // shared-memory path in the simulator. Real warps are <= 32 lanes and
+    // real devices have <= 32 banks, so a fixed stack scratch covers every
+    // modeled configuration without heap traffic; wider inputs (tests,
+    // hypothetical devices) fall back to the allocating path.
+    if addrs.len() <= 32 && banks <= 32 {
+        let mut words = [0u64; 32];
+        let n = addrs.len();
+        for (w, &a) in words.iter_mut().zip(addrs) {
+            *w = a / word_bytes as u64;
+        }
+        let words = &mut words[..n];
+        words.sort_unstable();
+        let mut per_bank = [0u32; 32];
+        let mut best = 0u32;
+        let mut prev = u64::MAX; // sentinel: addresses never reach 2^64-1
+        for &w in words.iter() {
+            if w == prev {
+                continue; // same word: broadcast, costs nothing extra
+            }
+            prev = w;
+            let slot = &mut per_bank[(w % banks as u64) as usize];
+            *slot += 1;
+            best = best.max(*slot);
+        }
+        return best.max(1);
+    }
     let mut words: Vec<u64> = addrs.iter().map(|a| a / word_bytes as u64).collect();
     words.sort_unstable();
     words.dedup();
@@ -53,6 +80,30 @@ pub fn bank_conflict_slots(addrs: &[u64], banks: u32, word_bytes: u32) -> u32 {
         per_bank[(w % banks as u64) as usize] += 1;
     }
     per_bank.into_iter().max().unwrap_or(0).max(1)
+}
+
+/// Gather occurrence `k`'s participating-lane addresses into `stack` (warps
+/// are <= 64 lanes on every modeled device) or `heap` when wider, returning
+/// the filled row. Keeps the per-occurrence reductions below allocation-free.
+fn fill_row<'a>(lane_addrs: &[Vec<u64>], k: usize, stack: &'a mut [u64; 64], heap: &'a mut Vec<u64>) -> &'a mut [u64] {
+    if lane_addrs.len() <= 64 {
+        let mut n = 0;
+        for lane in lane_addrs {
+            if let Some(&a) = lane.get(k) {
+                stack[n] = a;
+                n += 1;
+            }
+        }
+        &mut stack[..n]
+    } else {
+        heap.clear();
+        for lane in lane_addrs {
+            if let Some(&a) = lane.get(k) {
+                heap.push(a);
+            }
+        }
+        &mut heap[..]
+    }
 }
 
 /// Accumulates one warp's lane address streams for a single access site and
@@ -141,17 +192,13 @@ impl SiteWarpTrace {
     pub fn reduce_global(&self, segment_bytes: u32) -> AccessSummary {
         let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
         let mut out = AccessSummary::default();
-        let mut row: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        let mut stack = [0u64; 64];
+        let mut heap: Vec<u64> = Vec::new();
         for k in 0..max_len {
-            row.clear();
-            for lane in &self.lane_addrs {
-                if let Some(&a) = lane.get(k) {
-                    row.push(a);
-                }
-            }
+            let row = fill_row(&self.lane_addrs, k, &mut stack, &mut heap);
             out.requests += 1;
             out.lane_accesses += row.len() as u64;
-            out.transactions += segments_touched(&mut row, segment_bytes) as u64;
+            out.transactions += segments_touched(row, segment_bytes) as u64;
         }
         out
     }
@@ -160,15 +207,10 @@ impl SiteWarpTrace {
     /// addresses (used for texture-cache simulation).
     pub fn for_each_row(&self, mut f: impl FnMut(&[u64])) {
         let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
-        let mut row: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        let mut stack = [0u64; 64];
+        let mut heap: Vec<u64> = Vec::new();
         for k in 0..max_len {
-            row.clear();
-            for lane in &self.lane_addrs {
-                if let Some(&a) = lane.get(k) {
-                    row.push(a);
-                }
-            }
-            f(&row);
+            f(fill_row(&self.lane_addrs, k, &mut stack, &mut heap));
         }
     }
 
@@ -199,16 +241,12 @@ impl SiteWarpTrace {
     pub fn reduce_shared(&self, banks: u32, word_bytes: u32) -> SharedSummary {
         let max_len = self.lane_addrs.iter().map(|v| v.len()).max().unwrap_or(0);
         let mut out = SharedSummary::default();
-        let mut row: Vec<u64> = Vec::with_capacity(self.lane_addrs.len());
+        let mut stack = [0u64; 64];
+        let mut heap: Vec<u64> = Vec::new();
         for k in 0..max_len {
-            row.clear();
-            for lane in &self.lane_addrs {
-                if let Some(&a) = lane.get(k) {
-                    row.push(a);
-                }
-            }
+            let row = fill_row(&self.lane_addrs, k, &mut stack, &mut heap);
             out.requests += 1;
-            out.slots += bank_conflict_slots(&row, banks, word_bytes) as u64;
+            out.slots += bank_conflict_slots(row, banks, word_bytes) as u64;
         }
         out
     }
@@ -491,6 +529,45 @@ mod tests {
     #[test]
     fn segments_touched_handles_empty() {
         assert_eq!(segments_touched(&mut [], 128), 0);
+    }
+
+    /// The original allocating reduction, kept as the oracle for the
+    /// stack-scratch fast path.
+    fn bank_slots_reference(addrs: &[u64], banks: u32, word_bytes: u32) -> u32 {
+        if addrs.is_empty() {
+            return 0;
+        }
+        let mut words: Vec<u64> = addrs.iter().map(|a| a / word_bytes as u64).collect();
+        words.sort_unstable();
+        words.dedup();
+        let mut per_bank = vec![0u32; banks as usize];
+        for w in words {
+            per_bank[(w % banks as u64) as usize] += 1;
+        }
+        per_bank.into_iter().max().unwrap_or(0).max(1)
+    }
+
+    #[test]
+    fn bank_conflicts_stack_path_matches_reference() {
+        for stride in [0u64, 1, 2, 3, 4, 7, 8, 16, 32, 33] {
+            for n in [1usize, 5, 17, 32] {
+                let row: Vec<u64> = (0..n as u64).map(|l| 12 + l * stride * 4).collect();
+                assert_eq!(
+                    bank_conflict_slots(&row, 32, 4),
+                    bank_slots_reference(&row, 32, 4),
+                    "stride {stride} n {n}"
+                );
+                assert_eq!(
+                    bank_conflict_slots(&row, 16, 8),
+                    bank_slots_reference(&row, 16, 8),
+                    "stride {stride} n {n}"
+                );
+            }
+        }
+        // Wider than 32 lanes / banks exercises the heap fallback.
+        let wide: Vec<u64> = (0..48u64).map(|l| (l % 11) * 36 + l * 4).collect();
+        assert_eq!(bank_conflict_slots(&wide, 32, 4), bank_slots_reference(&wide, 32, 4));
+        assert_eq!(bank_conflict_slots(&wide[..20], 64, 4), bank_slots_reference(&wide[..20], 64, 4));
     }
 
     #[test]

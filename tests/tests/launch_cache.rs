@@ -1,0 +1,94 @@
+//! Sweep-level determinism for launch memoization: with
+//! `ACCEVAL_LAUNCH_CACHE=on`, every artifact — the Figure 1 CSV and the
+//! Chrome trace behind `results/profile_*.json` — must be byte-identical to
+//! the cache-off run, at any worker count. The cache is a speed knob, never
+//! a results knob.
+
+use std::sync::Mutex;
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::figures::figure1;
+use acceval::ir::interp::launch_cache::{
+    clear_launch_cache, launch_cache_totals, set_launch_cache_override, LaunchCache,
+};
+use acceval::models::ModelKind;
+use acceval::profile::chrome_trace;
+use acceval::report::figure1_csv;
+use acceval::sim::{MachineConfig, RecordingSink};
+use acceval::sweep::{cached_compile, cached_dataset, cached_oracle};
+
+/// The cache override, its store, and `RAYON_NUM_THREADS` are
+/// process-global; serialize the tests that flip them.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the launch cache pinned to `policy` at `threads` workers
+/// from a cold cache, restoring the defaults on exit (also on panic, so one
+/// failing test can't poison the setting for the others).
+fn with_cache<T>(policy: LaunchCache, threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_launch_cache_override(None);
+            std::env::remove_var("RAYON_NUM_THREADS");
+            clear_launch_cache();
+        }
+    }
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let _reset = Reset;
+    clear_launch_cache();
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    set_launch_cache_override(Some(policy));
+    f()
+}
+
+/// The full Figure 1 sweep (tuning on) renders to a byte-identical CSV with
+/// the cache off and on at 1, 2, and 8 workers — and the cache genuinely
+/// engages (the tuning sweep repeats most launches).
+#[test]
+fn figure1_csv_is_cache_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let baseline = with_cache(LaunchCache::Off, 1, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+    for threads in [1usize, 2, 8] {
+        let (cached, hits) = with_cache(LaunchCache::On, threads, || {
+            let t0 = launch_cache_totals();
+            let csv = figure1_csv(&figure1(&cfg, Scale::Test, true));
+            (csv, launch_cache_totals().hits - t0.hits)
+        });
+        assert_eq!(baseline, cached, "figure1.csv must be byte-identical with the launch cache at {threads} workers");
+        assert!(hits > 0, "the tuning sweep must score launch-cache hits at {threads} workers");
+    }
+}
+
+/// A profiled single run emits the same Chrome trace (every span, transfer,
+/// kernel cost, and coalescing evidence event) and bit-identical scores with
+/// the cache off and on — including warm replays, which re-emit the
+/// captured event slice.
+#[test]
+fn run_profile_is_cache_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named("jacobi").expect("jacobi exists");
+    let trace_under = |policy: LaunchCache, threads: usize, repeats: usize| {
+        with_cache(policy, threads, || {
+            let ds = cached_dataset(b.as_ref(), Scale::Test);
+            let oracle = cached_oracle(b.as_ref(), Scale::Test, &cfg);
+            let compiled = cached_compile(b.as_ref(), ModelKind::ManualCuda, Scale::Test, None);
+            let mut last = None;
+            for _ in 0..repeats {
+                let mut sink = RecordingSink::new();
+                let run = acceval::run_compiled_traced(b.as_ref(), &compiled, &ds, &cfg, &oracle.run, &mut sink);
+                assert!(run.valid.is_ok(), "jacobi must validate: {:?}", run.valid);
+                last = Some((chrome_trace(&sink.take()), run.secs.to_bits(), run.speedup.to_bits()));
+            }
+            last.expect("at least one repeat")
+        })
+    };
+    let (bt, bs, bsp) = trace_under(LaunchCache::Off, 1, 1);
+    for threads in [1usize, 2, 8] {
+        // Two repeats: the second run replays from the cache warmed by the
+        // first, so the comparison covers the pure-replay trace.
+        let (ct, cs, csp) = trace_under(LaunchCache::On, threads, 2);
+        assert_eq!(bs, cs, "simulated seconds must be bit-identical under the cache at {threads} workers");
+        assert_eq!(bsp, csp, "speedup must be bit-identical under the cache at {threads} workers");
+        assert_eq!(bt, ct, "chrome trace must be byte-identical under the cache at {threads} workers");
+    }
+}
