@@ -1,0 +1,144 @@
+//! Persistent-store warm restart: the JACOBI × models tuning subset
+//! launched cold (empty store, empty LRU — every launch executes and
+//! spills) versus warm *from disk* (the in-memory LRU is wiped before every
+//! pass, so each launch deserializes its effect from the store).
+//!
+//! Beyond the criterion numbers, the bench asserts the store's reason to
+//! exist: at least a 2x speedup disk-warm-over-cold on this subset — the
+//! restart half of the acceptance criterion, without the process spawn.
+//! Results are bit-identical either way (the equivalence suites enforce
+//! that); this gate guards the speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use acceval::benchmarks::{all_benchmarks, Benchmark, Scale};
+use acceval::ir::env::StoreMode;
+use acceval::ir::interp::gpu::{env_from_dataset, launch, upload_all, DeviceState};
+use acceval::ir::interp::launch_cache::{clear_launch_cache, set_launch_cache_override, LaunchCache};
+use acceval::ir::interp::store::{clear_store, flush_store, set_store_override};
+use acceval::ir::program::HostData;
+use acceval::models::{model, ModelKind, TuningPoint};
+use acceval::sim::MachineConfig;
+use acceval::sweep::{cached_compile, cached_dataset};
+
+fn benchmark_named(name: &str) -> Box<dyn Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.spec().name == name).unwrap_or_else(|| panic!("no benchmark {name}"))
+}
+
+/// The JACOBI × models tuning subset: every Figure 1 model at its default
+/// point plus (for tunable models) the first two distinct tuning points.
+fn tuning_subset() -> Vec<(ModelKind, Option<TuningPoint>)> {
+    let mut tasks = Vec::new();
+    for kind in ModelKind::figure1_models() {
+        tasks.push((kind, None));
+        if kind != ModelKind::ManualCuda {
+            let default = TuningPoint::best_for(kind);
+            let mut extra = 0;
+            for pt in model(kind).tuning_space() {
+                if pt != default && extra < 2 {
+                    tasks.push((kind, Some(pt)));
+                    extra += 1;
+                }
+            }
+        }
+    }
+    tasks
+}
+
+/// Seconds for one pass over the subset (see `launch_cache.rs`): compiles,
+/// datasets, and the oracle are memoized outside the timed region; the pass
+/// measures the launch path — executed, or replayed from memory or disk.
+fn sweep_pass(b: &dyn Benchmark, tasks: &[(ModelKind, Option<TuningPoint>)], cfg: &MachineConfig) -> f64 {
+    let ds = cached_dataset(b, Scale::Paper);
+    let t0 = Instant::now();
+    for (kind, pt) in tasks {
+        let compiled = cached_compile(b, *kind, Scale::Paper, pt.as_ref());
+        let prog = &compiled.program;
+        let host = HostData::materialize(prog, &ds);
+        let mut dev = DeviceState::new(prog, &cfg.device);
+        upload_all(prog, &mut dev, &host);
+        let mut scal = env_from_dataset(prog, &ds);
+        for plan in compiled.kernels.values().flatten() {
+            black_box(launch(prog, plan, &mut dev, &mut scal, &cfg.device));
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named("JACOBI");
+    let tasks = tuning_subset();
+    let root = std::env::temp_dir().join(format!("acceval-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    set_launch_cache_override(Some(LaunchCache::On));
+    set_store_override(Some(StoreMode::Path(root.clone())));
+
+    // Pre-warm the compile/dataset memos so the cold pass measures launch
+    // execution, not lowering.
+    clear_launch_cache();
+    let _ = sweep_pass(b.as_ref(), &tasks, &cfg);
+
+    // The acceptance gate, measured outside criterion so it also runs (and
+    // fails loudly) in `cargo bench -- --test` smoke mode. Best-of-3 per
+    // mode to shrug off scheduler noise. Cold = empty store + empty LRU;
+    // warm = full store + empty LRU, so every launch comes off disk.
+    let cold = (0..3)
+        .map(|_| {
+            clear_store();
+            clear_launch_cache();
+            sweep_pass(b.as_ref(), &tasks, &cfg)
+        })
+        .fold(f64::MAX, f64::min);
+    clear_store();
+    clear_launch_cache();
+    let _ = sweep_pass(b.as_ref(), &tasks, &cfg); // populate the store
+    flush_store();
+    let warm = (0..3)
+        .map(|_| {
+            clear_launch_cache();
+            sweep_pass(b.as_ref(), &tasks, &cfg)
+        })
+        .fold(f64::MAX, f64::min);
+    let speedup = cold / warm;
+    println!(
+        "JACOBI x models tuning subset ({} tasks, paper scale): cold {cold:.4}s, disk-warm {warm:.4}s",
+        tasks.len()
+    );
+    println!("store speedup disk-warm-over-cold: {speedup:.1}x");
+    assert!(
+        speedup >= 2.0,
+        "disk-warm passes must be >= 2x the cold pass on the JACOBI x models subset, \
+         got {speedup:.2}x (cold {cold:.4}s vs warm {warm:.4}s)"
+    );
+
+    let mut g = c.benchmark_group("store_warm");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    g.bench_function("cold", |bch| {
+        bch.iter(|| {
+            clear_store();
+            clear_launch_cache();
+            black_box(sweep_pass(b.as_ref(), &tasks, &cfg))
+        })
+    });
+    g.bench_function("disk_warm", |bch| {
+        clear_store();
+        clear_launch_cache();
+        let _ = sweep_pass(b.as_ref(), &tasks, &cfg);
+        flush_store();
+        bch.iter(|| {
+            clear_launch_cache();
+            black_box(sweep_pass(b.as_ref(), &tasks, &cfg))
+        })
+    });
+    g.finish();
+    set_store_override(None);
+    set_launch_cache_override(None);
+    clear_launch_cache();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

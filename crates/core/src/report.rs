@@ -131,7 +131,7 @@ pub fn render_sweep_summary(m: &SweepManifest) -> String {
     for g in &m.by_model {
         let _ = writeln!(out, "    {:18} {:4} tasks  {:.3}s", g.name, g.tasks, g.wall_secs);
     }
-    let probes = m.launch_cache_hits + m.launch_cache_misses;
+    let probes = m.launch_cache_hits + m.launch_cache_disk_hits + m.launch_cache_misses;
     let rate = |h: u64, miss: u64| {
         let n = h + miss;
         if n > 0 {
@@ -142,13 +142,19 @@ pub fn render_sweep_summary(m: &SweepManifest) -> String {
     };
     let _ = writeln!(
         out,
-        "  launch cache ({}): {} hits / {} misses ({:.0}% hit rate), {} eviction(s), {:.3}s hashing",
+        "  launch cache ({}): {} memory + {} disk hits / {} misses ({:.0}% hit rate), {} eviction(s), {:.3}s hashing",
         m.launch_cache,
         m.launch_cache_hits,
+        m.launch_cache_disk_hits,
         m.launch_cache_misses,
-        rate(m.launch_cache_hits, m.launch_cache_misses),
+        rate(m.launch_cache_hits + m.launch_cache_disk_hits, m.launch_cache_misses),
         m.launch_cache_evictions,
         m.launch_cache_digest_secs
+    );
+    let _ = writeln!(
+        out,
+        "  store ({}): {} spill(s) ({} bytes), {} quarantined, {} evicted",
+        m.store, m.store_spills, m.store_spill_bytes, m.store_quarantined, m.store_evicted
     );
     if probes > 0 {
         out.push_str("  launch cache by benchmark:\n");
@@ -271,20 +277,32 @@ pub struct BenchSweep {
     pub benchmarks: Vec<crate::sweep::GroupTotals>,
     /// Launch-cache policy the sweep ran under (`auto`/`on`/`off`).
     pub launch_cache: String,
-    /// Launch-cache hits summed over the sweep's tasks.
+    /// Launch-cache memory (LRU) hits summed over the sweep's tasks.
     pub launch_cache_hits: u64,
+    /// Launch-cache hits served from the persistent disk store.
+    pub launch_cache_disk_hits: u64,
     /// Launch-cache misses summed over the sweep's tasks.
     pub launch_cache_misses: u64,
     /// Launch-cache evictions (process-lifetime total).
     pub launch_cache_evictions: u64,
     /// Wall seconds spent hashing buffer contents for cache keys/captures.
     pub launch_cache_digest_secs: f64,
+    /// Persistent-store policy (`auto`/`auto-off`/`on`/`off`/`path`).
+    pub store: String,
+    /// Entries spilled to the persistent store (process lifetime).
+    pub store_spills: u64,
+    /// Bytes spilled to the persistent store (process lifetime).
+    pub store_spill_bytes: u64,
+    /// Store entries quarantined after failing verification.
+    pub store_quarantined: u64,
+    /// Store entries evicted under the disk byte cap.
+    pub store_evicted: u64,
 }
 
 /// Build the `results/BENCH_sweep.json` payload from a sweep manifest.
 pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
     let payload = BenchSweep {
-        schema: "acceval-bench-sweep/3".to_string(),
+        schema: "acceval-bench-sweep/4".to_string(),
         engine: engine.to_string(),
         scale: m.scale.clone(),
         with_tuning: m.with_tuning,
@@ -296,9 +314,15 @@ pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
         benchmarks: m.by_benchmark.clone(),
         launch_cache: m.launch_cache.clone(),
         launch_cache_hits: m.launch_cache_hits,
+        launch_cache_disk_hits: m.launch_cache_disk_hits,
         launch_cache_misses: m.launch_cache_misses,
         launch_cache_evictions: m.launch_cache_evictions,
         launch_cache_digest_secs: m.launch_cache_digest_secs,
+        store: m.store.clone(),
+        store_spills: m.store_spills,
+        store_spill_bytes: m.store_spill_bytes,
+        store_quarantined: m.store_quarantined,
+        store_evicted: m.store_evicted,
     };
     serde_json::to_string_pretty(&payload).expect("bench sweep serializes")
 }

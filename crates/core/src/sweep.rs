@@ -23,6 +23,7 @@ use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::CpuRun;
 use acceval_ir::interp::gpu::{launch_par, set_launch_par_hint, LaunchPar};
 use acceval_ir::interp::launch_cache::{launch_cache_name, launch_cache_totals, thread_cache_counters};
+use acceval_ir::interp::store::{self as launch_store, Dec, Enc};
 use acceval_ir::program::DataSet;
 use acceval_models::{model, ModelKind, TuningPoint};
 use acceval_sim::{MachineConfig, RecordingSink, Summary, TraceEvent, TraceSink};
@@ -98,16 +99,73 @@ pub fn cached_oracle(bench: &dyn Benchmark, scale: Scale, cfg: &MachineConfig) -
     cached_oracle_tracked(bench, scale, cfg).0
 }
 
-/// [`cached_oracle`], also reporting whether the oracle was served from the
-/// cache (`true`) or computed by this call (`false`).
+/// [`cached_oracle`], also reporting whether the oracle was served from a
+/// cache — the in-process memo or the persistent store — (`true`) or
+/// simulated by this call (`false`).
+///
+/// A freshly simulated oracle is spilled to the persistent store under a
+/// digest of (benchmark, scale, host config), so the next *process* loads
+/// the baseline instead of re-simulating it — the sequential CPU runs are
+/// the sweep's critical path, and they are bit-stable by construction.
 pub fn cached_oracle_tracked(bench: &dyn Benchmark, scale: Scale, cfg: &MachineConfig) -> (Arc<OracleEntry>, bool) {
     let key = (bench.spec().name.to_string(), scale, format!("{:?}", cfg.host));
-    ORACLES.get_or_compute_tracked(key, || {
+    let disk_key = format!("oracle/{}/{:?}/{}", key.0, key.1, key.2).into_bytes();
+    let (entry, mut hit) = ORACLES.get_or_compute_tracked(key, || {
+        if let Some(run) = launch_store::get_blob(launch_store::KIND_ORACLE, &disk_key).and_then(|p| decode_oracle(&p))
+        {
+            // Warm-started from disk: the simulation cost was paid by an
+            // earlier process, so this one records none.
+            return Arc::new(OracleEntry { run, wall_secs: 0.0 });
+        }
         let ds = cached_dataset(bench, scale);
         let t0 = Instant::now();
         let run = crate::eval::run_baseline(bench, &ds, cfg);
+        launch_store::put_blob(launch_store::KIND_ORACLE, disk_key.clone(), encode_oracle(&run));
         Arc::new(OracleEntry { run, wall_secs: t0.elapsed().as_secs_f64() })
-    })
+    });
+    // A disk warm-start is a cache hit from the caller's point of view.
+    hit = hit || entry.wall_secs == 0.0;
+    (entry, hit)
+}
+
+fn encode_oracle(run: &CpuRun) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(run.data.bufs.len() as u32);
+    for b in &run.data.bufs {
+        e.buffer(b);
+    }
+    e.u32(run.scalars.len() as u32);
+    for v in &run.scalars {
+        e.value(v);
+    }
+    e.f64(run.cycles);
+    e.f64(run.secs);
+    e.u64(run.ops);
+    e.u64(run.accesses);
+    e.buf
+}
+
+fn decode_oracle(bytes: &[u8]) -> Option<CpuRun> {
+    let mut d = Dec::new(bytes);
+    let nb = d.u32()? as usize;
+    let mut bufs = Vec::with_capacity(nb.min(1024));
+    for _ in 0..nb {
+        bufs.push(d.buffer()?);
+    }
+    let ns = d.u32()? as usize;
+    let mut scalars = Vec::with_capacity(ns.min(4096));
+    for _ in 0..ns {
+        scalars.push(d.value()?);
+    }
+    let run = CpuRun {
+        data: acceval_ir::program::HostData { bufs },
+        scalars,
+        cycles: d.f64()?,
+        secs: d.f64()?,
+        ops: d.u64()?,
+        accesses: d.u64()?,
+    };
+    d.done().then_some(run)
 }
 
 /// The memoized compile of a benchmark's port, re-pointed at `tuning`'s
@@ -219,8 +277,11 @@ pub struct RunRecord {
     /// Wall-clock seconds this task spent simulating (harness time, not
     /// simulated time; nondeterministic and excluded from figure output).
     pub wall_secs: f64,
-    /// Launch-cache hits scored by this task's kernel launches.
+    /// Launch-cache memory (LRU) hits scored by this task's kernel launches.
     pub launch_cache_hits: u64,
+    /// Launch-cache hits served from the persistent store (disk) by this
+    /// task's launches.
+    pub launch_cache_disk_hits: u64,
     /// Launch-cache misses (captures) charged to this task's launches.
     pub launch_cache_misses: u64,
     /// Wall seconds this task spent hashing buffer contents for cache keys
@@ -252,8 +313,10 @@ pub struct GroupTotals {
     pub kernels_launched: u64,
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
-    /// Launch-cache hits scored by the group's tasks.
+    /// Launch-cache memory hits scored by the group's tasks.
     pub launch_cache_hits: u64,
+    /// Launch-cache disk (persistent-store) hits scored by the group's tasks.
+    pub launch_cache_disk_hits: u64,
     /// Launch-cache misses charged to the group's tasks.
     pub launch_cache_misses: u64,
 }
@@ -295,8 +358,11 @@ pub struct SweepManifest {
     pub slowest_tasks: Vec<SlowTask>,
     /// The launch-cache policy the sweep ran under (`auto`/`on`/`off`).
     pub launch_cache: String,
-    /// Launch-cache hits summed over the sweep's tasks.
+    /// Launch-cache memory hits summed over the sweep's tasks.
     pub launch_cache_hits: u64,
+    /// Launch-cache disk (persistent-store) hits summed over the sweep's
+    /// tasks.
+    pub launch_cache_disk_hits: u64,
     /// Launch-cache misses summed over the sweep's tasks.
     pub launch_cache_misses: u64,
     /// Entries evicted from the process-global launch cache (process
@@ -304,6 +370,18 @@ pub struct SweepManifest {
     pub launch_cache_evictions: u64,
     /// Wall seconds spent hashing buffer contents, summed over tasks.
     pub launch_cache_digest_secs: f64,
+    /// The persistent-store policy the sweep ran under
+    /// (`auto`/`auto-off`/`on`/`off`/`path`).
+    pub store: String,
+    /// Entries spilled to the persistent store (process lifetime).
+    pub store_spills: u64,
+    /// Bytes spilled to the persistent store (process lifetime).
+    pub store_spill_bytes: u64,
+    /// Store entries quarantined after failing verification (process
+    /// lifetime; nonzero means the store had corrupt or stale files).
+    pub store_quarantined: u64,
+    /// Store entries evicted under the disk byte cap (process lifetime).
+    pub store_evicted: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -333,7 +411,7 @@ fn run_task(
     let _reset = HintReset;
     // Launch-cache accounting: the counters are thread-local and tasks never
     // migrate threads mid-run, so the before/after delta is this task's.
-    let (h0, m0, d0) = thread_cache_counters();
+    let (h0, dh0, m0, d0) = thread_cache_counters();
     let ds = cached_dataset(bench, scale);
     let (oracle, oracle_cached) = cached_oracle_tracked(bench, scale, cfg);
     let (compiled, compile_cached) = cached_compile_tracked(bench, task.model, scale, task.tuning.as_ref());
@@ -354,7 +432,7 @@ fn run_task(
     } else {
         (run_compiled(bench, &compiled, &ds, cfg, &oracle.run), None)
     };
-    let (h1, m1, d1) = thread_cache_counters();
+    let (h1, dh1, m1, d1) = thread_cache_counters();
     RunRecord {
         task: index,
         benchmark: task.benchmark.clone(),
@@ -373,6 +451,7 @@ fn run_task(
         kernel_hotspot: r.kernel_hotspot,
         wall_secs: t0.elapsed().as_secs_f64(),
         launch_cache_hits: h1 - h0,
+        launch_cache_disk_hits: dh1 - dh0,
         launch_cache_misses: m1 - m0,
         launch_cache_digest_secs: (d1 - d0) as f64 * 1e-9,
     }
@@ -455,6 +534,7 @@ pub fn run_sweep_profiled(
             h2d_bytes: 0,
             d2h_bytes: 0,
             launch_cache_hits: 0,
+            launch_cache_disk_hits: 0,
             launch_cache_misses: 0,
         };
         for r in records.iter().filter(|r| sel(r)) {
@@ -467,6 +547,7 @@ pub fn run_sweep_profiled(
             g.h2d_bytes += r.summary.h2d_bytes;
             g.d2h_bytes += r.summary.d2h_bytes;
             g.launch_cache_hits += r.launch_cache_hits;
+            g.launch_cache_disk_hits += r.launch_cache_disk_hits;
             g.launch_cache_misses += r.launch_cache_misses;
         }
         g
@@ -498,8 +579,10 @@ pub fn run_sweep_profiled(
         if wall_secs > 0.0 { (task_wall_secs / (wall_secs * workers as f64)).min(1.0) } else { 1.0 };
 
     let launch_cache_hits: u64 = records.iter().map(|r| r.launch_cache_hits).sum();
+    let launch_cache_disk_hits: u64 = records.iter().map(|r| r.launch_cache_disk_hits).sum();
     let launch_cache_misses: u64 = records.iter().map(|r| r.launch_cache_misses).sum();
     let launch_cache_digest_secs: f64 = records.iter().map(|r| r.launch_cache_digest_secs).sum();
+    let store_totals = launch_store::store_totals();
 
     SweepManifest {
         scale: format!("{scale:?}"),
@@ -518,9 +601,15 @@ pub fn run_sweep_profiled(
         slowest_tasks,
         launch_cache: launch_cache_name().to_string(),
         launch_cache_hits,
+        launch_cache_disk_hits,
         launch_cache_misses,
         launch_cache_evictions: launch_cache_totals().evictions,
         launch_cache_digest_secs,
+        store: launch_store::store_policy_name().to_string(),
+        store_spills: store_totals.spills,
+        store_spill_bytes: store_totals.spill_bytes,
+        store_quarantined: store_totals.quarantined,
+        store_evicted: store_totals.evicted,
     }
 }
 

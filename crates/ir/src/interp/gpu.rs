@@ -57,9 +57,14 @@ pub fn engine() -> Engine {
         _ => {}
     }
     *ENGINE_FROM_ENV.get_or_init(|| match std::env::var("ACCEVAL_ENGINE") {
-        Ok(s) if s == "tree" => Engine::Tree,
-        Ok(s) if s == "bytecode" => Engine::Bytecode,
-        Ok(s) => panic!("ACCEVAL_ENGINE must be `tree` or `bytecode`, got `{s}`"),
+        // Fail soft to the default engine on a malformed value: both
+        // engines are bit-identical by contract, so the worst outcome of a
+        // typo is the default's performance profile. Front-end binaries
+        // catch the typo up front via `crate::env::validate_env`.
+        Ok(s) => match crate::env::parse_engine_name(&s) {
+            Ok("tree") => Engine::Tree,
+            _ => Engine::Bytecode,
+        },
         Err(_) => Engine::Bytecode,
     })
 }
@@ -120,10 +125,12 @@ pub fn launch_par() -> LaunchPar {
         _ => {}
     }
     *LAUNCH_PAR_FROM_ENV.get_or_init(|| match std::env::var("ACCEVAL_LAUNCH_PAR") {
-        Ok(s) if s == "auto" => LaunchPar::Auto,
-        Ok(s) if s == "on" => LaunchPar::On,
-        Ok(s) if s == "off" => LaunchPar::Off,
-        Ok(s) => panic!("ACCEVAL_LAUNCH_PAR must be `auto`, `on` or `off`, got `{s}`"),
+        // Fail soft to Auto on a malformed value; see `engine()`.
+        Ok(s) => match crate::env::parse_toggle("ACCEVAL_LAUNCH_PAR", &s) {
+            Ok(crate::env::Toggle::On) => LaunchPar::On,
+            Ok(crate::env::Toggle::Off) => LaunchPar::Off,
+            _ => LaunchPar::Auto,
+        },
         Err(_) => LaunchPar::Auto,
     })
 }
@@ -616,8 +623,11 @@ fn launch_impl(
         None
     };
     if let Some(key) = &cache_key {
-        if let Some(effect) = launch_cache::probe(key) {
-            launch_cache::note_hit();
+        if let Some((effect, tier)) = launch_cache::probe_two_tier(key) {
+            match tier {
+                launch_cache::ProbeTier::Memory => launch_cache::note_hit(),
+                launch_cache::ProbeTier::Disk => launch_cache::note_disk_hit(),
+            }
             return replay_effect(&effect, dev, scal, sink, traced);
         }
         launch_cache::note_miss();

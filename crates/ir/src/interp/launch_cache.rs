@@ -20,6 +20,11 @@
 //! The cache is bounded (`ACCEVAL_LAUNCH_CACHE_CAP_MB`, default 512) with
 //! LRU eviction, so iterative benchmarks whose inputs change every step
 //! miss cleanly without ballooning memory.
+//!
+//! Below the LRU sits an optional disk tier ([`super::store`]): an in-memory
+//! miss probes the persistent store before executing, a disk hit is promoted
+//! into the LRU, and captured effects are spilled write-behind — so a fresh
+//! process warm-starts from everything earlier processes computed.
 
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -62,10 +67,14 @@ pub fn launch_cache() -> LaunchCache {
         _ => {}
     }
     *CACHE_FROM_ENV.get_or_init(|| match std::env::var("ACCEVAL_LAUNCH_CACHE") {
-        Ok(s) if s == "auto" => LaunchCache::Auto,
-        Ok(s) if s == "on" => LaunchCache::On,
-        Ok(s) if s == "off" => LaunchCache::Off,
-        Ok(s) => panic!("ACCEVAL_LAUNCH_CACHE must be `auto`, `on` or `off`, got `{s}`"),
+        // Fail soft on a malformed value: a typo must not abort a launch
+        // deep inside a parallel sweep. Front-end binaries catch it up
+        // front via `crate::env::validate_env` and exit with usage.
+        Ok(s) => match crate::env::parse_toggle("ACCEVAL_LAUNCH_CACHE", &s) {
+            Ok(crate::env::Toggle::On) => LaunchCache::On,
+            Ok(crate::env::Toggle::Off) => LaunchCache::Off,
+            _ => LaunchCache::Auto,
+        },
         Err(_) => LaunchCache::Auto,
     })
 }
@@ -111,13 +120,8 @@ pub fn launch_cache_cap_bytes() -> u64 {
         return o;
     }
     *CAP_FROM_ENV.get_or_init(|| match std::env::var("ACCEVAL_LAUNCH_CACHE_CAP_MB") {
-        Ok(s) => {
-            let mb: u64 = s
-                .trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("ACCEVAL_LAUNCH_CACHE_CAP_MB must be an integer MiB count, got `{s}`"));
-            mb * (1 << 20)
-        }
+        // Fail soft to the default on a malformed count; see launch_cache().
+        Ok(s) => crate::env::parse_cap_mb("ACCEVAL_LAUNCH_CACHE_CAP_MB", &s).unwrap_or(512 << 20),
         Err(_) => 512 << 20,
     })
 }
@@ -131,12 +135,14 @@ pub fn set_launch_cache_cap_override(bytes: Option<u64>) {
 // ---- statistics ------------------------------------------------------------
 
 static HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static DIGEST_NANOS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_HITS: Cell<u64> = const { Cell::new(0) };
+    static TL_DISK_HITS: Cell<u64> = const { Cell::new(0) };
     static TL_MISSES: Cell<u64> = const { Cell::new(0) };
     static TL_DIGEST_NANOS: Cell<u64> = const { Cell::new(0) };
 }
@@ -144,6 +150,11 @@ thread_local! {
 pub(crate) fn note_hit() {
     HITS.fetch_add(1, Ordering::Relaxed);
     TL_HITS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_disk_hit() {
+    DISK_HITS.fetch_add(1, Ordering::Relaxed);
+    TL_DISK_HITS.with(|c| c.set(c.get() + 1));
 }
 
 pub(crate) fn note_miss() {
@@ -168,8 +179,11 @@ pub(crate) fn timed_digest<T>(f: impl FnOnce() -> T) -> T {
 /// Process-lifetime cache counters, for manifests and the sweep report.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheTotals {
-    /// Eligible probes answered from the cache.
+    /// Eligible probes answered from the in-memory LRU.
     pub hits: u64,
+    /// Eligible probes answered from the persistent store (and promoted
+    /// into the LRU).
+    pub disk_hits: u64,
     /// Eligible probes that executed and (where possible) captured.
     pub misses: u64,
     /// Entries evicted under the byte cap.
@@ -190,6 +204,7 @@ pub fn launch_cache_totals() -> CacheTotals {
     };
     CacheTotals {
         hits: HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         evictions: EVICTIONS.load(Ordering::Relaxed),
         digest_secs: DIGEST_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
@@ -198,11 +213,17 @@ pub fn launch_cache_totals() -> CacheTotals {
     }
 }
 
-/// Per-thread cumulative counters (hits, misses, digest nanos). The sweep
-/// snapshots these around each task — launches run on the task's worker
-/// thread, so the delta attributes cache behavior to the task exactly.
-pub fn thread_cache_counters() -> (u64, u64, u64) {
-    (TL_HITS.with(|c| c.get()), TL_MISSES.with(|c| c.get()), TL_DIGEST_NANOS.with(|c| c.get()))
+/// Per-thread cumulative counters (memory hits, disk hits, misses, digest
+/// nanos). The sweep snapshots these around each task — launches run on the
+/// task's worker thread, so the delta attributes cache behavior to the task
+/// exactly.
+pub fn thread_cache_counters() -> (u64, u64, u64, u64) {
+    (
+        TL_HITS.with(|c| c.get()),
+        TL_DISK_HITS.with(|c| c.get()),
+        TL_MISSES.with(|c| c.get()),
+        TL_DIGEST_NANOS.with(|c| c.get()),
+    )
 }
 
 // ---- keys and effects ------------------------------------------------------
@@ -267,15 +288,25 @@ pub struct LaunchEffect {
 
 impl LaunchEffect {
     /// Approximate resident bytes of this effect, for the byte cap.
-    fn resident_bytes(&self) -> u64 {
-        let mut b = 256u64; // entry + key overhead
+    ///
+    /// Element costs come from `mem::size_of`, not hand-kept constants: a
+    /// `Vec<(u32, u64)>` element occupies 16 bytes (alignment padding), not
+    /// the 12 bytes of its fields, and dense buffers store every element as
+    /// 8 bytes (`Vec<f64>`/`Vec<i64>`) regardless of the declared element
+    /// width. Scalar writebacks and the actual per-variant trace-event
+    /// payloads are accounted too.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut b = (size_of::<LaunchKey>() + size_of::<Slot>() + size_of::<LaunchEffect>() + 64) as u64;
         for (_, out, _) in &self.outputs {
+            b += size_of::<(u32, ArrayOut, u128)>() as u64;
             b += match out {
-                ArrayOut::Sparse(w) => w.len() as u64 * 12 + 32,
-                ArrayOut::Full(buf) => buf.size_bytes() + 64,
+                ArrayOut::Sparse(w) => (w.len() * size_of::<(u32, u64)>()) as u64,
+                ArrayOut::Full(buf) => (buf.len() * size_of::<u64>() + size_of::<Buffer>()) as u64,
             };
         }
-        b += self.events.len() as u64 * 128;
+        b += (self.scalar_writes.len() * size_of::<(usize, Value)>()) as u64;
+        b += self.events.iter().map(TraceEvent::resident_bytes).sum::<u64>();
         b
     }
 }
@@ -311,9 +342,42 @@ pub fn probe(key: &LaunchKey) -> Option<Arc<LaunchEffect>> {
     Some(slot.effect.clone())
 }
 
+/// Which tier answered a [`probe_two_tier`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeTier {
+    /// The in-memory LRU.
+    Memory,
+    /// The persistent store ([`super::store`]); the effect was promoted
+    /// into the LRU on the way out.
+    Disk,
+}
+
+/// Two-tier lookup: the in-memory LRU first, then the persistent store. A
+/// disk hit is decoded, promoted into the LRU (without re-spilling), and
+/// reported with [`ProbeTier::Disk`] so callers can attribute it.
+pub fn probe_two_tier(key: &LaunchKey) -> Option<(Arc<LaunchEffect>, ProbeTier)> {
+    if let Some(e) = probe(key) {
+        return Some((e, ProbeTier::Memory));
+    }
+    let eff = Arc::new(super::store::probe_effect(key)?);
+    insert_arc(key.clone(), eff.clone());
+    Some((eff, ProbeTier::Disk))
+}
+
 /// Insert a captured effect, evicting least-recently-used entries to stay
-/// under the byte cap. An effect that alone exceeds the cap is not cached.
+/// under the byte cap, and spill it write-behind to the persistent store
+/// (when enabled). An effect that alone exceeds the in-memory cap is not
+/// LRU-cached but is still spilled — the disk tier has its own cap.
 pub fn insert(key: LaunchKey, effect: LaunchEffect) {
+    let effect = Arc::new(effect);
+    super::store::spill_effect(&key, &effect);
+    insert_arc(key, effect);
+}
+
+/// LRU-only insert (no disk spill): shared by [`insert`] and the disk-hit
+/// promotion in [`probe_two_tier`], which must not write back what it just
+/// read.
+fn insert_arc(key: LaunchKey, effect: Arc<LaunchEffect>) {
     let bytes = effect.resident_bytes();
     let cap = launch_cache_cap_bytes();
     if bytes > cap {
@@ -322,7 +386,7 @@ pub fn insert(key: LaunchKey, effect: LaunchEffect) {
     let mut s = store().lock().expect("launch cache poisoned");
     s.tick += 1;
     let tick = s.tick;
-    if let Some(old) = s.map.insert(key, Slot { effect: Arc::new(effect), bytes, last_used: tick }) {
+    if let Some(old) = s.map.insert(key, Slot { effect, bytes, last_used: tick }) {
         s.bytes -= old.bytes;
     }
     s.bytes += bytes;

@@ -13,6 +13,7 @@ pub mod bytecode;
 pub mod cpu;
 pub mod gpu;
 pub mod launch_cache;
+pub mod store;
 
 use crate::expr::{BinOp, Expr, Intrin, UnOp};
 use crate::program::{eval_const, DataSet, Program};

@@ -22,6 +22,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod env;
 pub mod expr;
 pub mod interp;
 pub mod kernel;

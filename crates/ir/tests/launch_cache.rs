@@ -255,14 +255,19 @@ fn tiny_cap_evicts_lru() {
         finalized(KernelPlan::new(name, vec![axis(i, v(n))], vec![store(y, vec![v(i)], ld(x, vec![v(i)]) * c)]))
     };
     let (evicted, resident, cap, re_hit, re_miss) = with_cache(LaunchCache::On, || {
-        // Each effect is a dense 64-element f64 rewrite (~0.8 KiB); three
-        // entries cannot fit under 2 KiB.
-        let cap = 2048u64;
-        set_launch_cache_cap_override(Some(cap));
-        let t0 = launch_cache_totals();
         let a = plan_k(1.5, "a");
         let b = plan_k(2.5, "b");
         let c = plan_k(3.5, "c");
+        // The three effects are shape-identical (a dense 64-element f64
+        // rewrite), so measure one entry's honest resident footprint and
+        // set a cap that fits two entries but not three.
+        let _ = run_one(&p, &ds, &a, Engine::Bytecode);
+        let per_entry = launch_cache_totals().resident_bytes;
+        assert!(per_entry > 0, "one cached effect must have a nonzero footprint");
+        let cap = per_entry * 5 / 2;
+        clear_launch_cache();
+        set_launch_cache_cap_override(Some(cap));
+        let t0 = launch_cache_totals();
         let _ = run_one(&p, &ds, &a, Engine::Bytecode);
         let _ = run_one(&p, &ds, &b, Engine::Bytecode);
         // Touch `b` so `a` is the LRU victim when `c` lands.

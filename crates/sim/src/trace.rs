@@ -112,6 +112,23 @@ impl TraceEvent {
             _ => 0.0,
         }
     }
+
+    /// Approximate bytes this event occupies in memory: the enum footprint
+    /// plus the heap behind its strings. Used by caches that hold captured
+    /// event slices under a byte cap.
+    pub fn resident_bytes(&self) -> u64 {
+        let heap = match self {
+            TraceEvent::Host { label, .. } => label.len(),
+            TraceEvent::Transfer { array, .. } => array.len(),
+            TraceEvent::KernelLaunch { name, .. } => name.len(),
+            TraceEvent::CoalesceSite { kernel, array, space, .. } => kernel.len() + array.len() + space.len(),
+            TraceEvent::CacheCounters { cache, .. } => cache.len(),
+            TraceEvent::TaskSpan { benchmark, model, tuning, .. } => {
+                benchmark.len() + model.len() + tuning.as_ref().map_or(0, String::len)
+            }
+        };
+        (std::mem::size_of::<TraceEvent>() + heap) as u64
+    }
 }
 
 /// A consumer of trace events.

@@ -35,12 +35,18 @@ commands:
   profile <benchmark> <model>    profile one run; prints a cost attribution
                                  table and writes results/profile_<bench>_<model>.json
                                  (Chrome trace format, open in chrome://tracing)
+  store [stats|clear]            inspect or wipe the persistent launch store
+                                 (results/.acceval-store, see ACCEVAL_STORE)
   all                            table1 + table2 + figure1
 flags:
   --test-scale                   tiny datasets (fast; not the paper's inputs)
   --no-tuning                    figure1/all: skip the tuning-variation sweep
   --csv | --json                 figure1/all: machine-readable output
-  --device-c1060                 simulate the previous-generation Tesla C1060";
+  --device-c1060                 simulate the previous-generation Tesla C1060
+environment:
+  ACCEVAL_STORE=auto|on|off|<path>   persistent launch-result store mode
+  ACCEVAL_STORE_CAP_MB=<n>           disk cap for the store (default 2048)
+  ACCEVAL_STORE_EPOCH=<label>        override the build-epoch invalidation tag";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -48,16 +54,22 @@ fn usage_error(msg: &str) -> ! {
 }
 
 fn main() {
+    // Malformed ACCEVAL_* settings are a usage error up front, not a
+    // mid-sweep panic (or a silently ignored knob) half an hour in.
+    if let Err(e) = acceval::ir::env::validate_env() {
+        usage_error(&format!("invalid environment: {e}"));
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    if !["table1", "table2", "figure1", "profile", "all"].contains(&cmd) {
+    if !["table1", "table2", "figure1", "profile", "store", "all"].contains(&cmd) {
         usage_error(&format!("unknown command `{cmd}`"));
     }
 
     // Strict flag validation: an unknown or misspelled flag is an error, not
     // a silently ignored no-op.
     let allowed: &[&str] = match cmd {
-        "table1" | "table2" => &[],
+        "table1" | "table2" | "store" => &[],
         "profile" => &["--test-scale", "--device-c1060"],
         _ => &["--test-scale", "--no-tuning", "--csv", "--json", "--device-c1060"],
     };
@@ -84,6 +96,11 @@ fn main() {
         cfg.device = acceval::sim::DeviceConfig::tesla_c1060();
     }
     let scale = if test_scale { Scale::Test } else { Scale::Paper };
+
+    if cmd == "store" {
+        run_store(&positionals);
+        return;
+    }
 
     if cmd == "profile" {
         run_profile(&positionals, &cfg, scale);
@@ -126,7 +143,38 @@ fn main() {
             Ok(()) => eprintln!("wrote {BENCH_PATH} (engine: {engine})"),
             Err(e) => eprintln!("warning: could not write {BENCH_PATH}: {e}"),
         }
+        // Drain the write-behind spiller so the store is complete on disk
+        // before the process exits (the next run warm-starts from it).
+        acceval::ir::interp::store::flush_store();
     }
+}
+
+/// `report -- store [stats|clear]`: inspect or wipe the persistent store.
+fn run_store(positionals: &[&str]) {
+    use acceval::ir::interp::store::{clear_store, store_stats};
+    let action = match positionals {
+        [] | ["stats"] => "stats",
+        ["clear"] => "clear",
+        _ => usage_error("`store` takes at most one argument: stats | clear"),
+    };
+    let s = store_stats();
+    let Some(root) = &s.root else {
+        println!("store: disabled (set ACCEVAL_STORE=on or a path, or run from a dir with results/)");
+        return;
+    };
+    if action == "clear" {
+        let removed = clear_store();
+        println!("store: cleared {removed} entr(ies) under {}", root.display());
+        return;
+    }
+    println!(
+        "store: {} entr(ies), {} bytes (cap {} bytes), {} quarantined, at {}",
+        s.entries,
+        s.bytes,
+        s.cap_bytes,
+        s.quarantined,
+        root.display()
+    );
 }
 
 /// `report -- profile <benchmark> <model>`: run one (benchmark, model) pair

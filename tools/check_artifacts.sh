@@ -18,6 +18,13 @@ cd "$repo"
 cargo build --release -p acceval-examples
 report="$repo/target/release/report"
 
+# Artifact regeneration must never depend on warm state: pin the persistent
+# launch store off so a stale results/.acceval-store cannot shadow a code
+# change (entries are epoch-keyed, but drift checks take no chances), and
+# drop any store a previous tool left under the committed results/ tree.
+export ACCEVAL_STORE=off
+rm -rf "$repo/results/.acceval-store"
+
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 cd "$scratch"
