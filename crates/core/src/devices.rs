@@ -1,0 +1,210 @@
+//! The device-generation matrix: Figure 1 re-asked across GPU generations.
+//!
+//! The paper could only rank the directive models on Fermi-class silicon;
+//! this module folds a device-matrix sweep ([`crate::sweep::run_device_matrix`])
+//! into one Figure 1 per generation and reports how the model ranking shifts
+//! from Tesla/Fermi to Pascal/Volta — the question later OpenMP-offload
+//! evaluations re-asked on V100.
+//!
+//! Output is a pure fold of the manifest's records (collected in task
+//! order), so the CSV and the ranking table are byte-identical at any
+//! worker count and under any launch-cache mode.
+
+use std::fmt::Write;
+
+use acceval_models::ModelKind;
+
+use crate::eval::BenchResult;
+use crate::report::short;
+use crate::sweep::{bench_results_for_device, SweepManifest};
+
+/// One generation's slice of the matrix: its Figure 1 over the shared CPU
+/// denominator.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DeviceSlice {
+    /// Preset slug (`tesla`, `fermi`, `kepler`, `pascal`, `volta`).
+    pub device: String,
+    pub results: Vec<BenchResult>,
+}
+
+/// Split a (matrix) manifest into per-device Figure 1 slices, devices in
+/// task order.
+pub fn device_slices(m: &SweepManifest) -> Vec<DeviceSlice> {
+    m.devices.iter().map(|d| DeviceSlice { device: d.clone(), results: bench_results_for_device(m, d) }).collect()
+}
+
+/// The matrix as CSV: `figure1.csv` with a leading `device` column. One row
+/// per (device × benchmark × model) default-point run; the band columns
+/// collapse onto the speedup when the sweep ran without tuning.
+pub fn device_matrix_csv(m: &SweepManifest) -> String {
+    let mut out = String::from("device,benchmark,model,speedup,valid,tuning_min,tuning_max\n");
+    for slice in device_slices(m) {
+        for r in &slice.results {
+            for run in &r.runs {
+                let band = r.tuning_bands.iter().find(|(k, _, _)| *k == run.model);
+                let (lo, hi) = band.map(|(_, l, h)| (*l, *h)).unwrap_or((run.speedup, run.speedup));
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{:.4},{},{:.4},{:.4}",
+                    slice.device,
+                    r.name,
+                    short(run.model),
+                    run.speedup,
+                    run.valid.is_ok(),
+                    lo,
+                    hi
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A model's standing on one device: geometric-mean speedup over the
+/// benchmarks where its default-point run validated.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ModelStanding {
+    pub model: ModelKind,
+    /// Geometric mean of valid default-point speedups (0 when none).
+    pub geomean: f64,
+    /// Benchmarks whose default-point run validated.
+    pub valid_benches: usize,
+}
+
+/// Rank the Figure 1 models on one device slice, best first.
+///
+/// The geometric mean matches the paper's cross-benchmark summary style and
+/// is denominator-free across devices (the CPU baseline cancels in the
+/// ranking). Models with no valid run sort last; ties break in Figure 1
+/// model order so the table is deterministic.
+pub fn rank_models(results: &[BenchResult]) -> Vec<ModelStanding> {
+    let mut standings: Vec<ModelStanding> = ModelKind::figure1_models()
+        .into_iter()
+        .map(|kind| {
+            let valid: Vec<f64> = results
+                .iter()
+                .filter_map(|r| r.runs.iter().find(|x| x.model == kind))
+                .filter(|x| x.valid.is_ok() && x.speedup > 0.0)
+                .map(|x| x.speedup)
+                .collect();
+            let geomean = if valid.is_empty() {
+                0.0
+            } else {
+                (valid.iter().map(|s| s.ln()).sum::<f64>() / valid.len() as f64).exp()
+            };
+            ModelStanding { model: kind, geomean, valid_benches: valid.len() }
+        })
+        .collect();
+    // Stable sort: equal geomeans keep Figure 1 model order.
+    standings.sort_by(|a, b| b.geomean.partial_cmp(&a.geomean).unwrap_or(std::cmp::Ordering::Equal));
+    standings
+}
+
+/// Render the per-generation model ranking: one row per device (best model
+/// first), then the rank shifts relative to the paper's platform (`fermi`
+/// when present in the matrix, otherwise the first device).
+pub fn render_device_rankings(m: &SweepManifest) -> String {
+    let slices = device_slices(m);
+    let mut out = String::new();
+    let n_benches = slices.first().map_or(0, |s| s.results.len());
+    let _ = writeln!(
+        out,
+        "DEVICE MATRIX. Model ranking per GPU generation (geometric-mean speedup over {n_benches} benchmark(s), default tuning points)\n"
+    );
+    let _ = write!(out, "{:8}", "device");
+    for i in 1..=ModelKind::figure1_models().len() {
+        let _ = write!(out, "| {:>14}", format!("#{i}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(8 + 16 * ModelKind::figure1_models().len()));
+    out.push('\n');
+    let ranked: Vec<(String, Vec<ModelStanding>)> =
+        slices.iter().map(|s| (s.device.clone(), rank_models(&s.results))).collect();
+    for (device, standings) in &ranked {
+        let _ = write!(out, "{device:8}");
+        for s in standings {
+            let cell = if s.valid_benches == 0 {
+                format!("{} n/a", short(s.model))
+            } else {
+                format!("{} {:.1}x", short(s.model), s.geomean)
+            };
+            let _ = write!(out, "| {cell:>14}");
+        }
+        out.push('\n');
+    }
+
+    // Rank shifts against the paper's platform.
+    let baseline = ranked.iter().find(|(d, _)| d == "fermi").or_else(|| ranked.first());
+    if let Some((base_name, base)) = baseline {
+        let rank_of = |standings: &[ModelStanding], kind: ModelKind| {
+            standings.iter().position(|s| s.model == kind).unwrap_or(standings.len()) + 1
+        };
+        let _ = writeln!(out, "\nranking shifts vs {base_name}:");
+        for (device, standings) in &ranked {
+            if device == base_name {
+                continue;
+            }
+            let moves: Vec<String> = ModelKind::figure1_models()
+                .into_iter()
+                .filter_map(|kind| {
+                    let (from, to) = (rank_of(base, kind), rank_of(standings, kind));
+                    (from != to).then(|| format!("{} #{from}->#{to}", short(kind)))
+                })
+                .collect();
+            if moves.is_empty() {
+                let _ = writeln!(out, "  {device:8} same order as {base_name}");
+            } else {
+                let _ = writeln!(out, "  {device:8} {}", moves.join(", "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ModelRun;
+    use acceval_sim::Summary;
+
+    fn run(model: ModelKind, speedup: f64, valid: bool) -> ModelRun {
+        ModelRun {
+            model,
+            secs: 1.0 / speedup.max(1e-9),
+            speedup,
+            summary: Summary::default(),
+            valid: if valid { Ok(()) } else { Err("mismatch".into()) },
+            unsupported_regions: 0,
+            kernel_hotspot: None,
+        }
+    }
+
+    fn bench(name: &str, runs: Vec<ModelRun>) -> BenchResult {
+        BenchResult { name: name.into(), dataset: "d".into(), cpu_secs: 1.0, runs, tuning_bands: vec![] }
+    }
+
+    #[test]
+    fn ranking_is_geomean_ordered_and_deterministic() {
+        let results = vec![
+            bench("a", vec![run(ModelKind::ManualCuda, 8.0, true), run(ModelKind::OpenAcc, 2.0, true)]),
+            bench("b", vec![run(ModelKind::ManualCuda, 2.0, true), run(ModelKind::OpenAcc, 2.0, true)]),
+        ];
+        let ranked = rank_models(&results);
+        assert_eq!(ranked[0].model, ModelKind::ManualCuda);
+        assert!((ranked[0].geomean - 4.0).abs() < 1e-12, "geomean of 8 and 2 is 4");
+        assert_eq!(ranked[1].model, ModelKind::OpenAcc);
+        // Models with no runs at all rank after models with valid runs.
+        assert!(ranked[2..].iter().all(|s| s.valid_benches == 0));
+    }
+
+    #[test]
+    fn invalid_runs_never_enter_the_ranking() {
+        let results =
+            vec![bench("a", vec![run(ModelKind::ManualCuda, 100.0, false), run(ModelKind::OpenAcc, 2.0, true)])];
+        let ranked = rank_models(&results);
+        assert_eq!(ranked[0].model, ModelKind::OpenAcc);
+        let cuda = ranked.iter().find(|s| s.model == ModelKind::ManualCuda).unwrap();
+        assert_eq!(cuda.valid_benches, 0);
+        assert_eq!(cuda.geomean, 0.0);
+    }
+}

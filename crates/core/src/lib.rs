@@ -17,6 +17,8 @@
 //!   attribution and render it as Chrome-trace-format JSON;
 //! * [`coverage`] / [`codesize`] — Table II; [`tables`] — Table I;
 //! * [`figures`] — Figure 1 series incl. tuning-variation bands;
+//! * [`devices`] — the device-generation matrix: per-generation Figure 1
+//!   slices and the model-ranking shift report;
 //! * [`report`] — ASCII/CSV/JSON renderers.
 //!
 //! # Example
@@ -42,6 +44,7 @@
 pub mod codesize;
 pub mod compile;
 pub mod coverage;
+pub mod devices;
 pub mod eval;
 pub mod figures;
 pub mod profile;
@@ -52,10 +55,11 @@ pub mod tables;
 
 pub use compile::{compile_port, CompiledProgram};
 pub use coverage::{coverage_table, CoverageRow};
+pub use devices::{device_matrix_csv, render_device_rankings};
 pub use eval::{evaluate_benchmark, run_baseline, run_compiled, run_compiled_traced, run_model, BenchResult, ModelRun};
 pub use profile::{chrome_trace, KernelRow, RunProfile, TransferRow};
 pub use runtime::{run_gpu_program, run_gpu_program_traced, GpuRun};
-pub use sweep::{run_sweep, run_sweep_profiled, RunRecord, SweepManifest};
+pub use sweep::{run_device_matrix, run_sweep, run_sweep_profiled, RunRecord, SweepManifest};
 
 // Re-export the full stack so downstream users need only this crate.
 pub use acceval_benchmarks as benchmarks;

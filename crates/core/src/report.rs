@@ -63,7 +63,7 @@ pub fn render_figure1(fig: &Figure1) -> String {
     out
 }
 
-fn short(m: ModelKind) -> &'static str {
+pub(crate) fn short(m: ModelKind) -> &'static str {
     match m {
         ModelKind::PgiAccelerator => "PGI",
         ModelKind::OpenAcc => "ACC",
@@ -264,6 +264,9 @@ pub struct BenchSweep {
     pub engine: String,
     pub scale: String,
     pub with_tuning: bool,
+    /// Device generation slugs the sweep's records cover (one for a plain
+    /// Figure 1 sweep, one per preset for a device-matrix sweep).
+    pub devices: Vec<String>,
     pub workers: usize,
     pub tasks: usize,
     /// Wall seconds for the whole sweep (the headline number).
@@ -302,10 +305,11 @@ pub struct BenchSweep {
 /// Build the `results/BENCH_sweep.json` payload from a sweep manifest.
 pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
     let payload = BenchSweep {
-        schema: "acceval-bench-sweep/4".to_string(),
+        schema: "acceval-bench-sweep/5".to_string(),
         engine: engine.to_string(),
         scale: m.scale.clone(),
         with_tuning: m.with_tuning,
+        devices: m.devices.clone(),
         workers: m.workers,
         tasks: m.tasks,
         wall_secs: m.wall_secs,

@@ -26,7 +26,7 @@ use acceval_ir::interp::launch_cache::{launch_cache_name, launch_cache_totals, t
 use acceval_ir::interp::store::{self as launch_store, Dec, Enc};
 use acceval_ir::program::DataSet;
 use acceval_models::{model, ModelKind, TuningPoint};
-use acceval_sim::{MachineConfig, RecordingSink, Summary, TraceEvent, TraceSink};
+use acceval_sim::{DeviceConfig, MachineConfig, RecordingSink, Summary, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::Serialize;
@@ -204,12 +204,16 @@ pub fn cached_compile_tracked(
 // ---------------------------------------------------------------------------
 
 /// One unit of sweep work: a benchmark run under a model at one tuning
-/// point (`None` = the model's default point, the Figure 1 bar).
+/// point (`None` = the model's default point, the Figure 1 bar), on one
+/// device of the generation family (`None` = the sweep config's device).
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepTask {
     pub benchmark: String,
     pub model: ModelKind,
     pub tuning: Option<TuningPoint>,
+    /// Device preset slug ([`DeviceConfig::presets`]) this task runs on;
+    /// `None` runs on the device of the `MachineConfig` handed to the sweep.
+    pub device: Option<String>,
 }
 
 /// Enumerate the full (benchmark × model × tuning-point) task list.
@@ -223,19 +227,57 @@ pub fn enumerate_tasks(benches: &[&dyn Benchmark], with_tuning: bool) -> Vec<Swe
     for b in benches {
         let name = b.spec().name;
         for kind in ModelKind::figure1_models() {
-            tasks.push(SweepTask { benchmark: name.to_string(), model: kind, tuning: None });
+            tasks.push(SweepTask { benchmark: name.to_string(), model: kind, tuning: None, device: None });
             if with_tuning && kind != ModelKind::ManualCuda {
                 let mut seen = vec![TuningPoint::best_for(kind)];
                 for pt in model(kind).tuning_space() {
                     if !seen.contains(&pt) {
                         seen.push(pt);
-                        tasks.push(SweepTask { benchmark: name.to_string(), model: kind, tuning: Some(pt) });
+                        tasks.push(SweepTask {
+                            benchmark: name.to_string(),
+                            model: kind,
+                            tuning: Some(pt),
+                            device: None,
+                        });
                     }
                 }
             }
         }
     }
     tasks
+}
+
+/// Enumerate the device-matrix task list: the full (benchmark × model ×
+/// tuning-point) grid of [`enumerate_tasks`], once per named device preset
+/// (device outermost, so records group by generation).
+///
+/// Preset names resolve through [`DeviceConfig::preset`] — slugs, constructor
+/// names, and part-number aliases all work, and aliased duplicates collapse
+/// to one device. An unknown name is an `Err` naming the known presets; it is
+/// never silently dropped or defaulted.
+pub fn enumerate_device_tasks(
+    benches: &[&dyn Benchmark],
+    with_tuning: bool,
+    devices: &[&str],
+) -> Result<Vec<SweepTask>, String> {
+    let mut slugs: Vec<&'static str> = Vec::new();
+    for name in devices {
+        let d = DeviceConfig::preset(name).ok_or_else(|| {
+            let known: Vec<&str> = DeviceConfig::presets().iter().map(|(s, _)| *s).collect();
+            format!("unknown device preset `{name}`; known presets: {}", known.join(", "))
+        })?;
+        let slug = d.slug().expect("every preset has a slug");
+        if !slugs.contains(&slug) {
+            slugs.push(slug);
+        }
+    }
+    let mut tasks = Vec::new();
+    for slug in slugs {
+        for t in enumerate_tasks(benches, with_tuning) {
+            tasks.push(SweepTask { device: Some(slug.to_string()), ..t });
+        }
+    }
+    Ok(tasks)
 }
 
 // ---------------------------------------------------------------------------
@@ -253,6 +295,9 @@ pub struct RunRecord {
     /// The tuning point run (`None` = the model's default point).
     pub tuning: Option<TuningPoint>,
     pub default_point: bool,
+    /// Generation slug of the device this task simulated (the preset name
+    /// for matrix tasks, the sweep config's device otherwise).
+    pub device: String,
     /// Simulated GPU-version seconds.
     pub secs: f64,
     /// Oracle seconds over simulated seconds (0 when invalid).
@@ -336,6 +381,9 @@ pub struct SlowTask {
 pub struct SweepManifest {
     pub scale: String,
     pub with_tuning: bool,
+    /// Distinct device slugs the records cover, in task order (one entry
+    /// for a plain sweep, one per preset for a device-matrix sweep).
+    pub devices: Vec<String>,
     /// Worker threads the sweep ran on.
     pub workers: usize,
     pub tasks: usize,
@@ -388,6 +436,12 @@ pub struct SweepManifest {
 // Execution.
 // ---------------------------------------------------------------------------
 
+/// The slug a device is attributed under in records and the matrix CSV: the
+/// preset slug when the config matches one, the marketing name otherwise.
+fn device_label(d: &DeviceConfig) -> String {
+    d.slug().map(str::to_string).unwrap_or_else(|| d.name.clone())
+}
+
 fn run_task(
     bench: &dyn Benchmark,
     task: &SweepTask,
@@ -439,6 +493,7 @@ fn run_task(
         model: task.model,
         tuning: task.tuning,
         default_point: task.tuning.is_none(),
+        device: task.device.clone().unwrap_or_else(|| device_label(&cfg.device)),
         secs: r.secs,
         speedup: r.speedup,
         valid: r.valid,
@@ -477,9 +532,57 @@ pub fn run_sweep_profiled(
     with_tuning: bool,
     with_profile: bool,
 ) -> SweepManifest {
+    run_enumerated(benches, enumerate_tasks(benches, with_tuning), cfg, scale, with_tuning, with_profile)
+}
+
+/// Run the device-matrix sweep: every (benchmark × model × tuning-point)
+/// task once per named device preset, through the same work-stealing
+/// executor — the oracle (host-only key) and lowering-basis compiles
+/// (device-independent) are shared across the whole matrix, so only the
+/// simulated GPU runs multiply.
+///
+/// `cfg` supplies the host and link; each task's device comes from its
+/// preset. Unknown preset names are an `Err` (see
+/// [`enumerate_device_tasks`]), surfaced before any work starts.
+pub fn run_device_matrix(
+    benches: &[&dyn Benchmark],
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_tuning: bool,
+    devices: &[&str],
+) -> Result<SweepManifest, String> {
+    let tasks = enumerate_device_tasks(benches, with_tuning, devices)?;
+    Ok(run_enumerated(benches, tasks, cfg, scale, with_tuning, false))
+}
+
+/// The shared executor behind [`run_sweep_profiled`] and
+/// [`run_device_matrix`]: run an enumerated task list and assemble the
+/// manifest.
+fn run_enumerated(
+    benches: &[&dyn Benchmark],
+    tasks: Vec<SweepTask>,
+    cfg: &MachineConfig,
+    scale: Scale,
+    with_tuning: bool,
+    with_profile: bool,
+) -> SweepManifest {
     let t0 = Instant::now();
-    let tasks = enumerate_tasks(benches, with_tuning);
     let by_name: HashMap<&str, &dyn Benchmark> = benches.iter().map(|b| (b.spec().name, *b)).collect();
+    // One MachineConfig per device slug the task list names: same host and
+    // link as the base config (the Figure 1 denominator is shared), device
+    // swapped per preset. Tasks without a device run on the base config.
+    let device_cfgs: HashMap<&str, MachineConfig> = tasks
+        .iter()
+        .filter_map(|t| t.device.as_deref())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|s| {
+            let device = DeviceConfig::preset(s).unwrap_or_else(|| {
+                panic!("unknown device preset `{s}` in task list (not from enumerate_device_tasks?)")
+            });
+            (s, MachineConfig { device, host: cfg.host.clone(), link: cfg.link.clone() })
+        })
+        .collect();
 
     // The worker count the pool will actually use for this task list (the
     // shim caps its pool at the task count) — computed up front so the
@@ -503,10 +606,18 @@ pub fn run_sweep_profiled(
                 LaunchPar::Off => false,
                 LaunchPar::Auto => tail,
             };
-            run_task(by_name[t.benchmark.as_str()], t, *i, cfg, scale, with_profile, launch_parallel)
+            let task_cfg = t.device.as_deref().map_or(cfg, |s| &device_cfgs[s]);
+            run_task(by_name[t.benchmark.as_str()], t, *i, task_cfg, scale, with_profile, launch_parallel)
         })
         .collect();
     let wall_secs = t0.elapsed().as_secs_f64();
+    // Distinct device slugs in record (= task) order.
+    let mut devices: Vec<String> = Vec::new();
+    for r in &records {
+        if !devices.contains(&r.device) {
+            devices.push(r.device.clone());
+        }
+    }
 
     // Oracle accounting (all cache hits at this point).
     let oracles: Vec<OracleRecord> = benches
@@ -587,6 +698,7 @@ pub fn run_sweep_profiled(
     SweepManifest {
         scale: format!("{scale:?}"),
         with_tuning,
+        devices,
         workers,
         tasks: tasks.len(),
         wall_secs,
@@ -624,11 +736,21 @@ pub fn run_sweep_profiled(
 /// included — and are omitted entirely when no run of the model validated,
 /// so an invalid run can never seed (or silently widen) a band.
 pub fn bench_results(manifest: &SweepManifest) -> Vec<BenchResult> {
-    manifest
-        .oracles
+    fold_results(&manifest.oracles, &manifest.records.iter().collect::<Vec<_>>())
+}
+
+/// [`bench_results`] restricted to one device of a matrix sweep: only
+/// records attributed to `device` fold into the figure shapes, so each
+/// generation gets its own Figure 1 over the shared CPU denominator.
+pub fn bench_results_for_device(manifest: &SweepManifest, device: &str) -> Vec<BenchResult> {
+    fold_results(&manifest.oracles, &manifest.records.iter().filter(|r| r.device == device).collect::<Vec<_>>())
+}
+
+fn fold_results(oracles: &[OracleRecord], records: &[&RunRecord]) -> Vec<BenchResult> {
+    oracles
         .iter()
         .map(|o| {
-            let recs: Vec<&RunRecord> = manifest.records.iter().filter(|r| r.benchmark == o.benchmark).collect();
+            let recs: Vec<&RunRecord> = records.iter().filter(|r| r.benchmark == o.benchmark).copied().collect();
             let mut runs = Vec::new();
             let mut bands = Vec::new();
             for kind in ModelKind::figure1_models() {

@@ -1,9 +1,10 @@
 //! Typed parsing and up-front validation of the `ACCEVAL_*` environment
 //! knobs.
 //!
-//! Every runtime knob (`ACCEVAL_ENGINE`, `ACCEVAL_LAUNCH_PAR`,
-//! `ACCEVAL_LAUNCH_CACHE`, `ACCEVAL_LAUNCH_CACHE_CAP_MB`, `ACCEVAL_STORE`,
-//! `ACCEVAL_STORE_CAP_MB`) parses through this module. Parses are *typed*:
+//! Every runtime knob (`ACCEVAL_DEVICE`, `ACCEVAL_ENGINE`,
+//! `ACCEVAL_LAUNCH_PAR`, `ACCEVAL_LAUNCH_CACHE`,
+//! `ACCEVAL_LAUNCH_CACHE_CAP_MB`, `ACCEVAL_STORE`, `ACCEVAL_STORE_CAP_MB`)
+//! parses through this module. Parses are *typed*:
 //! a malformed value is an [`EnvError`], never a panic. The lazy getters in
 //! [`crate::interp::gpu`], [`crate::interp::launch_cache`], and
 //! [`crate::interp::store`] fall back to their documented defaults on a
@@ -112,8 +113,19 @@ pub fn parse_store_mode(s: &str) -> Result<StoreMode, EnvError> {
     }
 }
 
+/// Parse a device-generation preset name through the
+/// [`acceval_sim::DeviceConfig::preset`] table. Returns the resolved config;
+/// an unknown name is an [`EnvError`] naming the known presets.
+pub fn parse_device_name(s: &str) -> Result<acceval_sim::DeviceConfig, EnvError> {
+    acceval_sim::DeviceConfig::preset(s).ok_or_else(|| {
+        let known: Vec<&str> = acceval_sim::DeviceConfig::presets().iter().map(|(n, _)| *n).collect();
+        EnvError::new("ACCEVAL_DEVICE", s, &format!("a device preset: {}", known.join(", ")))
+    })
+}
+
 /// The `ACCEVAL_*` variables this build understands.
 pub const KNOWN_VARS: &[&str] = &[
+    "ACCEVAL_DEVICE",
     "ACCEVAL_ENGINE",
     "ACCEVAL_LAUNCH_PAR",
     "ACCEVAL_LAUNCH_CACHE",
@@ -137,6 +149,9 @@ pub fn validate_env() -> Result<(), EnvError> {
             continue;
         }
         match k.as_str() {
+            "ACCEVAL_DEVICE" => {
+                parse_device_name(&v)?;
+            }
             "ACCEVAL_ENGINE" => {
                 parse_engine_name(&v)?;
             }
@@ -179,6 +194,15 @@ mod tests {
         assert!(parse_cap_mb("X", "-3").is_err());
         // A huge-but-parseable cap saturates instead of overflowing.
         assert_eq!(parse_cap_mb("X", &u64::MAX.to_string()), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn device_name_parses() {
+        assert!(parse_device_name("fermi").is_ok());
+        assert!(parse_device_name("volta_v100").is_ok());
+        let e = parse_device_name("turing").unwrap_err();
+        assert_eq!(e.var, "ACCEVAL_DEVICE");
+        assert!(e.to_string().contains("fermi"), "error must name the known presets: {e}");
     }
 
     #[test]

@@ -1978,7 +1978,7 @@ fn price_warp(
                             site_global[i].merge(&s);
                         }
                     }
-                    MemSpace::Texture => {
+                    MemSpace::Texture if cfg.has_texture_path => {
                         let line = cfg.tex_line_bytes as u64;
                         let (req0, miss0) = (totals.tex_requests, totals.tex_miss_lines);
                         tr.for_each_row(|row| {
@@ -1997,6 +1997,38 @@ fn price_warp(
                                 requests: totals.tex_requests - req0,
                                 transactions: totals.tex_miss_lines - miss0,
                                 lane_accesses: 0,
+                            });
+                        }
+                    }
+                    MemSpace::Texture => {
+                        // No dedicated texture pipeline on this generation:
+                        // read-only data flows through the unified L1 (the
+                        // same cache simulator, sized per preset) and misses
+                        // move ordinary global segments, so the cost lands on
+                        // the global-memory roofline terms instead of the
+                        // texture ones.
+                        let line = cfg.tex_line_bytes as u64;
+                        let tx_per_line = (line / cfg.segment_bytes as u64).max(1);
+                        let (req0, tx0) = (totals.global_requests, totals.global_transactions);
+                        let mut lanes = 0u64;
+                        tr.for_each_row(|row| {
+                            totals.global_requests += 1;
+                            lanes += row.len() as u64;
+                            let mut lines: Vec<u64> = row.iter().map(|a| a / line).collect();
+                            lines.sort_unstable();
+                            lines.dedup();
+                            for l in lines {
+                                if !tex_cache.access(l * line) {
+                                    totals.global_transactions += tx_per_line;
+                                }
+                            }
+                        });
+                        totals.useful_bytes += lanes * eb;
+                        if traced {
+                            site_global[i].merge(&AccessSummary {
+                                requests: totals.global_requests - req0,
+                                transactions: totals.global_transactions - tx0,
+                                lane_accesses: lanes,
                             });
                         }
                     }

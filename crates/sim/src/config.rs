@@ -4,6 +4,15 @@
 //! an NVIDIA Tesla M2090 (Fermi GF110: 16 SMs x 32 cores, 1.3 GHz, 6 GB GDDR5
 //! at 177 GB/s) hosted by an Intel Xeon X5660-class CPU at 2.8 GHz, connected
 //! by PCIe 2.0.
+//!
+//! [`DeviceConfig`] is a *device-generation family*, not one machine: the
+//! [`DeviceConfig::presets`] table spans Tesla (GT200), Fermi, Kepler,
+//! Pascal, and Volta-class parts, differing in SM counts and clocks, cache
+//! hierarchy sizes, coalescing segment rules (128-byte Fermi segments vs
+//! 32-byte post-Fermi sectors), double-precision throughput ratios, and
+//! whether a dedicated texture path exists at all
+//! ([`DeviceConfig::has_texture_path`]). `ACCEVAL_DEVICE` selects a preset
+//! by name ([`DeviceConfig::from_env`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -48,11 +57,32 @@ pub struct DeviceConfig {
     pub atomic_base_cycles: u64,
     /// Constant-cache capacity per SM in bytes (broadcast reads are ~free on hit).
     pub const_cache_bytes: u32,
-    /// Texture-cache capacity per SM in bytes.
+    /// Read-only data cache capacity per SM in bytes: the texture cache on
+    /// generations with a dedicated texture path, the unified L1/texture
+    /// cache otherwise.
     pub tex_cache_bytes: u32,
-    /// Texture cache line size in bytes.
+    /// Read-only cache line size in bytes (texture line, or the unified-L1
+    /// sector on generations without a texture path).
     pub tex_line_bytes: u32,
+    /// Device-wide L2 capacity in bytes. Post-Fermi global loads miss L1 and
+    /// coalesce at L2 sector granularity, which is why those presets pair a
+    /// large `l2_bytes` with a small [`DeviceConfig::segment_bytes`].
+    pub l2_bytes: u32,
+    /// Double-precision throughput as a fraction of single-precision
+    /// (FP64:FP32); 0.5 on full-rate Tesla parts, 1/3 on Kepler GK110B,
+    /// 1/8 on GT200. Feeds [`DeviceConfig::dp_issue_factor`].
+    pub fp64_fp32_ratio: f64,
+    /// Whether the device has a dedicated texture path. When `false`
+    /// (Pascal/Volta: read-only data flows through the unified L1), kernels
+    /// that place arrays in texture space are priced through the generic
+    /// cached global path instead: hits stay on-chip, misses move ordinary
+    /// global segments, and requests pay global (not texture) latency.
+    pub has_texture_path: bool,
 }
+
+/// A named device preset: the canonical generation slug paired with its
+/// constructor (see [`DeviceConfig::presets`]).
+pub type DevicePreset = (&'static str, fn() -> DeviceConfig);
 
 impl DeviceConfig {
     /// NVIDIA Tesla M2090 (the paper's platform).
@@ -77,6 +107,9 @@ impl DeviceConfig {
             const_cache_bytes: 8 * 1024,
             tex_cache_bytes: 12 * 1024,
             tex_line_bytes: 32,
+            l2_bytes: 768 * 1024,
+            fp64_fp32_ratio: 0.5,
+            has_texture_path: true,
         }
     }
 
@@ -104,6 +137,101 @@ impl DeviceConfig {
             const_cache_bytes: 8 * 1024,
             tex_cache_bytes: 8 * 1024,
             tex_line_bytes: 32,
+            l2_bytes: 0, // GT200 has no unified L2 for global loads
+            fp64_fp32_ratio: 1.0 / 8.0,
+            has_texture_path: true,
+        }
+    }
+
+    /// NVIDIA Tesla K40 (Kepler GK110B). Post-Fermi coalescing: global loads
+    /// bypass L1 and coalesce at 32-byte L2 sectors; the 48 KB read-only
+    /// (texture) cache per SMX survives as a dedicated path. FP64 runs at
+    /// one third of the FP32 rate.
+    pub fn kepler_k40() -> Self {
+        DeviceConfig {
+            name: "Tesla K40".into(),
+            num_sms: 15,
+            cores_per_sm: 192,
+            warp_size: 32,
+            clock_ghz: 0.745,
+            dram_bw_gbs: 288.0,
+            global_latency_cycles: 500,
+            segment_bytes: 32,
+            shared_banks: 32,
+            shared_per_sm: 48 * 1024,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            launch_overhead_us: 5.0,
+            atomic_base_cycles: 100,
+            const_cache_bytes: 8 * 1024,
+            tex_cache_bytes: 48 * 1024,
+            tex_line_bytes: 32,
+            l2_bytes: 1536 * 1024,
+            fp64_fp32_ratio: 1.0 / 3.0,
+            has_texture_path: true,
+        }
+    }
+
+    /// NVIDIA Tesla P100 (Pascal GP100). No dedicated texture path: read-only
+    /// data flows through the 24 KB unified L1/texture cache per SM, so
+    /// texture placements are priced through the generic cached path.
+    /// Full-rate FP64 (1:2).
+    pub fn pascal_p100() -> Self {
+        DeviceConfig {
+            name: "Tesla P100".into(),
+            num_sms: 56,
+            cores_per_sm: 64,
+            warp_size: 32,
+            clock_ghz: 1.328,
+            dram_bw_gbs: 732.0,
+            global_latency_cycles: 450,
+            segment_bytes: 32,
+            shared_banks: 32,
+            shared_per_sm: 64 * 1024,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            launch_overhead_us: 4.0,
+            atomic_base_cycles: 60,
+            const_cache_bytes: 8 * 1024,
+            tex_cache_bytes: 24 * 1024,
+            tex_line_bytes: 32,
+            l2_bytes: 4096 * 1024,
+            fp64_fp32_ratio: 0.5,
+            has_texture_path: false,
+        }
+    }
+
+    /// NVIDIA Tesla V100 (Volta GV100). Unified L1/shared/texture storage
+    /// (128 KB per SM, up to 96 KB usable as shared memory); like Pascal,
+    /// read-only data goes through the generic cached path. Full-rate FP64.
+    pub fn volta_v100() -> Self {
+        DeviceConfig {
+            name: "Tesla V100".into(),
+            num_sms: 80,
+            cores_per_sm: 64,
+            warp_size: 32,
+            clock_ghz: 1.38,
+            dram_bw_gbs: 900.0,
+            global_latency_cycles: 400,
+            segment_bytes: 32,
+            shared_banks: 32,
+            shared_per_sm: 96 * 1024,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            launch_overhead_us: 3.5,
+            atomic_base_cycles: 30,
+            const_cache_bytes: 8 * 1024,
+            tex_cache_bytes: 32 * 1024,
+            tex_line_bytes: 32,
+            l2_bytes: 6144 * 1024,
+            fp64_fp32_ratio: 0.5,
+            has_texture_path: false,
         }
     }
 
@@ -138,6 +266,88 @@ impl DeviceConfig {
     #[inline]
     pub fn warps_per_block(&self, threads: u32) -> u32 {
         threads.div_ceil(self.warp_size)
+    }
+
+    /// Issue-cycle multiplier for the double-precision-dominated codes this
+    /// evaluation runs, relative to the Fermi-class calibration baseline.
+    ///
+    /// The cost model's per-op issue charges were calibrated on the paper's
+    /// platform (M2090, half-rate FP64), so a device with ratio 1:2 issues at
+    /// factor 1.0; a device with a weaker FP64:FP32 ratio pays
+    /// proportionally more issue cycles per double-precision instruction
+    /// (GT200 at 1:8 → 4.0, Kepler GK110B at 1:3 → 1.5).
+    #[inline]
+    pub fn dp_issue_factor(&self) -> f64 {
+        0.5 / self.fp64_fp32_ratio
+    }
+
+    /// The named device presets of the generation family, oldest first.
+    ///
+    /// The slug is the canonical `ACCEVAL_DEVICE` value and the device
+    /// column of `results/device_matrix.csv`; [`DeviceConfig::preset`] also
+    /// accepts the part-number aliases (`m2090`, `k40`, ...).
+    pub fn presets() -> [DevicePreset; 5] {
+        [
+            ("tesla", Self::tesla_c1060),
+            ("fermi", Self::tesla_m2090),
+            ("kepler", Self::kepler_k40),
+            ("pascal", Self::pascal_p100),
+            ("volta", Self::volta_v100),
+        ]
+    }
+
+    /// Look up a device preset by name, case-insensitively. Accepts the
+    /// generation slug (`fermi`, `kepler`, ...), the constructor name
+    /// (`tesla_m2090`, `kepler_k40`, ...), or the bare part number
+    /// (`m2090`, `k40`, ...). Returns `None` for unknown names — callers
+    /// decide whether that is a hard usage error ([`crate`]-external
+    /// validation) or a soft fall-back ([`DeviceConfig::from_env`]).
+    pub fn preset(name: &str) -> Option<DeviceConfig> {
+        let n = name.to_ascii_lowercase();
+        let ctor: fn() -> DeviceConfig = match n.as_str() {
+            "tesla" | "tesla_c1060" | "c1060" => Self::tesla_c1060,
+            "fermi" | "tesla_m2090" | "m2090" => Self::tesla_m2090,
+            "kepler" | "kepler_k40" | "k40" => Self::kepler_k40,
+            "pascal" | "pascal_p100" | "p100" => Self::pascal_p100,
+            "volta" | "volta_v100" | "v100" => Self::volta_v100,
+            _ => return None,
+        };
+        Some(ctor())
+    }
+
+    /// The canonical generation slug of this configuration (`None` for a
+    /// hand-built config that matches no preset field-for-field).
+    pub fn slug(&self) -> Option<&'static str> {
+        Self::presets().into_iter().find(|(_, ctor)| &ctor() == self).map(|(s, _)| s)
+    }
+
+    /// The device preset selected by `ACCEVAL_DEVICE`, or the paper's M2090
+    /// when unset.
+    ///
+    /// Library getter semantics (matching the other `ACCEVAL_*` knobs): an
+    /// unknown name falls back soft to the default here — front-end binaries
+    /// validate strictly up front via `acceval_ir::env::validate_env` and
+    /// exit 2, so a typo never silently reaches a sweep started through a
+    /// binary.
+    pub fn from_env() -> DeviceConfig {
+        match std::env::var("ACCEVAL_DEVICE") {
+            Ok(v) => Self::preset(&v).unwrap_or_else(Self::tesla_m2090),
+            Err(_) => Self::tesla_m2090(),
+        }
+    }
+
+    /// Order-independent digest of every field of this configuration.
+    ///
+    /// Two distinct presets must never digest equal: launch-cache and
+    /// persistent-store keys fold this in so matrix sweeps over the device
+    /// family cannot cross-contaminate. (FNV-1a over the `Debug` rendering,
+    /// which prints every field.)
+    pub fn config_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{self:?}").bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        h
     }
 
     /// Resident warps per SM for a kernel with the given per-block resource
@@ -291,6 +501,19 @@ impl MachineConfig {
             link: LinkConfig::pcie2_x16(),
         }
     }
+
+    /// The Keeneland node with its GPU swapped for the `ACCEVAL_DEVICE`
+    /// preset (the M2090 when unset). Host and link stay fixed so the
+    /// sequential baseline — Figure 1's denominator — is shared across the
+    /// whole device family.
+    pub fn from_env() -> Self {
+        MachineConfig { device: DeviceConfig::from_env(), ..Self::keeneland_node() }
+    }
+
+    /// The Keeneland node with its GPU swapped for `device`.
+    pub fn with_device(device: DeviceConfig) -> Self {
+        MachineConfig { device, ..Self::keeneland_node() }
+    }
 }
 
 #[cfg(test)]
@@ -359,5 +582,71 @@ mod tests {
     fn warp_inst_throughput() {
         assert!((DeviceConfig::tesla_m2090().warp_insts_per_sm_cycle() - 1.0).abs() < 1e-12);
         assert!((DeviceConfig::tesla_c1060().warp_insts_per_sm_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    /// Every preset must be internally consistent: positive resources, sane
+    /// occupancy at common launch shapes, warp size 32 (the SIMT width the
+    /// executors vectorize over).
+    #[test]
+    fn presets_are_self_consistent() {
+        for (slug, ctor) in DeviceConfig::presets() {
+            let d = ctor();
+            assert_eq!(d.warp_size, 32, "{slug}");
+            assert!(d.num_sms > 0 && d.cores_per_sm > 0 && d.clock_ghz > 0.0, "{slug}");
+            assert!(d.segment_bytes.is_power_of_two() && d.tex_line_bytes.is_power_of_two(), "{slug}");
+            assert!(d.max_warps_per_sm * d.warp_size <= 2048 + 1024, "{slug}: resident threads out of range");
+            assert!(d.fp64_fp32_ratio > 0.0 && d.fp64_fp32_ratio <= 1.0, "{slug}");
+            assert!(d.dp_issue_factor() >= 1.0, "{slug}: DP can never issue faster than the calibration baseline");
+            for threads in [32u32, 128, 256, 512, 1024] {
+                if threads > d.max_threads_per_block {
+                    continue;
+                }
+                let o = d.occupancy(threads, 0, 20);
+                assert!(o.blocks_per_sm >= 1, "{slug}: {threads}-thread blocks must be schedulable");
+                assert!(o.resident_warps_per_sm <= d.max_warps_per_sm, "{slug}");
+                assert!(o.fraction > 0.0 && o.fraction <= 1.0, "{slug}");
+            }
+            assert_eq!(d.slug(), Some(slug), "slug must round-trip through the preset table");
+            assert_eq!(DeviceConfig::preset(slug).as_ref(), Some(&d), "preset lookup must return the table entry");
+        }
+        assert!(DeviceConfig::preset("FERMI").is_some(), "lookup is case-insensitive");
+        assert!(DeviceConfig::preset("v100").is_some(), "part-number alias");
+        assert!(DeviceConfig::preset("turing").is_none());
+    }
+
+    /// DRAM bytes-per-cycle must grow strictly across the generation family
+    /// (oldest to newest) — the bandwidth trend the matrix report exists to
+    /// expose. Compute throughput per SM-cycle times SM count grows too.
+    #[test]
+    fn preset_bandwidth_is_monotone_across_generations() {
+        let family: Vec<DeviceConfig> = DeviceConfig::presets().iter().map(|(_, c)| c()).collect();
+        for w in family.windows(2) {
+            assert!(
+                w[1].dram_bytes_per_cycle() > w[0].dram_bytes_per_cycle(),
+                "{} must out-stream {}",
+                w[1].name,
+                w[0].name
+            );
+            let rate = |d: &DeviceConfig| d.total_cores() as f64 * d.clock_ghz;
+            assert!(rate(&w[1]) > rate(&w[0]), "{} must out-issue {}", w[1].name, w[0].name);
+        }
+    }
+
+    /// Distinct presets must digest distinct: launch-cache and store keys
+    /// fold the config digest, so a collision would let one generation's
+    /// cached launches replay under another.
+    #[test]
+    fn preset_digests_are_distinct() {
+        let family: Vec<(&str, DeviceConfig)> = DeviceConfig::presets().iter().map(|(s, c)| (*s, c())).collect();
+        for (i, (sa, a)) in family.iter().enumerate() {
+            for (sb, b) in family.iter().skip(i + 1) {
+                assert_ne!(a.config_digest(), b.config_digest(), "{sa} vs {sb}");
+                assert_ne!(format!("{a:?}"), format!("{b:?}"), "{sa} vs {sb}");
+            }
+        }
+        // The digest is sensitive to every modelled field, not just the name.
+        let mut tweaked = DeviceConfig::volta_v100();
+        tweaked.has_texture_path = true;
+        assert_ne!(tweaked.config_digest(), DeviceConfig::volta_v100().config_digest());
     }
 }

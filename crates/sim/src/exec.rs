@@ -10,7 +10,11 @@
 //! ```
 //!
 //! * **compute** — total warp-instruction issue cycles spread over the SMs
-//!   actually covered by the grid.
+//!   actually covered by the grid, scaled by the device's double-precision
+//!   issue factor ([`DeviceConfig::dp_issue_factor`]): the evaluated codes
+//!   are double-precision dominated, so generations with a weaker FP64:FP32
+//!   ratio than the Fermi calibration baseline pay proportionally more
+//!   issue cycles.
 //! * **dram bandwidth** — 128-byte segments moved at the device's
 //!   bytes-per-cycle. This is what punishes uncoalesced access: a stride-N
 //!   loop moves up to 32x the useful bytes.
@@ -137,7 +141,7 @@ pub fn estimate_kernel(cfg: &DeviceConfig, fp: &KernelFootprint, t: &KernelTotal
     // SMs that actually receive work.
     let parallel_sms = (fp.grid_blocks.min(cfg.num_sms as u64) as f64).max(1.0);
 
-    let compute_cycles = t.issue_cycles / (parallel_sms * cfg.warp_insts_per_sm_cycle());
+    let compute_cycles = t.issue_cycles * cfg.dp_issue_factor() / (parallel_sms * cfg.warp_insts_per_sm_cycle());
 
     let traffic = t.traffic_bytes(cfg) as f64;
     let mem_bw_cycles = traffic / cfg.dram_bytes_per_cycle();
@@ -352,6 +356,21 @@ mod tests {
         assert_eq!(warp_issue_cycles(&[10, 4, 2], 0), 10.0);
         assert_eq!(warp_issue_cycles(&[10, 4, 2], 3), 10.0 + 3.0 * DIVERGENCE_PENALTY_CYCLES);
         assert_eq!(warp_issue_cycles(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn dp_issue_factor_scales_compute_term() {
+        // A compute-bound kernel on a half-rate-DP device (factor 1.0) is
+        // priced as before; a 1:8 GT200 pays 4x the compute cycles for the
+        // same issue evidence.
+        let fp = KernelFootprint::new(256, 1024);
+        let t = KernelTotals { warps: 8192, issue_cycles: 8192.0 * 10_000.0, ..Default::default() };
+        let fermi = estimate_kernel(&DeviceConfig::tesla_m2090(), &fp, &t);
+        assert!((DeviceConfig::tesla_m2090().dp_issue_factor() - 1.0).abs() < 1e-12);
+        let mut slow_dp = DeviceConfig::tesla_m2090();
+        slow_dp.fp64_fp32_ratio = 1.0 / 8.0;
+        let gt200ish = estimate_kernel(&slow_dp, &fp, &t);
+        assert!((gt200ish.compute_cycles - 4.0 * fermi.compute_cycles).abs() < 1e-6);
     }
 
     #[test]

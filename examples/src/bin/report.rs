@@ -4,6 +4,7 @@
 //! cargo run -p acceval-examples --release --bin report -- table1
 //! cargo run -p acceval-examples --release --bin report -- table2
 //! cargo run -p acceval-examples --release --bin report -- figure1 [--test-scale] [--no-tuning] [--csv] [--json] [--device-c1060] [bench...]
+//! cargo run -p acceval-examples --release --bin report -- devices [--test-scale] [--with-tuning] [--csv] [--json] [device...]
 //! cargo run -p acceval-examples --release --bin report -- profile <benchmark> <model> [--test-scale] [--device-c1060]
 //! cargo run -p acceval-examples --release --bin report -- all
 //! ```
@@ -26,12 +27,17 @@ const MANIFEST_PATH: &str = "results/figure1_sweep.json";
 /// Machine-readable sweep benchmark record (total wall time, per-benchmark
 /// task times, engine name). Schema: see EXPERIMENTS.md.
 const BENCH_PATH: &str = "results/BENCH_sweep.json";
+/// Where `report -- devices` lands the device-generation matrix.
+const MATRIX_PATH: &str = "results/device_matrix.csv";
 
 const USAGE: &str = "usage: report -- <command> [flags]
 commands:
   table1                         render Table I
   table2                         render Table II
   figure1 [flags] [bench...]     run the sweep and render Figure 1
+  devices [flags] [device...]    run the device-generation matrix (default:
+                                 every preset) and render the per-generation
+                                 model ranking; writes results/device_matrix.csv
   profile <benchmark> <model>    profile one run; prints a cost attribution
                                  table and writes results/profile_<bench>_<model>.json
                                  (Chrome trace format, open in chrome://tracing)
@@ -41,9 +47,12 @@ commands:
 flags:
   --test-scale                   tiny datasets (fast; not the paper's inputs)
   --no-tuning                    figure1/all: skip the tuning-variation sweep
-  --csv | --json                 figure1/all: machine-readable output
+  --with-tuning                  devices: add the tuning-variation points
+  --csv | --json                 figure1/devices/all: machine-readable output
   --device-c1060                 simulate the previous-generation Tesla C1060
 environment:
+  ACCEVAL_DEVICE=<preset>            device generation for figure1/profile/all
+                                     (tesla|fermi|kepler|pascal|volta)
   ACCEVAL_STORE=auto|on|off|<path>   persistent launch-result store mode
   ACCEVAL_STORE_CAP_MB=<n>           disk cap for the store (default 2048)
   ACCEVAL_STORE_EPOCH=<label>        override the build-epoch invalidation tag";
@@ -62,7 +71,7 @@ fn main() {
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    if !["table1", "table2", "figure1", "profile", "store", "all"].contains(&cmd) {
+    if !["table1", "table2", "figure1", "devices", "profile", "store", "all"].contains(&cmd) {
         usage_error(&format!("unknown command `{cmd}`"));
     }
 
@@ -71,6 +80,7 @@ fn main() {
     let allowed: &[&str] = match cmd {
         "table1" | "table2" | "store" => &[],
         "profile" => &["--test-scale", "--device-c1060"],
+        "devices" => &["--test-scale", "--with-tuning", "--csv", "--json"],
         _ => &["--test-scale", "--no-tuning", "--csv", "--json", "--device-c1060"],
     };
     for a in args.iter().skip(1).filter(|a| a.starts_with("--")) {
@@ -88,7 +98,17 @@ fn main() {
         usage_error(&format!("`{cmd}` takes no positional arguments"));
     }
 
+    // Device selection: ACCEVAL_DEVICE swaps the Keeneland node's GPU for
+    // another preset of the generation family; --device-c1060 (the older
+    // flag) wins when both are given. validate_env has already vetted the
+    // name, so the lookup here cannot fail after startup.
     let mut cfg = MachineConfig::keeneland_node();
+    if let Ok(v) = std::env::var("ACCEVAL_DEVICE") {
+        match acceval::sim::DeviceConfig::preset(&v) {
+            Some(d) => cfg.device = d,
+            None => usage_error(&format!("ACCEVAL_DEVICE: unknown device preset `{v}`")),
+        }
+    }
     if args.iter().any(|a| a == "--device-c1060") {
         // Performance-portability study (paper SVI): same ports, previous
         // GPU generation (GT200-class: 64-byte segments, fewer resident
@@ -99,6 +119,11 @@ fn main() {
 
     if cmd == "store" {
         run_store(&positionals);
+        return;
+    }
+
+    if cmd == "devices" {
+        run_devices(&positionals, &cfg, scale, &args);
         return;
     }
 
@@ -147,6 +172,44 @@ fn main() {
         // before the process exits (the next run warm-starts from it).
         acceval::ir::interp::store::flush_store();
     }
+}
+
+/// `report -- devices [device...]`: run the device-generation matrix sweep
+/// (every preset when no names are given), write `results/device_matrix.csv`,
+/// and print the per-generation model ranking (or the CSV/JSON with a
+/// format flag). Unknown preset names are a usage error, exit 2.
+fn run_devices(positionals: &[&str], cfg: &MachineConfig, scale: Scale, args: &[String]) {
+    use acceval::benchmarks::all_benchmarks;
+    use acceval::devices::{device_matrix_csv, device_slices, render_device_rankings};
+    use acceval::sim::DeviceConfig;
+    use acceval::sweep::run_device_matrix;
+
+    let with_tuning = args.iter().any(|a| a == "--with-tuning");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json = args.iter().any(|a| a == "--json");
+    let all_slugs: Vec<&str> = DeviceConfig::presets().iter().map(|(s, _)| *s).collect();
+    let devices: &[&str] = if positionals.is_empty() { &all_slugs } else { positionals };
+
+    let benches = all_benchmarks();
+    let refs: Vec<&dyn acceval::benchmarks::Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    let manifest = match run_device_matrix(&refs, cfg, scale, with_tuning, devices) {
+        Ok(m) => m,
+        Err(e) => usage_error(&e),
+    };
+
+    let matrix = device_matrix_csv(&manifest);
+    if csv {
+        println!("{matrix}");
+    } else if json {
+        println!("{}", acceval::figures_json(&device_slices(&manifest)));
+    } else {
+        println!("{}", render_device_rankings(&manifest));
+    }
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(MATRIX_PATH, &matrix)) {
+        Ok(()) => eprintln!("{}wrote {MATRIX_PATH}", render_sweep_summary(&manifest)),
+        Err(e) => eprintln!("warning: could not write {MATRIX_PATH}: {e}"),
+    }
+    acceval::ir::interp::store::flush_store();
 }
 
 /// `report -- store [stats|clear]`: inspect or wipe the persistent store.

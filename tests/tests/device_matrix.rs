@@ -1,0 +1,118 @@
+//! Sweep-level determinism for the device-generation matrix:
+//! `results/device_matrix.csv` must be byte-identical at any worker count
+//! and under any launch-cache mode, and the device axis must not perturb
+//! the per-device pricing (the fermi slice of a matrix sweep is bit-equal
+//! to a plain sweep on the default config).
+
+use std::sync::Mutex;
+
+use acceval::benchmarks::{all_benchmarks, Benchmark, Scale};
+use acceval::devices::device_matrix_csv;
+use acceval::ir::interp::launch_cache::{clear_launch_cache, set_launch_cache_override, LaunchCache};
+use acceval::sim::{DeviceConfig, MachineConfig};
+use acceval::sweep::{run_device_matrix, run_sweep};
+
+/// The cache override, its store, and `RAYON_NUM_THREADS` are
+/// process-global; serialize the tests that flip them.
+static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the launch cache pinned to `policy` at `threads` workers
+/// from a cold cache, restoring the defaults on exit (also on panic).
+fn with_cache<T>(policy: LaunchCache, threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_launch_cache_override(None);
+            std::env::remove_var("RAYON_NUM_THREADS");
+            clear_launch_cache();
+        }
+    }
+    let _guard = CACHE_LOCK.lock().unwrap();
+    let _reset = Reset;
+    clear_launch_cache();
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    set_launch_cache_override(Some(policy));
+    f()
+}
+
+/// A small but representative benchmark subset: JACOBI (stencil, pure
+/// global), SPMUL (read-indirect arrays auto-cached into texture space —
+/// exercises the unified-L1 routing on pascal/volta), SRAD (multi-kernel).
+fn subset() -> Vec<Box<dyn Benchmark>> {
+    all_benchmarks().into_iter().filter(|b| ["JACOBI", "SPMUL", "SRAD"].contains(&b.spec().name)).collect()
+}
+
+const ALL_DEVICES: [&str; 5] = ["tesla", "fermi", "kepler", "pascal", "volta"];
+
+/// The matrix CSV is byte-identical across 1/2/8 workers and cache
+/// off/on, and covers every preset crossed with every Figure 1 model.
+#[test]
+fn device_matrix_csv_is_schedule_and_cache_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let benches = subset();
+    let refs: Vec<&dyn Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    let matrix = |policy: LaunchCache, threads: usize| {
+        with_cache(policy, threads, || {
+            let m = run_device_matrix(&refs, &cfg, Scale::Test, false, &ALL_DEVICES).expect("known presets");
+            device_matrix_csv(&m)
+        })
+    };
+    let baseline = matrix(LaunchCache::Off, 1);
+    for device in ALL_DEVICES {
+        for model in ["PGI", "ACC", "HMPP", "MPC", "CUDA"] {
+            assert!(baseline.contains(&format!("{device},JACOBI,{model},")), "matrix must cover {device} x {model}");
+        }
+    }
+    for policy in [LaunchCache::Off, LaunchCache::On] {
+        for threads in [1usize, 2, 8] {
+            let got = matrix(policy, threads);
+            assert_eq!(baseline, got, "device_matrix.csv must be byte-identical under {policy:?} at {threads} workers");
+        }
+    }
+}
+
+/// The device axis is pure plumbing: every fermi record of a matrix sweep
+/// prices bit-identically to the same task in a plain sweep on the default
+/// (M2090) config.
+#[test]
+fn matrix_fermi_slice_matches_plain_sweep() {
+    let cfg = MachineConfig::keeneland_node();
+    let benches = subset();
+    let refs: Vec<&dyn Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    let (matrix, plain) = with_cache(LaunchCache::Off, 2, || {
+        (
+            run_device_matrix(&refs, &cfg, Scale::Test, false, &["fermi", "volta"]).expect("known presets"),
+            run_sweep(&refs, &cfg, Scale::Test, false),
+        )
+    });
+    assert_eq!(matrix.devices, ["fermi", "volta"]);
+    assert_eq!(plain.devices, ["fermi"], "the default config is attributed to its preset slug");
+    let fermi: Vec<_> = matrix.records.iter().filter(|r| r.device == "fermi").collect();
+    assert_eq!(fermi.len(), plain.records.len());
+    for (m, p) in fermi.iter().zip(&plain.records) {
+        assert_eq!((m.benchmark.as_str(), m.model, m.tuning), (p.benchmark.as_str(), p.model, p.tuning));
+        assert_eq!(m.secs.to_bits(), p.secs.to_bits(), "{}/{:?} must price identically", m.benchmark, m.model);
+        assert_eq!(m.speedup.to_bits(), p.speedup.to_bits());
+        assert_eq!(m.valid.is_ok(), p.valid.is_ok());
+    }
+    // Volta must actually differ somewhere — otherwise the matrix ran the
+    // same device five times and the axis is dead plumbing.
+    let volta: Vec<_> = matrix.records.iter().filter(|r| r.device == "volta").collect();
+    assert!(
+        volta.iter().zip(&fermi).any(|(v, f)| v.secs.to_bits() != f.secs.to_bits()),
+        "volta and fermi slices must not price identically"
+    );
+}
+
+/// Unknown preset names error up front, naming the known presets — never a
+/// silent Fermi fallback.
+#[test]
+fn unknown_device_is_an_error() {
+    let cfg = MachineConfig::keeneland_node();
+    let benches = subset();
+    let refs: Vec<&dyn Benchmark> = benches.iter().map(|b| b.as_ref()).collect();
+    let err = run_device_matrix(&refs, &cfg, Scale::Test, false, &["fermi", "turing"]).unwrap_err();
+    assert!(err.contains("turing"), "error must name the offending preset: {err}");
+    assert!(err.contains("fermi") && err.contains("volta"), "error must list the known presets: {err}");
+    assert!(DeviceConfig::preset("turing").is_none());
+}

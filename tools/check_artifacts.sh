@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Guard against drift between the committed result artifacts and the code:
-# regenerate results/table1.txt, results/table2.txt, and results/figure1.csv
-# with the report binary and fail on any diff.
+# regenerate results/table1.txt, results/table2.txt, results/figure1.csv,
+# and results/device_matrix.csv with the report binary and fail on any diff.
 #
 # Runs the report binary from a scratch directory: `figure1` writes a sweep
 # manifest (wall-clock timings, nondeterministic) next to its outputs as a
@@ -32,9 +32,13 @@ cd "$scratch"
 "$report" table1 > table1.txt
 "$report" table2 > table2.txt
 "$report" figure1 --no-tuning --csv > figure1.csv 2> figure1.log
+# The devices command writes the matrix next to its own manifest; lift the
+# CSV out of the scratch results/ tree for the diff below.
+"$report" devices > device_rankings.txt 2> device_matrix.log
+mv results/device_matrix.csv device_matrix.csv
 
 status=0
-for f in table1.txt table2.txt figure1.csv; do
+for f in table1.txt table2.txt figure1.csv device_matrix.csv; do
     if ! diff -u "$repo/results/$f" "$f"; then
         echo "DRIFT: results/$f no longer matches the report binary's output" >&2
         status=1
@@ -42,6 +46,6 @@ for f in table1.txt table2.txt figure1.csv; do
 done
 
 if [ "$status" -eq 0 ]; then
-    echo "artifacts up to date: table1.txt table2.txt figure1.csv"
+    echo "artifacts up to date: table1.txt table2.txt figure1.csv device_matrix.csv"
 fi
 exit "$status"
