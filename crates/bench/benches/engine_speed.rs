@@ -6,16 +6,20 @@
 //! Beyond the criterion numbers, the bench asserts the bytecode engine's
 //! reason to exist: at least a 3x speedup over the tree walker on the
 //! JACOBI hot loop (the kernels `report -- figure1` spends its wall time
-//! in). A regression below that gate fails `cargo bench` (and the CI
-//! bench-smoke job, which runs every bench once in test mode).
+//! in), and the `opt_speed` gate — the bytecode optimizer must be worth at
+//! least 1.5x over raw bytecode on the same loop. A regression below either
+//! gate fails `cargo bench` (and the CI bench-smoke job, which runs every
+//! bench once in test mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use acceval::benchmarks::{all_benchmarks, Benchmark, Scale};
+use acceval::ir::env::Toggle;
 use acceval::ir::interp::gpu::{env_from_dataset, launch_with_engine, upload_all, DeviceState, Engine};
 use acceval::ir::interp::launch_cache::{set_launch_cache_override, LaunchCache};
+use acceval::ir::interp::opt::set_opt_override;
 use acceval::ir::program::HostData;
 use acceval::models::ModelKind;
 use acceval::sim::MachineConfig;
@@ -54,11 +58,17 @@ fn bench(c: &mut Criterion) {
     // the ratio collapses toward 1x. Pin it off for the whole process.
     set_launch_cache_override(Some(LaunchCache::Off));
 
-    // The acceptance gate, measured outside criterion so it also runs (and
-    // fails loudly) in `cargo bench -- --test` smoke mode. Best-of-3 per
-    // engine to shrug off scheduler noise.
-    let tree = (0..3).map(|_| launch_all_kernels("JACOBI", Engine::Tree, 3, &cfg)).fold(f64::MAX, f64::min);
-    let byte = (0..3).map(|_| launch_all_kernels("JACOBI", Engine::Bytecode, 3, &cfg)).fold(f64::MAX, f64::min);
+    // The acceptance gates, measured outside criterion so they also run
+    // (and fail loudly) in `cargo bench -- --test` smoke mode. Best-of-3
+    // per configuration to shrug off scheduler noise.
+    let best = |eng: Engine, opt: Toggle, reps: u32| {
+        set_opt_override(Some(opt));
+        let t = (0..3).map(|_| launch_all_kernels("JACOBI", eng, reps, &cfg)).fold(f64::MAX, f64::min);
+        set_opt_override(None);
+        t
+    };
+    let tree = best(Engine::Tree, Toggle::On, 3);
+    let byte = best(Engine::Bytecode, Toggle::On, 3);
     let speedup = tree / byte;
     println!("JACOBI hot loop (paper scale): tree {tree:.4}s, bytecode {byte:.4}s");
     println!("bytecode speedup over tree: {speedup:.1}x");
@@ -68,12 +78,33 @@ fn bench(c: &mut Criterion) {
          (tree {tree:.4}s vs bytecode {byte:.4}s)"
     );
 
+    // `opt_speed` gate: the optimizer pipeline (uniform-prelude hoisting,
+    // CSE, strength reduction, typed lowering) must pay for itself on the
+    // very loop the sweep lives in. More reps than the engine gate — the
+    // per-launch times are ~10x smaller, so noise bites harder.
+    let raw = best(Engine::Bytecode, Toggle::Off, 10);
+    let opt = best(Engine::Bytecode, Toggle::On, 10);
+    let opt_ratio = raw / opt;
+    println!("opt_speed: JACOBI hot loop (paper scale): opt-off {raw:.4}s, opt-on {opt:.4}s");
+    println!("opt_speed: optimizer speedup over raw bytecode: {opt_ratio:.2}x");
+    assert!(
+        opt_ratio >= 1.5,
+        "opt_speed gate: bytecode optimizer must be >= 1.5x raw bytecode on the JACOBI hot loop, \
+         got {opt_ratio:.2}x (opt-off {raw:.4}s vs opt-on {opt:.4}s)"
+    );
+
     let mut g = c.benchmark_group("engine_speed");
     g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
     for name in ["JACOBI", "KMEANS"] {
-        for (label, eng) in [("tree", Engine::Tree), ("bytecode", Engine::Bytecode)] {
-            g.bench_with_input(BenchmarkId::new(label, name), &eng, |b, &eng| {
-                b.iter(|| black_box(launch_all_kernels(name, eng, 1, &cfg)))
+        for (label, eng, opt) in [
+            ("tree", Engine::Tree, Toggle::On),
+            ("bytecode-raw", Engine::Bytecode, Toggle::Off),
+            ("bytecode-opt", Engine::Bytecode, Toggle::On),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, name), &(eng, opt), |b, &(eng, opt)| {
+                set_opt_override(Some(opt));
+                b.iter(|| black_box(launch_all_kernels(name, eng, 1, &cfg)));
+                set_opt_override(None);
             });
         }
     }

@@ -300,12 +300,23 @@ pub struct BenchSweep {
     pub store_quarantined: u64,
     /// Store entries evicted under the disk byte cap.
     pub store_evicted: u64,
+    /// Bytecode-optimizer policy the sweep ran under (`auto`/`on`/`off`).
+    pub opt: String,
+    /// Kernels the optimizer rewrote during the sweep (once per distinct
+    /// plan; memoized plans don't recount).
+    pub opt_kernels: u64,
+    /// Instruction count of those kernels before optimization.
+    pub opt_ops_pre: u64,
+    /// Instruction count after optimization (launch preludes excluded).
+    pub opt_ops_post: u64,
+    /// CSE eliminations summed over those kernels.
+    pub opt_cse_hits: u64,
 }
 
 /// Build the `results/BENCH_sweep.json` payload from a sweep manifest.
 pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
     let payload = BenchSweep {
-        schema: "acceval-bench-sweep/5".to_string(),
+        schema: "acceval-bench-sweep/6".to_string(),
         engine: engine.to_string(),
         scale: m.scale.clone(),
         with_tuning: m.with_tuning,
@@ -327,6 +338,11 @@ pub fn bench_sweep_json(m: &SweepManifest, engine: &str) -> String {
         store_spill_bytes: m.store_spill_bytes,
         store_quarantined: m.store_quarantined,
         store_evicted: m.store_evicted,
+        opt: m.opt.clone(),
+        opt_kernels: m.opt_kernels,
+        opt_ops_pre: m.opt_ops_pre,
+        opt_ops_post: m.opt_ops_post,
+        opt_cse_hits: m.opt_cse_hits,
     };
     serde_json::to_string_pretty(&payload).expect("bench sweep serializes")
 }

@@ -23,6 +23,7 @@ use acceval_benchmarks::{Benchmark, Scale};
 use acceval_ir::interp::cpu::CpuRun;
 use acceval_ir::interp::gpu::{launch_par, set_launch_par_hint, LaunchPar};
 use acceval_ir::interp::launch_cache::{launch_cache_name, launch_cache_totals, thread_cache_counters};
+use acceval_ir::interp::opt::{opt_name, thread_opt_counters};
 use acceval_ir::interp::store::{self as launch_store, Dec, Enc};
 use acceval_ir::program::DataSet;
 use acceval_models::{model, ModelKind, TuningPoint};
@@ -332,6 +333,16 @@ pub struct RunRecord {
     /// Wall seconds this task spent hashing buffer contents for cache keys
     /// and captures (harness time; nondeterministic).
     pub launch_cache_digest_secs: f64,
+    /// Kernels whose bytecode the optimizer rewrote during this task (0 for
+    /// tasks served entirely by memoized plans — optimization runs once per
+    /// plan, like compilation).
+    pub opt_kernels: u64,
+    /// Instruction count of those kernels before optimization.
+    pub opt_ops_pre: u64,
+    /// Instruction count after optimization (prelude excluded).
+    pub opt_ops_post: u64,
+    /// Redundant computations eliminated by CSE across those kernels.
+    pub opt_cse_hits: u64,
 }
 
 /// The oracle cost entry of the manifest.
@@ -430,6 +441,16 @@ pub struct SweepManifest {
     pub store_quarantined: u64,
     /// Store entries evicted under the disk byte cap (process lifetime).
     pub store_evicted: u64,
+    /// The bytecode-optimizer policy the sweep ran under (`auto`/`on`/`off`).
+    pub opt: String,
+    /// Kernels whose bytecode the optimizer rewrote, summed over tasks.
+    pub opt_kernels: u64,
+    /// Pre-optimization instruction count over those kernels.
+    pub opt_ops_pre: u64,
+    /// Post-optimization instruction count (preludes excluded).
+    pub opt_ops_post: u64,
+    /// CSE eliminations summed over those kernels.
+    pub opt_cse_hits: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -466,6 +487,7 @@ fn run_task(
     // Launch-cache accounting: the counters are thread-local and tasks never
     // migrate threads mid-run, so the before/after delta is this task's.
     let (h0, dh0, m0, d0) = thread_cache_counters();
+    let (ok0, op0, oq0, oc0) = thread_opt_counters();
     let ds = cached_dataset(bench, scale);
     let (oracle, oracle_cached) = cached_oracle_tracked(bench, scale, cfg);
     let (compiled, compile_cached) = cached_compile_tracked(bench, task.model, scale, task.tuning.as_ref());
@@ -487,6 +509,7 @@ fn run_task(
         (run_compiled(bench, &compiled, &ds, cfg, &oracle.run), None)
     };
     let (h1, dh1, m1, d1) = thread_cache_counters();
+    let (ok1, op1, oq1, oc1) = thread_opt_counters();
     RunRecord {
         task: index,
         benchmark: task.benchmark.clone(),
@@ -509,6 +532,10 @@ fn run_task(
         launch_cache_disk_hits: dh1 - dh0,
         launch_cache_misses: m1 - m0,
         launch_cache_digest_secs: (d1 - d0) as f64 * 1e-9,
+        opt_kernels: ok1 - ok0,
+        opt_ops_pre: op1 - op0,
+        opt_ops_post: oq1 - oq0,
+        opt_cse_hits: oc1 - oc0,
     }
 }
 
@@ -694,6 +721,10 @@ fn run_enumerated(
     let launch_cache_misses: u64 = records.iter().map(|r| r.launch_cache_misses).sum();
     let launch_cache_digest_secs: f64 = records.iter().map(|r| r.launch_cache_digest_secs).sum();
     let store_totals = launch_store::store_totals();
+    let opt_kernels: u64 = records.iter().map(|r| r.opt_kernels).sum();
+    let opt_ops_pre: u64 = records.iter().map(|r| r.opt_ops_pre).sum();
+    let opt_ops_post: u64 = records.iter().map(|r| r.opt_ops_post).sum();
+    let opt_cse_hits: u64 = records.iter().map(|r| r.opt_cse_hits).sum();
 
     SweepManifest {
         scale: format!("{scale:?}"),
@@ -722,6 +753,11 @@ fn run_enumerated(
         store_spill_bytes: store_totals.spill_bytes,
         store_quarantined: store_totals.quarantined,
         store_evicted: store_totals.evicted,
+        opt: opt_name().to_string(),
+        opt_kernels,
+        opt_ops_pre,
+        opt_ops_post,
+        opt_cse_hits,
     }
 }
 

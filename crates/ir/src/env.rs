@@ -1,7 +1,7 @@
 //! Typed parsing and up-front validation of the `ACCEVAL_*` environment
 //! knobs.
 //!
-//! Every runtime knob (`ACCEVAL_DEVICE`, `ACCEVAL_ENGINE`,
+//! Every runtime knob (`ACCEVAL_DEVICE`, `ACCEVAL_ENGINE`, `ACCEVAL_OPT`,
 //! `ACCEVAL_LAUNCH_PAR`, `ACCEVAL_LAUNCH_CACHE`,
 //! `ACCEVAL_LAUNCH_CACHE_CAP_MB`, `ACCEVAL_STORE`, `ACCEVAL_STORE_CAP_MB`)
 //! parses through this module. Parses are *typed*:
@@ -129,6 +129,7 @@ pub const KNOWN_VARS: &[&str] = &[
     "ACCEVAL_ENGINE",
     "ACCEVAL_LAUNCH_PAR",
     "ACCEVAL_LAUNCH_CACHE",
+    "ACCEVAL_OPT",
     "ACCEVAL_LAUNCH_CACHE_CAP_MB",
     "ACCEVAL_STORE",
     "ACCEVAL_STORE_CAP_MB",
@@ -155,7 +156,7 @@ pub fn validate_env() -> Result<(), EnvError> {
             "ACCEVAL_ENGINE" => {
                 parse_engine_name(&v)?;
             }
-            "ACCEVAL_LAUNCH_PAR" | "ACCEVAL_LAUNCH_CACHE" => {
+            "ACCEVAL_LAUNCH_PAR" | "ACCEVAL_LAUNCH_CACHE" | "ACCEVAL_OPT" => {
                 parse_toggle(&k, &v)?;
             }
             "ACCEVAL_LAUNCH_CACHE_CAP_MB" | "ACCEVAL_STORE_CAP_MB" => {
@@ -184,6 +185,14 @@ mod tests {
         let e = parse_toggle("ACCEVAL_LAUNCH_CACHE", "maybe").unwrap_err();
         assert_eq!(e.var, "ACCEVAL_LAUNCH_CACHE");
         assert!(e.to_string().contains("maybe"));
+    }
+
+    #[test]
+    fn opt_knob_is_known_and_toggle_valued() {
+        assert!(KNOWN_VARS.contains(&"ACCEVAL_OPT"));
+        assert_eq!(parse_toggle("ACCEVAL_OPT", "auto"), Ok(Toggle::Auto));
+        let e = parse_toggle("ACCEVAL_OPT", "fast").unwrap_err();
+        assert_eq!(e.var, "ACCEVAL_OPT");
     }
 
     #[test]

@@ -254,6 +254,10 @@ pub struct KernelBytecode {
     pub(crate) pool: Vec<u16>,
     /// Total registers (scalar slots + constants + temporaries).
     pub(crate) nregs: u16,
+    /// First temporary register: scalar slots and pooled constants live
+    /// below, expression temporaries at and above. The optimizer uses the
+    /// boundary to tell rewritable temporaries from named state.
+    pub(crate) temp_base: u16,
     /// `(scalar slot, register)` for scalars the body never writes:
     /// broadcast once per launch.
     pub(crate) scal_init_launch: Vec<(u32, u16)>,
@@ -494,6 +498,7 @@ pub fn compile(prog: &Program, plan: &KernelPlan) -> Option<KernelBytecode> {
         code: c.code,
         pool: c.pool,
         nregs: c.nregs,
+        temp_base,
         scal_init_launch,
         scal_init_warp,
         const_init: c.const_init,
@@ -911,6 +916,11 @@ pub struct WarpScratch {
     pub(crate) memo: AffineRowMemo,
     pub(crate) warp: usize,
     priv_sig: Vec<(ElemType, usize)>,
+    /// Split typed register banks for the optimizer's specialized stream
+    /// (`interp::opt`); empty unless a typed kernel is active this launch.
+    pub(crate) fregs: Vec<f64>,
+    pub(crate) iregs: Vec<i64>,
+    pub(crate) bregs: Vec<bool>,
 }
 
 impl WarpScratch {
@@ -925,6 +935,9 @@ impl WarpScratch {
             memo: AffineRowMemo::new(128),
             warp: 0,
             priv_sig: Vec::new(),
+            fregs: Vec::new(),
+            iregs: Vec::new(),
+            bregs: Vec::new(),
         }
     }
 
@@ -1212,7 +1225,7 @@ struct Vm<'a, 'b> {
 
 /// All-lanes-active mask for a `w`-lane warp.
 #[inline]
-fn full_mask(w: usize) -> u64 {
+pub(crate) fn full_mask(w: usize) -> u64 {
     if w >= 64 {
         u64::MAX
     } else {
@@ -1241,6 +1254,7 @@ macro_rules! lanes {
         }
     };
 }
+pub(crate) use lanes;
 
 impl Vm<'_, '_> {
     #[inline]

@@ -24,6 +24,7 @@ use acceval_sim::{
 use crate::expr::{Expr, Intrin};
 use crate::interp::bytecode::{self, intrin_cost};
 use crate::interp::launch_cache::{self, ArrayOut, LaunchEffect, LaunchKey};
+use crate::interp::opt;
 use crate::interp::{eval_pure, row_major_strides, Interp, Machine};
 use crate::kernel::{Expansion, KernelPlan, MemSpace, ReduceStrategy};
 use crate::program::{eval_const, Program};
@@ -617,8 +618,12 @@ fn launch_impl(
     // and replay the captured effect on a hit. Opaque bodies (calls into
     // program functions) have an unbounded effect set and always execute.
     let arrays = body_arrays(plan, &red_arrays);
+    // Optimizer activation is part of the launch identity: effects are
+    // byte-identical by contract, but keying the mode keeps a cached effect
+    // from ever crossing an optimizer boundary.
+    let opt_on = eng == Engine::Bytecode && opt::opt_enabled();
     let cache_key = if launch_cache::launch_cache_enabled() && !arrays.opaque && !has_tex {
-        Some(build_launch_key(plan, dev, cfg, scal, &extents, eng, traced, &arrays))
+        Some(build_launch_key(plan, dev, cfg, scal, &extents, eng, opt_on, traced, &arrays))
     } else {
         None
     };
@@ -650,10 +655,17 @@ fn launch_impl(
     // Engine dispatch: the bytecode engine handles everything its compiler
     // accepts; bodies out of scope (e.g. with calls) fall back to the tree
     // walker even when the bytecode engine is selected.
+    let opt_k = if opt_on { plan.engine_cache.get_or_optimize(prog, plan) } else { None };
     let bc = if eng == Engine::Bytecode { plan.engine_cache.get_or_compile(prog, plan) } else { None };
 
     if let Some(bc) = bc {
-        let bc: &bytecode::KernelBytecode = &bc;
+        // With the optimizer active, the executed stream is the optimized
+        // one; metadata (axis/reduction registers, fast sites, pricing
+        // flags) is identical between the two by construction.
+        let bc: &bytecode::KernelBytecode = match &opt_k {
+            Some(ok) => ok.bytecode(),
+            None => &bc,
+        };
         assert!(warp as usize <= 64, "active-lane masks hold at most 64 lanes");
         let mut expansion: Vec<Option<Expansion>> = vec![None; prog.arrays.len()];
         let mut priv_slot: Vec<i32> = vec![-1; prog.arrays.len()];
@@ -742,6 +754,7 @@ fn launch_impl(
             prog,
             plan,
             bc,
+            opt: opt_k.as_deref(),
             cfg,
             site_kinds: &site_kinds,
             views: &views,
@@ -1176,6 +1189,7 @@ fn build_launch_key(
     scal: &[Value],
     extents: &[Vec<usize>],
     eng: Engine,
+    opt: bool,
     traced: bool,
     arrays: &BodyArrays,
 ) -> LaunchKey {
@@ -1230,6 +1244,7 @@ fn build_launch_key(
                 Engine::Tree => 0,
                 Engine::Bytecode => 1,
             },
+            opt,
             traced,
             cfg_digest: (cfgd.finish() >> 64) as u64 ^ cfgd.finish() as u64,
             layout_digest: (lay.finish() >> 64) as u64 ^ lay.finish() as u64,
@@ -1351,6 +1366,9 @@ struct GridCtx<'a> {
     prog: &'a Program,
     plan: &'a KernelPlan,
     bc: &'a bytecode::KernelBytecode,
+    /// Optimized kernel when `ACCEVAL_OPT` resolved to enabled and the plan
+    /// optimized; `bc` then aliases its post-optimization stream.
+    opt: Option<&'a opt::OptKernel>,
     cfg: &'a DeviceConfig,
     site_kinds: &'a [SiteKind],
     views: &'a [bytecode::RawBuf],
@@ -1667,7 +1685,18 @@ fn run_block_range(
 ) {
     let bc = g.bc;
     let wu = g.warp as usize;
-    scratch.begin_launch(bc, wu, g.plan.site_count as usize, g.priv_elems, g.base_env, g.cfg.segment_bytes);
+    match g.opt {
+        Some(ok) => opt::begin_launch_opt(
+            ok,
+            scratch,
+            wu,
+            g.plan.site_count as usize,
+            g.priv_elems,
+            g.base_env,
+            g.cfg.segment_bytes,
+        ),
+        None => scratch.begin_launch(bc, wu, g.plan.site_count as usize, g.priv_elems, g.base_env, g.cfg.segment_bytes),
+    }
     let mut ax0 = vec![0i64; wu];
     let mut ax1 = vec![0i64; wu];
     let mut row: Vec<(u32, u64)> = Vec::with_capacity(wu);
@@ -1779,7 +1808,10 @@ fn run_block_range(
             }
             // Execute the warp in lockstep.
             let tid_base = blk * g.tpb as u64 + w * g.warp as u64;
-            let atomic = bytecode::exec_warp(bc, scratch, &ctx, mask, tid_base);
+            let atomic = match g.opt {
+                Some(ok) => opt::exec_warp_opt(ok, scratch, &ctx, mask, tid_base),
+                None => bytecode::exec_warp(bc, scratch, &ctx, mask, tid_base),
+            };
             // Fold reductions in ascending lane order — the same combine
             // sequence the tree path produces (journaled chunks replay it
             // at fold time).

@@ -13,6 +13,7 @@ pub mod bytecode;
 pub mod cpu;
 pub mod gpu;
 pub mod launch_cache;
+pub mod opt;
 pub mod store;
 
 use crate::expr::{BinOp, Expr, Intrin, UnOp};

@@ -1152,6 +1152,7 @@ pub fn encode_launch_key(k: &LaunchKey) -> Vec<u8> {
     e.u32(k.shared_bytes);
     e.u32(k.regs);
     e.u8(k.engine);
+    e.u8(k.opt as u8);
     e.u8(k.traced as u8);
     e.u64(k.cfg_digest);
     e.u64(k.layout_digest);
@@ -1388,6 +1389,7 @@ mod tests {
             shared_bytes: 0,
             regs: 20,
             engine: 1,
+            opt: false,
             traced: true,
             cfg_digest: 11,
             layout_digest: 22,
@@ -1416,6 +1418,9 @@ mod tests {
         assert_ne!(a, encode_launch_key(&k));
         let mut k = sample_key();
         k.traced = false;
+        assert_ne!(a, encode_launch_key(&k));
+        let mut k = sample_key();
+        k.opt = true;
         assert_ne!(a, encode_launch_key(&k));
         assert_eq!(a, encode_launch_key(&sample_key()));
     }

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::expr::Expr;
 use crate::interp::bytecode::{compile, KernelBytecode};
+use crate::interp::opt::{note_opt, optimize, OptKernel, OptStats};
 use crate::program::Program;
 use crate::stmt::Stmt;
 use crate::types::{ArrayId, ReduceOp, ScalarId, VarRef};
@@ -129,14 +130,33 @@ pub struct KernelPlan {
     pub engine_cache: EngineCache,
 }
 
+/// Outcome of the once-per-plan bytecode compilation attempt.
+///
+/// The negative result is a first-class, explicitly memoized value — a body
+/// out of the bytecode engine's scope (e.g. one with calls) records
+/// `Ineligible` on the first launch, and every later launch reads that
+/// verdict instead of re-walking the body to rediscover the bail.
+#[derive(Clone)]
+pub enum CompileOutcome {
+    /// The body compiled; launches run the bytecode engine.
+    Compiled(Arc<KernelBytecode>),
+    /// The body is outside the bytecode engine's scope; launches fall back
+    /// to the tree engine. Memoized so the scope walk happens once.
+    Ineligible,
+}
+
 /// Shared once-per-plan bytecode cache (see [`KernelPlan::engine_cache`]).
 ///
-/// The slot holds `None` once compilation has been attempted and bailed
-/// (bodies with calls fall back to the tree engine), so the bail is also
-/// computed only once.
+/// Holds the memoized [`CompileOutcome`] (positive *and* negative), the
+/// memoized optimized stream layered on a successful compile, and the plan
+/// fingerprint.
 #[derive(Clone, Default)]
 pub struct EngineCache {
-    slot: Arc<OnceLock<Option<Arc<KernelBytecode>>>>,
+    slot: Arc<OnceLock<CompileOutcome>>,
+    /// Optimized stream for a `Compiled` outcome (`None` after a compile
+    /// that bailed). Lazily built by [`EngineCache::get_or_optimize`], so
+    /// runs with the optimizer disabled never pay for it.
+    opt: Arc<OnceLock<Option<Arc<OptKernel>>>>,
     /// Memoized geometry-invariant plan fingerprint (see
     /// [`EngineCache::fingerprint`]). Shares the engine cache's lifetime
     /// contract: valid across clones because geometry retargeting never
@@ -148,7 +168,36 @@ impl EngineCache {
     /// The compiled bytecode for `plan`, compiling on first use. Returns
     /// `None` when the body is out of the bytecode engine's scope.
     pub fn get_or_compile(&self, prog: &Program, plan: &KernelPlan) -> Option<Arc<KernelBytecode>> {
-        self.slot.get_or_init(|| compile(prog, plan).map(Arc::new)).clone()
+        match self.slot.get_or_init(|| match compile(prog, plan) {
+            Some(bc) => CompileOutcome::Compiled(Arc::new(bc)),
+            None => CompileOutcome::Ineligible,
+        }) {
+            CompileOutcome::Compiled(bc) => Some(bc.clone()),
+            CompileOutcome::Ineligible => None,
+        }
+    }
+
+    /// The memoized compile verdict, without forcing a compilation.
+    pub fn outcome(&self) -> Option<&CompileOutcome> {
+        self.slot.get()
+    }
+
+    /// The optimized kernel for `plan`, compiling and optimizing on first
+    /// use. `None` when the body is out of the bytecode engine's scope.
+    pub fn get_or_optimize(&self, prog: &Program, plan: &KernelPlan) -> Option<Arc<OptKernel>> {
+        let bc = self.get_or_compile(prog, plan);
+        self.opt
+            .get_or_init(|| {
+                let ok = optimize(prog, &*bc?);
+                note_opt(&ok.stats);
+                Some(Arc::new(ok))
+            })
+            .clone()
+    }
+
+    /// Optimizer statistics, if the optimized stream has been built.
+    pub fn opt_stats(&self) -> Option<OptStats> {
+        self.opt.get().and_then(|o| o.as_ref().map(|ok| ok.stats.clone()))
     }
 
     /// 128-bit fingerprint of `plan`'s geometry-*invariant* identity: name,
@@ -188,8 +237,13 @@ impl std::fmt::Debug for EngineCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.slot.get() {
             None => write!(f, "EngineCache(empty)"),
-            Some(None) => write!(f, "EngineCache(tree-fallback)"),
-            Some(Some(bc)) => write!(f, "EngineCache({} ops)", bc.op_count()),
+            Some(CompileOutcome::Ineligible) => write!(f, "EngineCache(tree-fallback)"),
+            Some(CompileOutcome::Compiled(bc)) => match self.opt.get() {
+                Some(Some(ok)) => {
+                    write!(f, "EngineCache({} ops, opt {} ops)", bc.op_count(), ok.stats.ops_post)
+                }
+                _ => write!(f, "EngineCache({} ops)", bc.op_count()),
+            },
         }
     }
 }
@@ -355,5 +409,49 @@ mod tests {
         let a = ArrayId(0);
         let mut k = KernelPlan::new("k", vec![], vec![store(a, vec![Expr::I(0)], 0.0)]);
         k.finalize();
+    }
+
+    #[test]
+    fn engine_cache_memoizes_both_verdicts() {
+        use crate::builder::{call, ProgramBuilder};
+
+        // A body with a call is outside the bytecode engine's scope: the
+        // negative verdict must be recorded, not rediscovered per launch.
+        let mut pb = ProgramBuilder::new("neg");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let x = pb.farray("x", vec![v(n)]);
+        let pa = pb.farray("pa", vec![v(n)]);
+        let f = pb.func("f", vec![], vec![pa], vec![store(pa, vec![Expr::I(0)], 1.0)]);
+        pb.main(vec![]);
+        let p = pb.build();
+        let mut k = KernelPlan::new("k", vec![axis(i, v(n))], vec![call(f, vec![], vec![x])]);
+        k.finalize();
+        assert!(k.engine_cache.outcome().is_none());
+        assert!(k.engine_cache.get_or_compile(&p, &k).is_none());
+        assert!(matches!(k.engine_cache.outcome(), Some(CompileOutcome::Ineligible)));
+        // The memoized verdict answers later probes (and is shared across
+        // plan clones, so a sweep's repeated launches never re-walk the
+        // body).
+        assert!(k.engine_cache.get_or_compile(&p, &k).is_none());
+        assert!(k.clone().engine_cache.get_or_compile(&p, &k).is_none());
+        // Optimizing an ineligible plan is also a memoized no-op.
+        assert!(k.engine_cache.get_or_optimize(&p, &k).is_none());
+        assert!(k.engine_cache.opt_stats().is_none());
+
+        // Positive verdict: compiled once, optimizer layered on top.
+        let mut pb = ProgramBuilder::new("pos");
+        let n = pb.iscalar("n");
+        let i = pb.iscalar("i");
+        let y = pb.farray("y", vec![v(n)]);
+        pb.main(vec![]);
+        let p = pb.build();
+        let mut k = KernelPlan::new("k", vec![axis(i, v(n))], vec![store(y, vec![v(i)], 1.0)]);
+        k.finalize();
+        assert!(k.engine_cache.get_or_compile(&p, &k).is_some());
+        assert!(matches!(k.engine_cache.outcome(), Some(CompileOutcome::Compiled(_))));
+        assert!(k.engine_cache.opt_stats().is_none(), "optimizer must be lazy");
+        assert!(k.engine_cache.get_or_optimize(&p, &k).is_some());
+        assert!(k.engine_cache.opt_stats().is_some());
     }
 }

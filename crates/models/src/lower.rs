@@ -348,7 +348,14 @@ fn lower_loop(
     // re-points geometry without invalidating the geometry-independent
     // bytecode.
     if acceval_ir::interp::gpu::engine() == acceval_ir::interp::gpu::Engine::Bytecode {
-        let _ = plan.engine_cache.get_or_compile(prog, &plan);
+        if acceval_ir::interp::opt::opt_enabled() {
+            // Warm the optimized stream too: it is as geometry-independent
+            // as the bytecode it rewrites, so one optimization serves every
+            // tuning point sharing this plan.
+            let _ = plan.engine_cache.get_or_optimize(prog, &plan);
+        } else {
+            let _ = plan.engine_cache.get_or_compile(prog, &plan);
+        }
     }
     Ok(plan)
 }

@@ -55,7 +55,9 @@ environment:
                                      (tesla|fermi|kepler|pascal|volta)
   ACCEVAL_STORE=auto|on|off|<path>   persistent launch-result store mode
   ACCEVAL_STORE_CAP_MB=<n>           disk cap for the store (default 2048)
-  ACCEVAL_STORE_EPOCH=<label>        override the build-epoch invalidation tag";
+  ACCEVAL_STORE_EPOCH=<label>        override the build-epoch invalidation tag
+  ACCEVAL_OPT=auto|on|off            bytecode optimizer (results are identical
+                                     either way; off is for perf comparison)";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -268,6 +270,38 @@ fn run_profile(positionals: &[&str], cfg: &MachineConfig, scale: Scale) {
 
     let profile = RunProfile::from_events(bench_name, model, &events);
     println!("{}", render_profile(&profile));
+
+    // Per-kernel optimizer attribution: the run above compiled (and, unless
+    // ACCEVAL_OPT=off, optimized) every launched plan, and the plans share
+    // their engine caches with the launch path.
+    println!("bytecode optimizer ({}):", acceval::ir::interp::opt::opt_name());
+    let mut region_ids: Vec<u32> = compiled.kernels.keys().copied().collect();
+    region_ids.sort_unstable();
+    let mut any = false;
+    for rid in region_ids {
+        for plan in &compiled.kernels[&rid] {
+            let Some(st) = plan.engine_cache.opt_stats() else { continue };
+            any = true;
+            let frac = if st.ops_pre > 0 { st.prelude_ops as f64 / st.ops_pre as f64 * 100.0 } else { 0.0 };
+            println!(
+                "  {:<28} {:>4} -> {:<4} ops  prelude {:>2} ({:>4.1}%)  cse {:<3} folded {:<3} sr {:<2} dce {:<2} typed {}",
+                plan.name,
+                st.ops_pre,
+                st.ops_post,
+                st.prelude_ops,
+                frac,
+                st.cse_hits,
+                st.folded,
+                st.strength_reduced,
+                st.dce_removed,
+                if st.typed { "yes" } else { "no" },
+            );
+        }
+    }
+    if !any {
+        println!("  (no optimized kernels: optimizer off, tree engine, or no bytecode-eligible plans)");
+    }
+    println!();
     println!(
         "speedup {:.2}x over serial CPU ({:.6}s / {:.6}s), validation {}",
         run.speedup,

@@ -1,0 +1,80 @@
+//! Sweep-level determinism for the bytecode optimizer: with
+//! `ACCEVAL_OPT=on`, every artifact — the Figure 1 CSV and the Chrome trace
+//! behind `results/profile_*.json` — must be byte-identical to the opt-off
+//! run, at any worker count. The optimizer is a speed knob, never a results
+//! knob.
+
+use std::sync::Mutex;
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::figures::figure1;
+use acceval::ir::env::Toggle;
+use acceval::ir::interp::opt::set_opt_override;
+use acceval::models::ModelKind;
+use acceval::profile::chrome_trace;
+use acceval::report::figure1_csv;
+use acceval::sim::{MachineConfig, RecordingSink};
+use acceval::sweep::{cached_compile, cached_dataset, cached_oracle};
+
+/// The optimizer override and `RAYON_NUM_THREADS` are process-global;
+/// serialize the tests that flip them.
+static OPT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the optimizer pinned to `mode` at `threads` workers,
+/// restoring the defaults on exit (also on panic, so one failing test can't
+/// poison the setting for the others).
+fn with_opt<T>(mode: Toggle, threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_opt_override(None);
+            std::env::remove_var("RAYON_NUM_THREADS");
+        }
+    }
+    let _guard = OPT_LOCK.lock().unwrap();
+    let _reset = Reset;
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    set_opt_override(Some(mode));
+    f()
+}
+
+/// The full Figure 1 sweep (tuning on) renders to a byte-identical CSV with
+/// the optimizer off and on at 1 and 8 workers. Launch-cache keys carry the
+/// opt flag, so the on/off passes never share memoized results — each CSV is
+/// genuinely recomputed under its own mode.
+#[test]
+fn figure1_csv_is_opt_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let baseline = with_opt(Toggle::Off, 1, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+    for threads in [1usize, 8] {
+        let opted = with_opt(Toggle::On, threads, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+        assert_eq!(baseline, opted, "figure1.csv must be byte-identical under ACCEVAL_OPT=on at {threads} workers");
+    }
+}
+
+/// A profiled single run emits the same Chrome trace (every span, transfer,
+/// kernel cost, and coalescing evidence event) and bit-identical scores with
+/// the optimizer off and on.
+#[test]
+fn run_profile_is_opt_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named("jacobi").expect("jacobi exists");
+    let trace_under = |mode: Toggle, threads: usize| {
+        with_opt(mode, threads, || {
+            let ds = cached_dataset(b.as_ref(), Scale::Test);
+            let oracle = cached_oracle(b.as_ref(), Scale::Test, &cfg);
+            let compiled = cached_compile(b.as_ref(), ModelKind::ManualCuda, Scale::Test, None);
+            let mut sink = RecordingSink::new();
+            let run = acceval::run_compiled_traced(b.as_ref(), &compiled, &ds, &cfg, &oracle.run, &mut sink);
+            assert!(run.valid.is_ok(), "jacobi must validate: {:?}", run.valid);
+            (chrome_trace(&sink.take()), run.secs.to_bits(), run.speedup.to_bits())
+        })
+    };
+    let (bt, bs, bsp) = trace_under(Toggle::Off, 1);
+    for threads in [1usize, 8] {
+        let (ot, os, osp) = trace_under(Toggle::On, threads);
+        assert_eq!(bs, os, "simulated seconds must be bit-identical under the optimizer at {threads} workers");
+        assert_eq!(bsp, osp, "speedup must be bit-identical under the optimizer at {threads} workers");
+        assert_eq!(bt, ot, "chrome trace must be byte-identical under the optimizer at {threads} workers");
+    }
+}
