@@ -1,15 +1,19 @@
-//! Engine shoot-out: the bytecode kernel engine against the reference
-//! tree-walking interpreter on the two paper-scale hot loops (JACOBI's
-//! stencil sweep and KMEANS's assignment/update kernels), launching each
-//! compiled kernel directly so nothing but the execution engine differs.
+//! Engine shoot-out: the native closure tier and the bytecode kernel engine
+//! against the reference tree-walking interpreter on the two paper-scale
+//! hot loops (JACOBI's stencil sweep and KMEANS's assignment/update
+//! kernels), launching each compiled kernel directly so nothing but the
+//! execution engine differs.
 //!
-//! Beyond the criterion numbers, the bench asserts the bytecode engine's
-//! reason to exist: at least a 3x speedup over the tree walker on the
+//! Beyond the criterion numbers, the bench asserts each tier's reason to
+//! exist: at least a 3x speedup of bytecode over the tree walker on the
 //! JACOBI hot loop (the kernels `report -- figure1` spends its wall time
-//! in), and the `opt_speed` gate — the bytecode optimizer must be worth at
-//! least 1.5x over raw bytecode on the same loop. A regression below either
-//! gate fails `cargo bench` (and the CI bench-smoke job, which runs every
-//! bench once in test mode).
+//! in); the `opt_speed` gate — the bytecode optimizer must be worth at
+//! least 1.5x over raw bytecode on the same loop; and the `native_speed`
+//! gate — the native closure tier must be worth at least 1.5x over
+//! optimized bytecode there too. Every gate arm uses the same
+//! best-of-`BEST_OF` protocol over `GATE_REPS`-launch averages, so no arm
+//! gets a noise advantage. A regression below any gate fails `cargo bench`
+//! (and the CI bench-smoke job, which runs every bench once in test mode).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -59,16 +63,23 @@ fn bench(c: &mut Criterion) {
     set_launch_cache_override(Some(LaunchCache::Off));
 
     // The acceptance gates, measured outside criterion so they also run
-    // (and fail loudly) in `cargo bench -- --test` smoke mode. Best-of-3
-    // per configuration to shrug off scheduler noise.
-    let best = |eng: Engine, opt: Toggle, reps: u32| {
+    // (and fail loudly) in `cargo bench -- --test` smoke mode. Every arm —
+    // tree, raw bytecode, optimized bytecode, native — is measured with the
+    // identical protocol: best of `BEST_OF` timings, each the mean over
+    // `GATE_REPS` full-kernel-set launches. (An earlier version gave the
+    // optimizer arms more reps than the tree arms, which let the two gates'
+    // numbers drift apart; ratios are only honest when both sides of a
+    // division saw the same measurement discipline.)
+    const BEST_OF: usize = 3;
+    const GATE_REPS: u32 = 5;
+    let best = |name: &str, eng: Engine, opt: Toggle| {
         set_opt_override(Some(opt));
-        let t = (0..3).map(|_| launch_all_kernels("JACOBI", eng, reps, &cfg)).fold(f64::MAX, f64::min);
+        let t = (0..BEST_OF).map(|_| launch_all_kernels(name, eng, GATE_REPS, &cfg)).fold(f64::MAX, f64::min);
         set_opt_override(None);
         t
     };
-    let tree = best(Engine::Tree, Toggle::On, 3);
-    let byte = best(Engine::Bytecode, Toggle::On, 3);
+    let tree = best("JACOBI", Engine::Tree, Toggle::On);
+    let byte = best("JACOBI", Engine::Bytecode, Toggle::On);
     let speedup = tree / byte;
     println!("JACOBI hot loop (paper scale): tree {tree:.4}s, bytecode {byte:.4}s");
     println!("bytecode speedup over tree: {speedup:.1}x");
@@ -80,10 +91,9 @@ fn bench(c: &mut Criterion) {
 
     // `opt_speed` gate: the optimizer pipeline (uniform-prelude hoisting,
     // CSE, strength reduction, typed lowering) must pay for itself on the
-    // very loop the sweep lives in. More reps than the engine gate — the
-    // per-launch times are ~10x smaller, so noise bites harder.
-    let raw = best(Engine::Bytecode, Toggle::Off, 10);
-    let opt = best(Engine::Bytecode, Toggle::On, 10);
+    // very loop the sweep lives in.
+    let raw = best("JACOBI", Engine::Bytecode, Toggle::Off);
+    let opt = best("JACOBI", Engine::Bytecode, Toggle::On);
     let opt_ratio = raw / opt;
     println!("opt_speed: JACOBI hot loop (paper scale): opt-off {raw:.4}s, opt-on {opt:.4}s");
     println!("opt_speed: optimizer speedup over raw bytecode: {opt_ratio:.2}x");
@@ -93,6 +103,30 @@ fn bench(c: &mut Criterion) {
          got {opt_ratio:.2}x (opt-off {raw:.4}s vs opt-on {opt:.4}s)"
     );
 
+    // `native_speed` gate: the hotness tier's monomorphized closures must
+    // beat the typed VM they specialize, on the same loop. Forcing
+    // `Engine::Native` compiles the closures on the first launch; the
+    // one-time compile cost is amortized inside the reps, exactly as a
+    // promoted plan amortizes it across a sweep.
+    let native = best("JACOBI", Engine::Native, Toggle::On);
+    let native_ratio = opt / native;
+    println!("native_speed: JACOBI hot loop (paper scale): bytecode-opt {opt:.4}s, native {native:.4}s");
+    println!("native_speed: native speedup over optimized bytecode: {native_ratio:.2}x");
+    assert!(
+        native_ratio >= 1.5,
+        "native_speed gate: native tier must be >= 1.5x optimized bytecode on the JACOBI hot loop, \
+         got {native_ratio:.2}x (bytecode-opt {opt:.4}s vs native {native:.4}s)"
+    );
+
+    // Informational cross-benchmark numbers (no gate): the same
+    // native-over-bytecode-opt ratio on three differently shaped hot loops
+    // — CFD's flux kernels, NW's wavefront, SPMUL's irregular gather.
+    for name in ["CFD", "NW", "SPMUL"] {
+        let b = best(name, Engine::Bytecode, Toggle::On);
+        let n = best(name, Engine::Native, Toggle::On);
+        println!("native_speed: {name} (paper scale): bytecode-opt {b:.4}s, native {n:.4}s ({:.2}x)", b / n);
+    }
+
     let mut g = c.benchmark_group("engine_speed");
     g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
     for name in ["JACOBI", "KMEANS"] {
@@ -100,6 +134,7 @@ fn bench(c: &mut Criterion) {
             ("tree", Engine::Tree, Toggle::On),
             ("bytecode-raw", Engine::Bytecode, Toggle::Off),
             ("bytecode-opt", Engine::Bytecode, Toggle::On),
+            ("native", Engine::Native, Toggle::On),
         ] {
             g.bench_with_input(BenchmarkId::new(label, name), &(eng, opt), |b, &(eng, opt)| {
                 set_opt_override(Some(opt));

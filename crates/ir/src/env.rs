@@ -62,14 +62,23 @@ pub fn parse_toggle(var: &str, s: &str) -> Result<Toggle, EnvError> {
     }
 }
 
-/// Parse an engine name (`tree` | `bytecode`). Returns the raw name; the
-/// executor maps it onto its `Engine` enum.
+/// Parse an engine name (`tree` | `bytecode` | `native` | `auto`). Returns
+/// the raw name; the executor maps it onto its `Engine` enum (`auto` is
+/// bytecode with hotness-driven promotion to the native tier).
 pub fn parse_engine_name(s: &str) -> Result<&'static str, EnvError> {
     match s {
         "tree" => Ok("tree"),
         "bytecode" => Ok("bytecode"),
-        _ => Err(EnvError::new("ACCEVAL_ENGINE", s, "`tree` or `bytecode`")),
+        "native" => Ok("native"),
+        "auto" => Ok("auto"),
+        _ => Err(EnvError::new("ACCEVAL_ENGINE", s, "`tree`, `bytecode`, `native` or `auto`")),
     }
+}
+
+/// Parse an `ACCEVAL_NATIVE_THRESHOLD` value: the launch count past which
+/// `ACCEVAL_ENGINE=auto` promotes a plan to the native tier.
+pub fn parse_native_threshold(s: &str) -> Result<u64, EnvError> {
+    s.trim().parse::<u64>().map_err(|_| EnvError::new("ACCEVAL_NATIVE_THRESHOLD", s, "an integer launch count"))
 }
 
 /// Parse a mebibyte count into bytes.
@@ -127,6 +136,7 @@ pub fn parse_device_name(s: &str) -> Result<acceval_sim::DeviceConfig, EnvError>
 pub const KNOWN_VARS: &[&str] = &[
     "ACCEVAL_DEVICE",
     "ACCEVAL_ENGINE",
+    "ACCEVAL_NATIVE_THRESHOLD",
     "ACCEVAL_LAUNCH_PAR",
     "ACCEVAL_LAUNCH_CACHE",
     "ACCEVAL_OPT",
@@ -155,6 +165,9 @@ pub fn validate_env() -> Result<(), EnvError> {
             }
             "ACCEVAL_ENGINE" => {
                 parse_engine_name(&v)?;
+            }
+            "ACCEVAL_NATIVE_THRESHOLD" => {
+                parse_native_threshold(&v)?;
             }
             "ACCEVAL_LAUNCH_PAR" | "ACCEVAL_LAUNCH_CACHE" | "ACCEVAL_OPT" => {
                 parse_toggle(&k, &v)?;
@@ -193,6 +206,27 @@ mod tests {
         assert_eq!(parse_toggle("ACCEVAL_OPT", "auto"), Ok(Toggle::Auto));
         let e = parse_toggle("ACCEVAL_OPT", "fast").unwrap_err();
         assert_eq!(e.var, "ACCEVAL_OPT");
+    }
+
+    #[test]
+    fn engine_name_parses() {
+        assert_eq!(parse_engine_name("tree"), Ok("tree"));
+        assert_eq!(parse_engine_name("bytecode"), Ok("bytecode"));
+        assert_eq!(parse_engine_name("native"), Ok("native"));
+        assert_eq!(parse_engine_name("auto"), Ok("auto"));
+        let e = parse_engine_name("jit").unwrap_err();
+        assert_eq!(e.var, "ACCEVAL_ENGINE");
+        assert!(e.to_string().contains("native"), "error must name the accepted engines: {e}");
+    }
+
+    #[test]
+    fn native_threshold_parses() {
+        assert!(KNOWN_VARS.contains(&"ACCEVAL_NATIVE_THRESHOLD"));
+        assert_eq!(parse_native_threshold("8"), Ok(8));
+        assert_eq!(parse_native_threshold(" 0 "), Ok(0));
+        assert!(parse_native_threshold("soon").is_err());
+        assert!(parse_native_threshold("-1").is_err());
+        assert_eq!(parse_native_threshold("nope").unwrap_err().var, "ACCEVAL_NATIVE_THRESHOLD");
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod bytecode;
 pub mod cpu;
 pub mod gpu;
 pub mod launch_cache;
+pub mod native;
 pub mod opt;
 pub mod store;
 

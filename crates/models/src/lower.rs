@@ -347,7 +347,7 @@ fn lower_loop(
     // through its `Arc`) across tuning points, and `retarget_block_geometry`
     // re-points geometry without invalidating the geometry-independent
     // bytecode.
-    if acceval_ir::interp::gpu::engine() == acceval_ir::interp::gpu::Engine::Bytecode {
+    if acceval_ir::interp::gpu::engine() != acceval_ir::interp::gpu::Engine::Tree {
         if acceval_ir::interp::opt::opt_enabled() {
             // Warm the optimized stream too: it is as geometry-independent
             // as the bytecode it rewrites, so one optimization serves every

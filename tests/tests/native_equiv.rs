@@ -1,0 +1,88 @@
+//! Sweep-level determinism for the native engine tier: with
+//! `ACCEVAL_ENGINE=native` (or `auto` with an aggressive promotion
+//! threshold), every artifact — the Figure 1 CSV and the Chrome trace behind
+//! `results/profile_*.json` — must be byte-identical to the tree and
+//! bytecode runs, at any worker count. The engine tier is a speed knob,
+//! never a results knob.
+
+use std::sync::Mutex;
+
+use acceval::benchmarks::{benchmark_named, Scale};
+use acceval::figures::figure1;
+use acceval::ir::interp::gpu::{set_engine_sel_override, Engine, EngineSel};
+use acceval::ir::interp::native::set_native_threshold_override;
+use acceval::models::ModelKind;
+use acceval::profile::chrome_trace;
+use acceval::report::figure1_csv;
+use acceval::sim::{MachineConfig, RecordingSink};
+use acceval::sweep::{cached_compile, cached_dataset, cached_oracle};
+
+/// The engine/threshold overrides and `RAYON_NUM_THREADS` are
+/// process-global; serialize the tests that flip them.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the engine selection pinned at `threads` workers, restoring
+/// the defaults on exit (also on panic, so one failing test can't poison
+/// the setting for the others). `auto` promotes after two launches so the
+/// sweep crosses the bytecode→native boundary mid-run.
+fn with_sel<T>(sel: EngineSel, threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_engine_sel_override(None);
+            set_native_threshold_override(None);
+            std::env::remove_var("RAYON_NUM_THREADS");
+        }
+    }
+    let _guard = ENGINE_LOCK.lock().unwrap();
+    let _reset = Reset;
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    set_engine_sel_override(Some(sel));
+    set_native_threshold_override(Some(2));
+    f()
+}
+
+/// The full Figure 1 sweep (tuning on) renders to a byte-identical CSV
+/// under every engine tier and under mid-sweep `auto` promotion, at 1 and 8
+/// workers. Launch-cache keys carry the effective tier, so the passes never
+/// share memoized results across a tier boundary.
+#[test]
+fn figure1_csv_is_tier_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let baseline = with_sel(EngineSel::Fixed(Engine::Tree), 1, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+    for sel in [EngineSel::Fixed(Engine::Bytecode), EngineSel::Fixed(Engine::Native), EngineSel::Auto] {
+        for threads in [1usize, 8] {
+            let csv = with_sel(sel, threads, || figure1_csv(&figure1(&cfg, Scale::Test, true)));
+            assert_eq!(baseline, csv, "figure1.csv must be byte-identical under {sel:?} at {threads} workers");
+        }
+    }
+}
+
+/// A profiled single run emits the same Chrome trace (every span, transfer,
+/// kernel cost, and coalescing evidence event) and bit-identical scores
+/// under every tier, including an `auto` run that promotes mid-iteration.
+#[test]
+fn run_profile_is_tier_independent() {
+    let cfg = MachineConfig::keeneland_node();
+    let b = benchmark_named("jacobi").expect("jacobi exists");
+    let trace_under = |sel: EngineSel, threads: usize| {
+        with_sel(sel, threads, || {
+            let ds = cached_dataset(b.as_ref(), Scale::Test);
+            let oracle = cached_oracle(b.as_ref(), Scale::Test, &cfg);
+            let compiled = cached_compile(b.as_ref(), ModelKind::ManualCuda, Scale::Test, None);
+            let mut sink = RecordingSink::new();
+            let run = acceval::run_compiled_traced(b.as_ref(), &compiled, &ds, &cfg, &oracle.run, &mut sink);
+            assert!(run.valid.is_ok(), "jacobi must validate: {:?}", run.valid);
+            (chrome_trace(&sink.take()), run.secs.to_bits(), run.speedup.to_bits())
+        })
+    };
+    let (tt, ts, tsp) = trace_under(EngineSel::Fixed(Engine::Tree), 1);
+    for sel in [EngineSel::Fixed(Engine::Bytecode), EngineSel::Fixed(Engine::Native), EngineSel::Auto] {
+        for threads in [1usize, 8] {
+            let (nt, ns, nsp) = trace_under(sel, threads);
+            assert_eq!(ts, ns, "simulated seconds must be bit-identical under {sel:?} at {threads} workers");
+            assert_eq!(tsp, nsp, "speedup must be bit-identical under {sel:?} at {threads} workers");
+            assert_eq!(tt, nt, "chrome trace must be byte-identical under {sel:?} at {threads} workers");
+        }
+    }
+}
